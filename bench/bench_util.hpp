@@ -1,0 +1,44 @@
+#pragma once
+
+// Shared helpers for the table/figure regeneration binaries. Every binary
+// prints a human-readable table to stdout (mirroring the paper's rows)
+// and writes a machine-readable CSV under ./ (filename printed at exit).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "common/stats.hpp"
+#include "exp/calibrate.hpp"
+#include "exp/driver.hpp"
+#include "exp/metrics.hpp"
+#include "sim/machine_config.hpp"
+#include "workloads/suite.hpp"
+
+namespace cuttlefish::benchharness {
+
+/// Seed count for repeated runs (paper: ten executions per point).
+/// Overridable with argv[1] to trade precision for speed.
+inline int parse_runs(int argc, char** argv, int fallback = 10) {
+  if (argc > 1) {
+    const int n = std::atoi(argv[1]);
+    if (n > 0) return n;
+  }
+  return fallback;
+}
+
+inline void print_rule(int width = 100) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+inline std::string pm(double mean, double ci, int precision = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f (+-%.*f)", precision, mean,
+                precision, ci);
+  return buf;
+}
+
+}  // namespace cuttlefish::benchharness

@@ -1,0 +1,114 @@
+// Regenerates Figure 3: average JPI of each benchmark's frequent TIPI
+// ranges under (a) fixed UF=max with CF in {min, mid, max} and (b) fixed
+// CF=max with UF in {min, mid, max}. The orderings demonstrate the
+// paper's motivating analysis: compute-bound JPI falls with CF and rises
+// with UF; memory-bound behaves the opposite way, and max uncore is not
+// optimal even for memory-bound codes.
+
+#include <map>
+
+#include "bench_util.hpp"
+#include "common/tipi.hpp"
+
+using namespace cuttlefish;
+
+namespace {
+
+struct Setting {
+  const char* label;
+  FreqMHz cf;
+  FreqMHz uf;
+};
+
+/// Average JPI per frequent slab for one fixed-frequency run.
+std::map<int64_t, double> frequent_slab_jpi(const sim::MachineConfig& machine,
+                                            const sim::PhaseProgram& program,
+                                            FreqMHz cf, FreqMHz uf) {
+  exp::RunOptions opt;
+  opt.seed = 42;
+  opt.capture_timeline = true;
+  const exp::RunResult r = exp::run_fixed(machine, program, cf, uf, opt);
+  const TipiSlabber slabber;
+  std::map<int64_t, std::pair<double, uint64_t>> acc;
+  uint64_t samples = 0;
+  for (const auto& pt : r.timeline) {
+    if (pt.t < 2.0) continue;
+    auto& cell = acc[slabber.slab_of(pt.tipi)];
+    cell.first += pt.jpi;
+    cell.second += 1;
+    ++samples;
+  }
+  std::map<int64_t, double> out;
+  for (const auto& [slab, cell] : acc) {
+    if (static_cast<double>(cell.second) >
+        0.10 * static_cast<double>(samples)) {
+      out[slab] = cell.first / static_cast<double>(cell.second);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int, char**) {
+  const sim::MachineConfig machine = sim::haswell_2650v3();
+  const std::vector<std::string> figure_benchmarks{
+      "UTS", "SOR-irt", "Heat-irt", "MiniFE", "HPCCG", "AMG"};
+  const TipiSlabber slabber;
+
+  const std::vector<Setting> cf_sweep{
+      {"CFmin/UFmax", FreqMHz{1200}, FreqMHz{3000}},
+      {"CFmid/UFmax", FreqMHz{1800}, FreqMHz{3000}},
+      {"CFmax/UFmax", FreqMHz{2300}, FreqMHz{3000}},
+  };
+  const std::vector<Setting> uf_sweep{
+      {"CFmax/UFmin", FreqMHz{2300}, FreqMHz{1200}},
+      {"CFmax/UFmid", FreqMHz{2300}, FreqMHz{2100}},
+      {"CFmax/UFmax", FreqMHz{2300}, FreqMHz{3000}},
+  };
+
+  CsvWriter csv("fig3_freq_sweep.csv",
+                {"panel", "benchmark", "tipi_range", "setting", "jpi_nj"});
+
+  for (const auto& [panel, sweep] :
+       std::vector<std::pair<const char*, const std::vector<Setting>*>>{
+           {"a_core_sweep", &cf_sweep}, {"b_uncore_sweep", &uf_sweep}}) {
+    std::printf("\nFigure 3(%s): JPI (nJ) per frequent TIPI range\n",
+                panel[0] == 'a' ? "a) vary core, uncore=max"
+                                : "b) vary uncore, core=max");
+    benchharness::print_rule(96);
+    std::printf("%-10s %-14s", "Benchmark", "TIPI range");
+    for (const Setting& s : *sweep) std::printf(" %14s", s.label);
+    std::printf("\n");
+    benchharness::print_rule(96);
+    for (const auto& name : figure_benchmarks) {
+      const auto& model = workloads::find_benchmark(name);
+      sim::PhaseProgram program = exp::build_calibrated(model, machine, 42);
+      // Collect per-setting maps, then print rows per frequent slab.
+      std::vector<std::map<int64_t, double>> per_setting;
+      per_setting.reserve(sweep->size());
+      for (const Setting& s : *sweep) {
+        per_setting.push_back(
+            frequent_slab_jpi(machine, program, s.cf, s.uf));
+      }
+      for (const auto& [slab, jpi0] : per_setting[0]) {
+        std::printf("%-10s %-14s", name.c_str(),
+                    slabber.range_label(slab).c_str());
+        for (size_t i = 0; i < sweep->size(); ++i) {
+          const auto it = per_setting[i].find(slab);
+          const double jpi = it == per_setting[i].end() ? 0.0 : it->second;
+          std::printf(" %14.2f", jpi * 1e9);
+          csv.row({panel, name, slabber.range_label(slab),
+                   (*sweep)[i].label, CsvWriter::num(jpi * 1e9, 6)});
+        }
+        std::printf("\n");
+      }
+    }
+  }
+  benchharness::print_rule(96);
+  std::printf(
+      "Expected shape (paper): UTS/SOR JPI falls with CF and rises with "
+      "UF;\nHeat/MiniFE/HPCCG/AMG JPI rises with CF and falls with UF "
+      "(with the\nminimum below UFmax). Full data in fig3_freq_sweep.csv\n");
+  return 0;
+}

@@ -1,0 +1,161 @@
+// google-benchmark microbenchmarks for the runtime-overhead claims: the
+// Cuttlefish daemon must be lightweight (one tick every 20 ms), and the
+// substrate runtimes must have low per-task overheads.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/controller.hpp"
+#include "core/explorer.hpp"
+#include "core/tipi_list.hpp"
+#include "hal/platform.hpp"
+#include "runtime/deque.hpp"
+#include "runtime/parallel_for.hpp"
+#include "runtime/scheduler.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/sim_machine.hpp"
+#include "sim/sim_platform.hpp"
+
+namespace {
+
+using namespace cuttlefish;
+
+// --- controller tick ------------------------------------------------------
+
+void BM_ControllerTickSteadyState(benchmark::State& state) {
+  const sim::MachineConfig cfg = sim::haswell_2650v3();
+  sim::PhaseProgram program;
+  program.add(1e18, 0.8, 0.066);
+  sim::SimMachine machine(cfg, program);
+  sim::SimPlatform platform(machine);
+  core::Controller controller(platform, core::ControllerConfig{});
+  controller.begin();
+  // Drive to steady state first.
+  for (int i = 0; i < 1000; ++i) {
+    machine.advance(0.02);
+    controller.tick();
+  }
+  for (auto _ : state) {
+    machine.advance(0.02);
+    controller.tick();
+  }
+  state.SetLabel("one Tinv tick incl. simulated sensor read");
+}
+BENCHMARK(BM_ControllerTickSteadyState);
+
+void BM_ControllerTickExploring(benchmark::State& state) {
+  const sim::MachineConfig cfg = sim::haswell_2650v3();
+  sim::PhaseProgram program;
+  program.add(1e18, 0.8, 0.066);
+  sim::SimMachine machine(cfg, program);
+  sim::SimPlatform platform(machine);
+  core::Controller controller(platform, core::ControllerConfig{});
+  controller.begin();
+  for (auto _ : state) {
+    machine.advance(0.02);
+    controller.tick();
+  }
+}
+BENCHMARK(BM_ControllerTickExploring);
+
+// --- TIPI list -------------------------------------------------------------
+
+void BM_TipiListInsert(benchmark::State& state) {
+  for (auto _ : state) {
+    core::SortedTipiList list;
+    for (int64_t s = 0; s < state.range(0); ++s) {
+      benchmark::DoNotOptimize(list.insert((s * 37) % 997));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TipiListInsert)->Arg(60);
+
+void BM_TipiListFind(benchmark::State& state) {
+  core::SortedTipiList list;
+  for (int64_t s = 0; s < 60; ++s) list.insert(s);
+  int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(list.find(i++ % 60));
+  }
+}
+BENCHMARK(BM_TipiListFind);
+
+// --- explorer --------------------------------------------------------------
+
+void BM_ExplorerStep(benchmark::State& state) {
+  const FreqLadder ladder = haswell_uncore_ladder();
+  core::FrequencyExplorer ex(ladder, 2);
+  core::DomainState st;
+  st.lb = 0;
+  st.rb = ladder.max_level();
+  st.window_set = true;
+  st.jpi = std::make_unique<core::JpiTable>(ladder.levels(), 1000000000);
+  Level current = st.rb;
+  for (auto _ : state) {
+    const auto res = ex.step(st, 1.0, current, true);
+    current = res.next;
+    benchmark::DoNotOptimize(current);
+  }
+}
+BENCHMARK(BM_ExplorerStep);
+
+// --- work-stealing deque -----------------------------------------------------
+
+void BM_DequePushPop(benchmark::State& state) {
+  runtime::ChaseLevDeque<int*> deque;
+  int item = 0;
+  int* out = nullptr;
+  for (auto _ : state) {
+    deque.push(&item);
+    benchmark::DoNotOptimize(deque.pop(out));
+  }
+}
+BENCHMARK(BM_DequePushPop);
+
+// --- schedulers --------------------------------------------------------------
+
+void BM_SchedulerAsyncFinish(benchmark::State& state) {
+  runtime::TaskScheduler rt(4);
+  const int tasks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    rt.finish([&] {
+      for (int i = 0; i < tasks; ++i) rt.async([] {});
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * tasks);
+}
+BENCHMARK(BM_SchedulerAsyncFinish)->Arg(1000);
+
+void BM_ParallelForStatic(benchmark::State& state) {
+  runtime::ThreadPool pool(4);
+  std::vector<double> data(65536, 1.0);
+  for (auto _ : state) {
+    runtime::parallel_for_blocked(
+        pool, 0, static_cast<int64_t>(data.size()),
+        [&](int64_t lo, int64_t hi) {
+          for (int64_t i = lo; i < hi; ++i) {
+            data[static_cast<size_t>(i)] *= 1.0000001;
+          }
+        });
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_ParallelForStatic);
+
+// --- simulator ---------------------------------------------------------------
+
+void BM_SimMachineAdvanceQuantum(benchmark::State& state) {
+  const sim::MachineConfig cfg = sim::haswell_2650v3();
+  sim::PhaseProgram program;
+  program.add(1e18, 0.8, 0.066);
+  sim::SimMachine machine(cfg, program);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(machine.advance(0.02));
+  }
+}
+BENCHMARK(BM_SimMachineAdvanceQuantum);
+
+}  // namespace

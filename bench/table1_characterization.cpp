@@ -1,0 +1,113 @@
+// Regenerates Table 1: per-benchmark characterisation under the Default
+// configuration — execution time, observed TIPI range, number of distinct
+// TIPI slabs and number of frequent (>10% of samples) slabs.
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "bench_util.hpp"
+#include "common/tipi.hpp"
+
+using namespace cuttlefish;
+
+namespace {
+
+struct Row {
+  std::string name;
+  std::string style;
+  double time_s = 0.0;
+  double tipi_lo = 0.0;
+  double tipi_hi = 0.0;
+  int slabs = 0;
+  int frequent = 0;
+};
+
+// Paper reference values (Table 1) for side-by-side comparison.
+struct PaperRow {
+  double time_s;
+  int slabs;
+  int frequent;
+};
+const std::map<std::string, PaperRow> kPaper{
+    {"UTS", {69.9, 1, 1}},     {"SOR-irt", {69.1, 1, 1}},
+    {"SOR-rt", {69.4, 1, 1}},  {"SOR-ws", {68.7, 3, 1}},
+    {"Heat-irt", {76.6, 4, 1}}, {"Heat-rt", {75.5, 3, 2}},
+    {"Heat-ws", {70.9, 11, 1}}, {"MiniFE", {78.5, 16, 1}},
+    {"HPCCG", {60.0, 17, 1}},   {"AMG", {63.7, 60, 2}},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int runs = benchharness::parse_runs(argc, argv, 3);
+  const sim::MachineConfig machine = sim::haswell_2650v3();
+  const TipiSlabber slabber;
+  const double warmup_s = 2.0;
+
+  std::vector<Row> rows;
+  for (const auto& model : workloads::openmp_suite()) {
+    Row row;
+    row.name = model.name;
+    row.style = model.parallelism;
+    std::set<int64_t> slabs;
+    std::map<int64_t, uint64_t> occupancy;
+    uint64_t samples = 0;
+    double lo = 1e9, hi = 0.0;
+    RunningStats time_stats;
+    for (int s = 0; s < runs; ++s) {
+      sim::PhaseProgram program =
+          exp::build_calibrated(model, machine, 100 + static_cast<uint64_t>(s));
+      exp::RunOptions opt;
+      opt.seed = 100 + static_cast<uint64_t>(s);
+      opt.capture_timeline = true;
+      const exp::RunResult r = exp::run_default(machine, program, opt);
+      time_stats.add(r.time_s);
+      for (const auto& pt : r.timeline) {
+        if (pt.t < warmup_s) continue;  // paper skips the cold start
+        const int64_t slab = slabber.slab_of(pt.tipi);
+        slabs.insert(slab);
+        occupancy[slab] += 1;
+        samples += 1;
+        lo = std::min(lo, pt.tipi);
+        hi = std::max(hi, pt.tipi);
+      }
+    }
+    row.time_s = time_stats.mean();
+    row.tipi_lo = lo;
+    row.tipi_hi = hi;
+    row.slabs = static_cast<int>(slabs.size());
+    for (const auto& [slab, count] : occupancy) {
+      if (static_cast<double>(count) > 0.10 * static_cast<double>(samples)) {
+        row.frequent += 1;
+      }
+    }
+    rows.push_back(row);
+  }
+
+  std::printf("Table 1: benchmark characterisation (Default execution)\n");
+  benchharness::print_rule(108);
+  std::printf("%-10s %-16s %10s %9s %18s %8s %7s %10s %9s\n", "Benchmark",
+              "Parallelism", "Time(s)", "paper", "TIPI range", "Slabs",
+              "paper", "Frequent", "paper");
+  benchharness::print_rule(108);
+  CsvWriter csv("table1.csv",
+                {"benchmark", "parallelism", "time_s", "paper_time_s",
+                 "tipi_lo", "tipi_hi", "slabs", "paper_slabs", "frequent",
+                 "paper_frequent"});
+  for (const Row& r : rows) {
+    const PaperRow& p = kPaper.at(r.name);
+    std::printf("%-10s %-16s %10.1f %9.1f      %.3f-%.3f %8d %7d %10d %9d\n",
+                r.name.c_str(), r.style.c_str(), r.time_s, p.time_s,
+                r.tipi_lo, r.tipi_hi, r.slabs, p.slabs, r.frequent,
+                p.frequent);
+    csv.row({r.name, r.style, CsvWriter::num(r.time_s),
+             CsvWriter::num(p.time_s), CsvWriter::num(r.tipi_lo),
+             CsvWriter::num(r.tipi_hi), std::to_string(r.slabs),
+             std::to_string(p.slabs), std::to_string(r.frequent),
+             std::to_string(p.frequent)});
+  }
+  benchharness::print_rule(108);
+  std::printf("CSV written to table1.csv (%d run(s) per benchmark)\n", runs);
+  return 0;
+}

@@ -1,0 +1,149 @@
+// Regenerates Table 2: per benchmark, the percentage of distinct TIPI
+// ranges whose CFopt/UFopt were resolved, and the CFopt/UFopt Cuttlefish
+// chose for the frequent (>10% of samples) ranges, against the Default
+// settings (CF 2.3 fixed; firmware uncore 2.2/3.0).
+
+#include <map>
+
+#include "bench_util.hpp"
+#include "common/tipi.hpp"
+
+using namespace cuttlefish;
+
+namespace {
+
+struct PaperEntry {
+  const char* range;
+  double cf_ghz;  // <= 0: unresolved in the paper
+  double uf_ghz;
+  double default_uf_ghz;
+};
+const std::multimap<std::string, PaperEntry> kPaper{
+    {"UTS", {"0.000-0.004", 2.3, 1.3, 2.2}},
+    {"SOR-irt", {"0.024-0.028", 2.3, 1.2, 2.2}},
+    {"SOR-rt", {"0.024-0.028", 2.3, 1.2, 2.2}},
+    {"SOR-ws", {"0.024-0.028", 2.3, 1.2, 2.2}},
+    {"Heat-irt", {"0.064-0.068", 1.2, 2.2, 3.0}},
+    {"Heat-rt", {"0.060-0.064", -1.0, -1.0, 3.0}},
+    {"Heat-rt", {"0.064-0.068", 1.2, 2.2, 3.0}},
+    {"Heat-ws", {"0.056-0.060", 1.3, 2.2, 3.0}},
+    {"MiniFE", {"0.112-0.116", 1.3, 2.2, 3.0}},
+    {"HPCCG", {"0.120-0.124", 1.3, 2.2, 3.0}},
+    {"AMG", {"0.144-0.148", 1.3, 2.2, 3.0}},
+    {"AMG", {"0.148-0.152", 1.2, 2.2, 3.0}},
+};
+
+std::string ghz(int mhz) {
+  if (mhz < 0) return "-";
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%.1f", mhz / 1000.0);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int runs = benchharness::parse_runs(argc, argv, 5);
+  const sim::MachineConfig machine = sim::haswell_2650v3();
+  const TipiSlabber slabber;
+
+  CsvWriter csv("table2_frequencies.csv",
+                {"benchmark", "pct_cf_resolved", "pct_uf_resolved",
+                 "tipi_range", "share_pct", "cf_opt_ghz", "uf_opt_ghz",
+                 "paper_cf_ghz", "paper_uf_ghz"});
+
+  std::printf("Table 2: CFopt / UFopt per frequent TIPI range "
+              "(%d runs; mode across runs)\n", runs);
+  benchharness::print_rule(118);
+  std::printf("%-10s %8s %8s   %-12s %7s %9s %9s %10s %10s %11s\n",
+              "Benchmark", "CF res%", "UF res%", "TIPI range", "share%",
+              "CFopt", "UFopt", "paper CF", "paper UF", "Default UF");
+  benchharness::print_rule(118);
+
+  for (const auto& model : workloads::openmp_suite()) {
+    // Aggregate across seeds: resolution percentages and per-slab modal
+    // optima for frequent slabs.
+    std::vector<double> cf_pct, uf_pct;
+    std::map<int64_t, std::map<int, int>> cf_votes, uf_votes;
+    std::map<int64_t, double> share_acc;
+    for (int s = 0; s < runs; ++s) {
+      const auto seed = 3000 + static_cast<uint64_t>(s);
+      sim::PhaseProgram program = exp::build_calibrated(model, machine, seed);
+      exp::RunOptions opt;
+      opt.seed = seed;
+      const exp::RunResult r =
+          exp::run_policy(machine, program, core::PolicyKind::kFull, opt);
+      uint64_t total = 0;
+      size_t cf_resolved = 0, uf_resolved = 0;
+      for (const auto& n : r.nodes) {
+        total += n.ticks;
+        if (n.cf_opt != kNoLevel) ++cf_resolved;
+        if (n.uf_opt != kNoLevel) ++uf_resolved;
+      }
+      cf_pct.push_back(100.0 * static_cast<double>(cf_resolved) /
+                       static_cast<double>(r.nodes.size()));
+      uf_pct.push_back(100.0 * static_cast<double>(uf_resolved) /
+                       static_cast<double>(r.nodes.size()));
+      for (const auto& n : r.nodes) {
+        const double share =
+            static_cast<double>(n.ticks) / static_cast<double>(total);
+        if (share <= 0.10) continue;
+        share_acc[n.slab] += share / runs;
+        const int cf_mhz = n.cf_opt == kNoLevel
+                               ? -1
+                               : machine.core_ladder.at(n.cf_opt).value;
+        const int uf_mhz = n.uf_opt == kNoLevel
+                               ? -1
+                               : machine.uncore_ladder.at(n.uf_opt).value;
+        cf_votes[n.slab][cf_mhz] += 1;
+        uf_votes[n.slab][uf_mhz] += 1;
+      }
+    }
+    const exp::Aggregate cfp = exp::aggregate(cf_pct);
+    const exp::Aggregate ufp = exp::aggregate(uf_pct);
+
+    bool first_row = true;
+    for (const auto& [slab, share] : share_acc) {
+      auto mode = [](const std::map<int, int>& votes) {
+        int best = -1, count = -1;
+        for (const auto& [mhz, c] : votes) {
+          if (c > count) {
+            count = c;
+            best = mhz;
+          }
+        }
+        return best;
+      };
+      const int cf_mode = mode(cf_votes[slab]);
+      const int uf_mode = mode(uf_votes[slab]);
+      // Paper reference (if this range is listed).
+      std::string paper_cf = "-", paper_uf = "-", def_uf = "-";
+      const auto range = kPaper.equal_range(model.name);
+      for (auto it = range.first; it != range.second; ++it) {
+        if (slabber.range_label(slab) == it->second.range) {
+          paper_cf = it->second.cf_ghz > 0
+                         ? CsvWriter::num(it->second.cf_ghz, 2)
+                         : "-";
+          paper_uf = it->second.uf_ghz > 0
+                         ? CsvWriter::num(it->second.uf_ghz, 2)
+                         : "-";
+          def_uf = CsvWriter::num(it->second.default_uf_ghz, 2);
+        }
+      }
+      std::printf("%-10s %7.0f%% %7.0f%%   %-12s %6.0f%% %9s %9s %10s %10s "
+                  "%11s\n",
+                  first_row ? model.name.c_str() : "", cfp.mean, ufp.mean,
+                  slabber.range_label(slab).c_str(), share * 100.0,
+                  ghz(cf_mode).c_str(), ghz(uf_mode).c_str(),
+                  paper_cf.c_str(), paper_uf.c_str(), def_uf.c_str());
+      csv.row({model.name, CsvWriter::num(cfp.mean, 4),
+               CsvWriter::num(ufp.mean, 4), slabber.range_label(slab),
+               CsvWriter::num(share * 100.0, 4), ghz(cf_mode), ghz(uf_mode),
+               paper_cf, paper_uf});
+      first_row = false;
+    }
+  }
+  benchharness::print_rule(118);
+  std::printf("CSV written to table2_frequencies.csv\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Regenerates Table 3: geomean energy savings and slowdown of the full
+// Cuttlefish policy across the OpenMP suite at Tinv = 10/20/40/60 ms.
+
+#include "bench_util.hpp"
+
+using namespace cuttlefish;
+
+int main(int argc, char** argv) {
+  const int runs = benchharness::parse_runs(argc, argv, 5);
+  const sim::MachineConfig machine = sim::haswell_2650v3();
+  const std::vector<double> tinvs{0.010, 0.020, 0.040, 0.060};
+  // Paper values for side-by-side printing.
+  const std::vector<std::pair<double, double>> paper{
+      {19.5, 4.1}, {19.4, 3.6}, {18.8, 2.9}, {17.8, 2.9}};
+
+  CsvWriter csv("table3_tinv.csv",
+                {"tinv_ms", "geomean_energy_savings_pct",
+                 "geomean_slowdown_pct", "paper_savings_pct",
+                 "paper_slowdown_pct"});
+
+  std::printf("Table 3: Tinv sensitivity (%d runs per benchmark)\n", runs);
+  benchharness::print_rule(86);
+  std::printf("%8s %18s %16s %16s %16s\n", "Tinv", "Energy savings",
+              "Slowdown", "paper savings", "paper slowdown");
+  benchharness::print_rule(86);
+
+  for (size_t t = 0; t < tinvs.size(); ++t) {
+    std::vector<double> savings, slowdowns;
+    for (const auto& model : workloads::openmp_suite()) {
+      std::vector<double> s_runs, d_runs;
+      for (int s = 0; s < runs; ++s) {
+        const auto seed = 4000 + static_cast<uint64_t>(s);
+        sim::PhaseProgram program =
+            exp::build_calibrated(model, machine, seed);
+        exp::RunOptions opt;
+        opt.seed = seed;
+        opt.controller.tinv_s = tinvs[t];
+        const exp::RunResult base = exp::run_default(machine, program, opt);
+        const exp::RunResult pol = exp::run_policy(
+            machine, program, core::PolicyKind::kFull, opt);
+        const exp::Comparison c = exp::compare(pol, base);
+        s_runs.push_back(c.energy_savings_pct);
+        d_runs.push_back(c.slowdown_pct);
+      }
+      savings.push_back(exp::aggregate(s_runs).mean);
+      slowdowns.push_back(exp::aggregate(d_runs).mean);
+    }
+    const double geo_s = exp::geomean_savings_pct(savings);
+    const double geo_d = exp::geomean_slowdown_pct(slowdowns);
+    std::printf("%6.0fms %17.1f%% %15.1f%% %15.1f%% %15.1f%%\n",
+                tinvs[t] * 1000.0, geo_s, geo_d, paper[t].first,
+                paper[t].second);
+    csv.row({CsvWriter::num(tinvs[t] * 1000.0), CsvWriter::num(geo_s),
+             CsvWriter::num(geo_d), CsvWriter::num(paper[t].first),
+             CsvWriter::num(paper[t].second)});
+  }
+  benchharness::print_rule(86);
+  std::printf("CSV written to table3_tinv.csv\n");
+  return 0;
+}

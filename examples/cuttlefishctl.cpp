@@ -1,0 +1,178 @@
+// cuttlefishctl — operator tool for probing platforms and demonstrating
+// the Cuttlefish policies.
+//
+//   cuttlefishctl probe                      platform capabilities
+//   cuttlefishctl demo  <benchmark> [policy] co-simulated run + results
+//   cuttlefishctl trace <benchmark> [lines]  decision log of a run
+//   cuttlefishctl list                       available benchmarks
+//
+// policy: full (default) | core | uncore
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/controller.hpp"
+#include "core/env_config.hpp"
+#include "core/trace.hpp"
+#include "exp/calibrate.hpp"
+#include "exp/driver.hpp"
+#include "exp/metrics.hpp"
+#include "hal/cpufreq.hpp"
+#include "hal/linux_msr.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/sim_machine.hpp"
+#include "sim/sim_platform.hpp"
+#include "workloads/suite.hpp"
+
+using namespace cuttlefish;
+
+namespace {
+
+int cmd_probe() {
+  std::printf("MSR access (/dev/cpu/*/msr):    %s\n",
+              hal::LinuxMsrPlatform::available() ? "available"
+                                                 : "not available");
+  hal::CpufreqActuator cpufreq;
+  std::printf("cpufreq sysfs:                  %s (%d cpus)\n",
+              cpufreq.available() ? "available" : "not available",
+              cpufreq.cpu_count());
+  const sim::MachineConfig hw = sim::haswell_2650v3();
+  std::printf("simulator (always available):   20-core Haswell model\n");
+  std::printf("  core ladder:   %s\n", hw.core_ladder.to_string().c_str());
+  std::printf("  uncore ladder: %s\n",
+              hw.uncore_ladder.to_string().c_str());
+  std::printf("  bandwidth knee: %.2f GHz uncore\n",
+              hw.dram_bw_gbs / hw.uncore_bw_gbs_per_ghz);
+  std::printf("\nenvironment overrides honoured by cuttlefish::start():\n"
+              "  CUTTLEFISH_POLICY, CUTTLEFISH_TINV_MS, "
+              "CUTTLEFISH_WARMUP_S,\n"
+              "  CUTTLEFISH_JPI_SAMPLES, CUTTLEFISH_SLAB_WIDTH, "
+              "CUTTLEFISH_NARROWING,\n  CUTTLEFISH_REVALIDATION\n");
+  return 0;
+}
+
+int cmd_list() {
+  std::printf("%-10s %-16s %10s %8s\n", "name", "parallelism", "time(s)",
+              "memory?");
+  for (const auto& m : workloads::openmp_suite()) {
+    std::printf("%-10s %-16s %10.1f %8s\n", m.name.c_str(),
+                m.parallelism.c_str(), m.default_time_s,
+                m.memory_bound ? "yes" : "no");
+  }
+  return 0;
+}
+
+core::PolicyKind parse_policy_arg(const char* arg) {
+  if (arg == nullptr) return core::PolicyKind::kFull;
+  const auto parsed = core::parse_policy(arg);
+  if (!parsed) {
+    std::fprintf(stderr, "unknown policy '%s', using full\n", arg);
+    return core::PolicyKind::kFull;
+  }
+  return *parsed;
+}
+
+int cmd_demo(const char* bench, const char* policy_arg) {
+  const auto& model = workloads::find_benchmark(bench);
+  const core::PolicyKind policy = parse_policy_arg(policy_arg);
+  const sim::MachineConfig machine = sim::haswell_2650v3();
+  sim::PhaseProgram program = exp::build_calibrated(model, machine, 1);
+
+  exp::RunOptions opt;
+  const exp::RunResult base = exp::run_default(machine, program, opt);
+  const exp::RunResult pol = exp::run_policy(machine, program, policy, opt);
+  const exp::Comparison c = exp::compare(pol, base);
+
+  std::printf("%s under %s on the simulated Haswell\n", model.name.c_str(),
+              core::to_string(policy));
+  std::printf("  Default:    %7.2f s  %9.1f J  (%.1f W avg)\n", base.time_s,
+              base.energy_j, base.avg_power_w());
+  std::printf("  %-10s  %7.2f s  %9.1f J  (%.1f W avg)\n",
+              core::to_string(policy), pol.time_s, pol.energy_j,
+              pol.avg_power_w());
+  std::printf("  savings %.1f%%  slowdown %.1f%%  EDP savings %.1f%%\n",
+              c.energy_savings_pct, c.slowdown_pct, c.edp_savings_pct);
+  std::printf("  TIPI ranges (%zu):\n", pol.nodes.size());
+  const TipiSlabber slabber;
+  for (const auto& n : pol.nodes) {
+    std::printf("    %s  %6llu ticks  CFopt %s  UFopt %s\n",
+                slabber.range_label(n.slab).c_str(),
+                static_cast<unsigned long long>(n.ticks),
+                n.cf_opt == kNoLevel
+                    ? "-"
+                    : std::to_string(machine.core_ladder.at(n.cf_opt).value)
+                          .c_str(),
+                n.uf_opt == kNoLevel
+                    ? "-"
+                    : std::to_string(
+                          machine.uncore_ladder.at(n.uf_opt).value)
+                          .c_str());
+  }
+  return 0;
+}
+
+int cmd_trace(const char* bench, const char* lines_arg) {
+  const auto& model = workloads::find_benchmark(bench);
+  const int max_lines = lines_arg != nullptr ? std::atoi(lines_arg) : 40;
+  const sim::MachineConfig machine = sim::haswell_2650v3();
+  sim::PhaseProgram program = exp::build_calibrated(model, machine, 1);
+
+  sim::SimMachine sim_machine(machine, program, 1);
+  sim::SimPlatform platform(sim_machine);
+  core::ControllerConfig cfg;
+  core::Controller controller(platform, cfg);
+  core::DecisionTrace trace(65536);
+  controller.set_trace(&trace);
+
+  for (double t = 0.0; t < cfg.warmup_s; t += cfg.tinv_s) {
+    sim_machine.advance(cfg.tinv_s);
+  }
+  controller.begin();
+  while (!sim_machine.workload_done()) {
+    sim_machine.advance(cfg.tinv_s);
+    controller.tick();
+  }
+
+  const std::string text =
+      trace.to_text(machine.core_ladder, machine.uncore_ladder);
+  int printed = 0;
+  size_t pos = 0;
+  while (printed < max_lines && pos < text.size()) {
+    const size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) break;
+    std::printf("%s\n", text.substr(pos, eol - pos).c_str());
+    pos = eol + 1;
+    ++printed;
+  }
+  std::printf("... (%llu decisions total; showing %d)\n",
+              static_cast<unsigned long long>(trace.total_recorded()),
+              printed);
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: cuttlefishctl probe | list | demo <benchmark> "
+               "[full|core|uncore] | trace <benchmark> [lines]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "probe") return cmd_probe();
+  if (cmd == "list") return cmd_list();
+  if (cmd == "demo" && argc >= 3) {
+    return cmd_demo(argv[2], argc >= 4 ? argv[3] : nullptr);
+  }
+  if (cmd == "trace" && argc >= 3) {
+    return cmd_trace(argv[2], argc >= 4 ? argv[3] : nullptr);
+  }
+  usage();
+  return 2;
+}

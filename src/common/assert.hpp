@@ -1,0 +1,17 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+/// CF_ASSERT: always-on invariant check (the controller is a control-plane
+/// component; the cost of checks is negligible next to a 20 ms tick).
+/// Aborts with file/line context so failures in co-simulated runs are
+/// attributable.
+#define CF_ASSERT(cond, msg)                                                  \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "CF_ASSERT failed at %s:%d: %s (%s)\n", __FILE__,  \
+                   __LINE__, #cond, msg);                                     \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (false)

@@ -1,0 +1,33 @@
+#include "common/csv.hpp"
+
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace cuttlefish {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : path_(path), out_(path), columns_(header.size()) {
+  CF_ASSERT(!header.empty(), "CSV header must not be empty");
+  row(header);
+}
+
+CsvWriter::~CsvWriter() = default;
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  CF_ASSERT(cells.size() == columns_, "CSV row width mismatch");
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << cells[i];
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+  return buf;
+}
+
+}  // namespace cuttlefish

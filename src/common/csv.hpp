@@ -1,0 +1,32 @@
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace cuttlefish {
+
+/// Minimal CSV writer for experiment outputs. Every bench binary writes
+/// both a human-readable table to stdout and a machine-readable CSV next
+/// to it so the paper's plots can be regenerated from the files.
+class CsvWriter {
+ public:
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void row(const std::vector<std::string>& cells);
+  bool ok() const { return static_cast<bool>(out_); }
+  const std::string& path() const { return path_; }
+
+  static std::string num(double v, int precision = 6);
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  size_t columns_;
+};
+
+}  // namespace cuttlefish

@@ -1,0 +1,41 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+
+namespace cuttlefish {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* prefix(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "[cuttlefish:debug] ";
+    case LogLevel::kInfo: return "[cuttlefish:info ] ";
+    case LogLevel::kWarn: return "[cuttlefish:warn ] ";
+    case LogLevel::kError: return "[cuttlefish:error] ";
+  }
+  return "[cuttlefish] ";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(g_level.load());
+}
+
+void log_message(LogLevel level, const char* fmt, ...) {
+  if (!log_enabled(level)) return;
+  std::fputs(prefix(level), stderr);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace cuttlefish

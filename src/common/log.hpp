@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+
+namespace cuttlefish {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide log threshold. Defaults to kWarn so library users (and the
+/// test suite) are not flooded; experiment drivers raise it to kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style logging to stderr with a level prefix. The daemon logs at
+/// kDebug on every tick, so the call must be cheap when filtered out —
+/// callers should guard expensive formatting with `log_enabled`.
+bool log_enabled(LogLevel level);
+void log_message(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+#define CF_LOG_DEBUG(...) ::cuttlefish::log_message(::cuttlefish::LogLevel::kDebug, __VA_ARGS__)
+#define CF_LOG_INFO(...) ::cuttlefish::log_message(::cuttlefish::LogLevel::kInfo, __VA_ARGS__)
+#define CF_LOG_WARN(...) ::cuttlefish::log_message(::cuttlefish::LogLevel::kWarn, __VA_ARGS__)
+#define CF_LOG_ERROR(...) ::cuttlefish::log_message(::cuttlefish::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace cuttlefish

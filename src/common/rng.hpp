@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+
+namespace cuttlefish {
+
+/// SplitMix64: tiny, fast, deterministic PRNG / mixing function.
+/// Used both as a general-purpose seeded RNG for experiments (so all
+/// tables/figures are reproducible bit-for-bit from a seed) and as the
+/// splittable hash that drives UTS child-count generation (a stand-in for
+/// the SHA-1 splitting in the reference UTS benchmark: what matters for
+/// the workload shape is a deterministic, well-mixed per-node stream).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) via Lemire reduction.
+  uint64_t next_below(uint64_t bound) {
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Stateless mix of two words; used to derive independent per-node seeds
+/// (e.g. UTS node id -> child RNG) without shared state.
+inline uint64_t mix64(uint64_t a, uint64_t b) {
+  SplitMix64 rng(a ^ (b * 0x9e3779b97f4a7c15ULL) ^ 0xd1b54a32d192ed03ULL);
+  return rng.next();
+}
+
+}  // namespace cuttlefish

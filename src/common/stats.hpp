@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cuttlefish {
+
+/// Streaming mean/variance accumulator (Welford). Used for per-frequency
+/// JPI averaging in the controller and for multi-seed experiment
+/// aggregation.
+class RunningStats {
+ public:
+  void add(double x);
+  void reset();
+
+  size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const;
+  double variance() const;  // sample variance (n-1)
+  double stddev() const;
+  /// Half-width of the 95% confidence interval of the mean (normal
+  /// approximation; the paper reports 95% CIs over ten runs).
+  double ci95_halfwidth() const;
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+double mean(const std::vector<double>& xs);
+double geomean(const std::vector<double>& xs);
+double stddev(const std::vector<double>& xs);
+double ci95_halfwidth(const std::vector<double>& xs);
+double median(std::vector<double> xs);
+
+}  // namespace cuttlefish

@@ -1,0 +1,34 @@
+#include "common/tipi.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace cuttlefish {
+
+TipiSlabber::TipiSlabber(double width) : width_(width) {
+  CF_ASSERT(width > 0.0, "slab width must be positive");
+}
+
+int64_t TipiSlabber::slab_of(double tipi) const {
+  CF_ASSERT(tipi >= 0.0, "TIPI is a ratio of non-negative counters");
+  return static_cast<int64_t>(std::floor(tipi / width_));
+}
+
+double TipiSlabber::lower_bound(int64_t slab) const {
+  return static_cast<double>(slab) * width_;
+}
+
+double TipiSlabber::upper_bound(int64_t slab) const {
+  return static_cast<double>(slab + 1) * width_;
+}
+
+std::string TipiSlabber::range_label(int64_t slab) const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f-%.3f", lower_bound(slab),
+                upper_bound(slab));
+  return buf;
+}
+
+}  // namespace cuttlefish

@@ -1,0 +1,85 @@
+#include "core/api.hpp"
+
+#include <memory>
+#include <mutex>
+
+#include "common/log.hpp"
+#include "core/daemon.hpp"
+#include "core/env_config.hpp"
+#include "hal/linux_msr.hpp"
+
+namespace cuttlefish {
+namespace {
+
+struct Session {
+  std::unique_ptr<hal::LinuxMsrPlatform> owned_platform;
+  std::unique_ptr<core::Daemon> daemon;
+};
+
+std::mutex g_mutex;
+std::unique_ptr<Session> g_session;
+
+bool start_locked(hal::PlatformInterface& platform, const Options& options,
+                  std::unique_ptr<hal::LinuxMsrPlatform> owned) {
+  if (g_session) {
+    CF_LOG_WARN("cuttlefish::start(): session already active");
+    return false;
+  }
+  auto session = std::make_unique<Session>();
+  session->owned_platform = std::move(owned);
+  // Environment overrides (CUTTLEFISH_POLICY, CUTTLEFISH_TINV_MS, ...)
+  // win over compiled-in options, mirroring the paper's build-time policy
+  // flags without a rebuild.
+  const core::ControllerConfig cfg =
+      core::apply_env_overrides(options.controller);
+  session->daemon =
+      std::make_unique<core::Daemon>(platform, cfg, options.daemon_cpu);
+  session->daemon->start();
+  g_session = std::move(session);
+  return true;
+}
+
+}  // namespace
+
+bool start(hal::PlatformInterface& platform, const Options& options) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return start_locked(platform, options, nullptr);
+}
+
+bool start(const Options& options) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (!hal::LinuxMsrPlatform::available()) {
+    CF_LOG_WARN(
+        "cuttlefish::start(): no MSR access (need the msr or msr-safe "
+        "module); running without frequency control");
+    return false;
+  }
+  auto platform = std::make_unique<hal::LinuxMsrPlatform>(
+      haswell_core_ladder(), haswell_uncore_ladder());
+  if (!platform->ok()) {
+    CF_LOG_WARN("cuttlefish::start(): MSR platform initialisation failed");
+    return false;
+  }
+  hal::PlatformInterface& ref = *platform;
+  return start_locked(ref, options, std::move(platform));
+}
+
+void stop() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (!g_session) return;
+  g_session->daemon->stop();
+  g_session.reset();
+}
+
+bool active() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return g_session != nullptr;
+}
+
+const core::Controller* session_controller() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (!g_session) return nullptr;
+  return &g_session->daemon->controller();
+}
+
+}  // namespace cuttlefish

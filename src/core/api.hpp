@@ -1,0 +1,44 @@
+#pragma once
+
+#include "core/controller.hpp"
+#include "hal/platform.hpp"
+
+/// The two-call public API of the paper (§1): bracket the region of the
+/// application that should run energy-efficiently with
+/// cuttlefish::start() / cuttlefish::stop(). Everything else — platform
+/// probing, the daemon thread, TIPI discovery, DVFS/UFS exploration — is
+/// internal.
+namespace cuttlefish {
+
+/// Knobs a user may override; defaults are the paper's configuration.
+struct Options {
+  core::ControllerConfig controller;
+  /// CPU the daemon thread is pinned to (-1: unpinned).
+  int daemon_cpu = 0;
+};
+
+/// Start the Cuttlefish daemon against an explicit platform (the form
+/// examples and tests use; works with sim::SimPlatform or a
+/// hal::LinuxMsrPlatform the caller constructed). Returns false if a
+/// session is already active.
+bool start(hal::PlatformInterface& platform, const Options& options = {});
+
+/// Start against real MSRs (/dev/cpu/*/msr, Haswell-or-later ladders).
+/// Returns false — with a warning, not an error — when MSR access is
+/// unavailable, so instrumented applications degrade gracefully on
+/// machines without msr/msr-safe, exactly like the paper's library being
+/// compiled out.
+bool start(const Options& options = {});
+
+/// Stop the daemon and restore maximum frequencies. Safe to call without
+/// a matching start().
+void stop();
+
+/// True between a successful start() and the matching stop().
+bool active();
+
+/// The running session's controller (nullptr when inactive); exposed for
+/// introspection (examples print discovered TIPI ranges and optima).
+const core::Controller* session_controller();
+
+}  // namespace cuttlefish

@@ -1,0 +1,243 @@
+#include "core/controller.hpp"
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace cuttlefish::core {
+
+const char* to_string(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kFull: return "Cuttlefish";
+    case PolicyKind::kCoreOnly: return "Cuttlefish-Core";
+    case PolicyKind::kUncoreOnly: return "Cuttlefish-Uncore";
+  }
+  return "?";
+}
+
+Controller::Controller(hal::PlatformInterface& platform, ControllerConfig cfg)
+    : platform_(&platform),
+      cfg_(cfg),
+      slabber_(cfg.tipi_slab_width),
+      cf_ladder_(platform.core_ladder()),
+      uf_ladder_(platform.uncore_ladder()),
+      cf_explorer_(cf_ladder_, cfg.explore_step),
+      uf_explorer_(uf_ladder_, cfg.explore_step),
+      cf_propagator_(Domain::kCore, cfg.revalidation),
+      uf_propagator_(Domain::kUncore, cfg.revalidation) {
+  CF_ASSERT(cfg.tinv_s > 0.0, "Tinv must be positive");
+  CF_ASSERT(cfg.jpi_samples > 0, "jpi_samples must be positive");
+}
+
+void Controller::begin() {
+  // Algorithm 1 lines 1-2: start at the maximum frequencies.
+  set_cf_ = kNoLevel;
+  set_uf_ = kNoLevel;
+  set_frequencies(cf_ladder_.max_level(), uf_ladder_.max_level());
+  prev_cf_ = cf_ladder_.max_level();
+  prev_uf_ = uf_ladder_.max_level();
+  last_ = platform_->read_sensors();
+  prev_node_ = nullptr;
+}
+
+void Controller::set_frequencies(Level cf, Level uf) {
+  if (cf != set_cf_) {
+    platform_->set_core_frequency(cf_ladder_.at(cf));
+    set_cf_ = cf;
+    stats_.freq_writes += 1;
+    if (trace_ != nullptr) {
+      trace_->record({stats_.ticks, TraceEvent::kFrequencySet, -1,
+                      Domain::kCore, kNoLevel, kNoLevel, cf});
+    }
+  }
+  if (uf != set_uf_) {
+    platform_->set_uncore_frequency(uf_ladder_.at(uf));
+    set_uf_ = uf;
+    stats_.freq_writes += 1;
+    if (trace_ != nullptr) {
+      trace_->record({stats_.ticks, TraceEvent::kFrequencySet, -1,
+                      Domain::kUncore, kNoLevel, kNoLevel, uf});
+    }
+  }
+}
+
+void Controller::trace_window(TraceEvent event, const TipiNode& node,
+                              Domain domain) {
+  if (trace_ == nullptr) return;
+  const DomainState& st = domain_state(node, domain);
+  trace_->record({stats_.ticks, event, node.slab, domain, st.lb, st.rb,
+                  st.opt});
+}
+
+void Controller::trace_explore(const TipiNode& node, Domain domain,
+                               const ExploreResult& result) {
+  if (trace_ == nullptr) return;
+  const DomainState& st = domain_state(node, domain);
+  if (result.opt_found) {
+    trace_->record({stats_.ticks, TraceEvent::kOptFound, node.slab, domain,
+                    st.lb, st.rb, st.opt});
+  } else if (result.rb_lowered || result.lb_raised) {
+    trace_->record({stats_.ticks, TraceEvent::kBoundTightened, node.slab,
+                    domain, st.lb, st.rb, result.next});
+  }
+}
+
+void Controller::start_uf_phase(TipiNode& node, Level& uf_next) {
+  // Algorithm 1 lines 20-24: CF exploration has just concluded; estimate
+  // the UF window (Algorithm 3) narrowed by the neighbours (§4.4) and
+  // start the UF descent at the window's right bound.
+  init_uf_window(node, cf_ladder_, uf_ladder_, cfg_.jpi_samples,
+                 node.cf.opt, cfg_.insertion_narrowing);
+  trace_window(TraceEvent::kUfWindowInit, node, Domain::kUncore);
+  if (node.uf.complete()) {
+    uf_propagator_.on_opt_found(node, node.uf.opt);
+    uf_next = node.uf.opt;
+  } else {
+    uf_next = node.uf.rb;
+  }
+}
+
+void Controller::run_full_policy(TipiNode& node, double jpi, bool record,
+                                 Level& cf_next, Level& uf_next) {
+  if (!node.cf.complete()) {
+    // Algorithm 1 lines 13/18: CF exploration with the uncore held at max.
+    const ExploreResult res =
+        cf_explorer_.step(node.cf, jpi, prev_cf_, record);
+    if (record) stats_.samples_recorded += 1;
+    cf_propagator_.apply(node, res);
+    trace_explore(node, Domain::kCore, res);
+    cf_next = res.next;
+    uf_next = uf_ladder_.max_level();
+    if (node.cf.complete()) {
+      cf_next = node.cf.opt;
+      start_uf_phase(node, uf_next);
+    }
+    return;
+  }
+  cf_next = node.cf.opt;
+  if (!node.uf.window_set) {
+    // CF completed through §4.5 propagation while another slab was
+    // active; the UF phase still has to be armed.
+    start_uf_phase(node, uf_next);
+    return;
+  }
+  if (!node.uf.complete()) {
+    // Algorithm 1 lines 25-27.
+    const ExploreResult res =
+        uf_explorer_.step(node.uf, jpi, prev_uf_, record);
+    if (record) stats_.samples_recorded += 1;
+    uf_propagator_.apply(node, res);
+    trace_explore(node, Domain::kUncore, res);
+    uf_next = res.next;
+    return;
+  }
+  // Algorithm 1 lines 28-31: steady state.
+  uf_next = node.uf.opt;
+}
+
+void Controller::run_core_only(TipiNode& node, double jpi, bool record,
+                               Level& cf_next, Level& uf_next) {
+  uf_next = uf_ladder_.max_level();
+  if (!node.cf.complete()) {
+    const ExploreResult res =
+        cf_explorer_.step(node.cf, jpi, prev_cf_, record);
+    if (record) stats_.samples_recorded += 1;
+    cf_propagator_.apply(node, res);
+    cf_next = res.next;
+  } else {
+    cf_next = node.cf.opt;
+  }
+}
+
+void Controller::run_uncore_only(TipiNode& node, double jpi, bool record,
+                                 Level& cf_next, Level& uf_next) {
+  cf_next = cf_ladder_.max_level();
+  if (!node.uf.complete()) {
+    const ExploreResult res =
+        uf_explorer_.step(node.uf, jpi, prev_uf_, record);
+    if (record) stats_.samples_recorded += 1;
+    uf_propagator_.apply(node, res);
+    uf_next = res.next;
+  } else {
+    uf_next = node.uf.opt;
+  }
+}
+
+void Controller::tick() {
+  const hal::SensorTotals totals = platform_->read_sensors();
+  const uint64_t d_instr = totals.instructions - last_.instructions;
+  const uint64_t d_tor = totals.tor_inserts - last_.tor_inserts;
+  const double d_energy = totals.energy_joules - last_.energy_joules;
+  last_ = totals;
+  stats_.ticks += 1;
+  if (d_instr == 0) {
+    stats_.idle_ticks += 1;
+    return;
+  }
+
+  // Algorithm 1 line 7: TIPI and JPI of the elapsed interval.
+  const double tipi =
+      static_cast<double>(d_tor) / static_cast<double>(d_instr);
+  const double jpi = d_energy / static_cast<double>(d_instr);
+  const int64_t slab = slabber_.slab_of(tipi);
+
+  TipiNode* node = list_.find(slab);
+  bool transition;
+  if (node == nullptr) {
+    // Algorithm 1 lines 8-12: new TIPI range.
+    node = list_.insert(slab);
+    stats_.nodes_inserted += 1;
+    transition = true;
+    if (trace_ != nullptr) {
+      trace_->record({stats_.ticks, TraceEvent::kNodeInserted, slab,
+                      Domain::kCore, kNoLevel, kNoLevel, kNoLevel});
+    }
+    if (cfg_.policy == PolicyKind::kUncoreOnly) {
+      init_uf_window(*node, cf_ladder_, uf_ladder_, cfg_.jpi_samples,
+                     std::nullopt, cfg_.insertion_narrowing);
+      trace_window(TraceEvent::kUfWindowInit, *node, Domain::kUncore);
+      if (node->uf.complete()) {
+        uf_propagator_.on_opt_found(*node, node->uf.opt);
+      }
+    } else {
+      init_cf_window(*node, cf_ladder_, cfg_.jpi_samples,
+                     cfg_.insertion_narrowing);
+      trace_window(TraceEvent::kCfWindowInit, *node, Domain::kCore);
+      if (node->cf.complete()) {
+        cf_propagator_.on_opt_found(*node, node->cf.opt);
+      }
+    }
+  } else {
+    transition = node != prev_node_;
+  }
+  node->ticks += 1;
+  if (transition) stats_.transitions += 1;
+
+  Level cf_next = cf_ladder_.max_level();
+  Level uf_next = uf_ladder_.max_level();
+  const bool record = !transition;
+  switch (cfg_.policy) {
+    case PolicyKind::kFull:
+      run_full_policy(*node, jpi, record, cf_next, uf_next);
+      break;
+    case PolicyKind::kCoreOnly:
+      run_core_only(*node, jpi, record, cf_next, uf_next);
+      break;
+    case PolicyKind::kUncoreOnly:
+      run_uncore_only(*node, jpi, record, cf_next, uf_next);
+      break;
+  }
+
+  // Algorithm 1 line 33-35.
+  set_frequencies(cf_next, uf_next);
+  prev_node_ = node;
+  prev_cf_ = cf_next;
+  prev_uf_ = uf_next;
+
+  if (telemetry_ != nullptr) {
+    telemetry_->push_back(TickTelemetry{tipi, jpi, slab, transition,
+                                        cf_ladder_.at(cf_next),
+                                        uf_ladder_.at(uf_next)});
+  }
+}
+
+}  // namespace cuttlefish::core

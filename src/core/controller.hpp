@@ -1,0 +1,123 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/frequency.hpp"
+#include "common/tipi.hpp"
+#include "core/explorer.hpp"
+#include "core/narrowing.hpp"
+#include "core/tipi_list.hpp"
+#include "core/trace.hpp"
+#include "hal/platform.hpp"
+
+namespace cuttlefish::core {
+
+/// Which frequency domains the controller adapts (paper §5): the full
+/// library adapts both; the -Core and -Uncore build variants pin the other
+/// domain at its maximum.
+enum class PolicyKind { kFull, kCoreOnly, kUncoreOnly };
+
+const char* to_string(PolicyKind kind);
+
+struct ControllerConfig {
+  PolicyKind policy = PolicyKind::kFull;
+  /// Profiling interval. 20 ms is the paper's default (Table 3 sweeps
+  /// 10/20/40/60 ms).
+  double tinv_s = 0.020;
+  /// Cold-cache warm-up before the daemon loop engages (§4.1).
+  double warmup_s = 2.0;
+  /// Readings averaged per frequency before a JPI "exists" (§4.3).
+  int jpi_samples = 10;
+  /// TIPI quantisation slab width (§3.2).
+  double tipi_slab_width = TipiSlabber::kPaperSlabWidth;
+  /// Exploration stride in ladder levels ("steps of two", §4.3).
+  int explore_step = 2;
+  /// §4.4 neighbour narrowing at window initialisation (ablatable).
+  bool insertion_narrowing = true;
+  /// §4.5 revalidation propagation (ablatable).
+  bool revalidation = true;
+};
+
+struct ControllerStats {
+  uint64_t ticks = 0;
+  uint64_t idle_ticks = 0;       // intervals with no retired instructions
+  uint64_t transitions = 0;      // TIPI-range changes (samples discarded)
+  uint64_t samples_recorded = 0; // JPI readings that entered a table
+  uint64_t freq_writes = 0;      // MSR writes actually issued
+  uint64_t nodes_inserted = 0;
+};
+
+/// One record per tick for figure generation and debugging.
+struct TickTelemetry {
+  double tipi = 0.0;
+  double jpi = 0.0;
+  int64_t slab = 0;
+  bool transition = false;
+  FreqMHz cf_set{0};
+  FreqMHz uf_set{0};
+};
+
+/// The Cuttlefish runtime policy (Algorithm 1) as a tick-driven engine.
+/// Thread-free by design: core::Daemon wraps it in a real thread for
+/// wall-clock use, and the experiment driver calls tick() from the
+/// virtual-time co-simulation loop. One tick = one Tinv interval.
+class Controller {
+ public:
+  Controller(hal::PlatformInterface& platform, ControllerConfig cfg = {});
+
+  /// Pin both domains to their maxima and baseline the sensors. Call once
+  /// after the warm-up period, immediately before the first tick().
+  void begin();
+
+  /// One pass of the Algorithm-1 loop body.
+  void tick();
+
+  const ControllerConfig& config() const { return cfg_; }
+  const SortedTipiList& list() const { return list_; }
+  const ControllerStats& stats() const { return stats_; }
+  const TipiSlabber& slabber() const { return slabber_; }
+
+  /// Optional per-tick capture (Fig. 2 timelines, tests). Not owned.
+  void set_telemetry(std::vector<TickTelemetry>* sink) { telemetry_ = sink; }
+
+  /// Optional decision log (diagnostics / auditing). Not owned; null
+  /// disables tracing at zero cost.
+  void set_trace(DecisionTrace* trace) { trace_ = trace; }
+
+ private:
+  void run_full_policy(TipiNode& node, double jpi, bool record,
+                       Level& cf_next, Level& uf_next);
+  void run_core_only(TipiNode& node, double jpi, bool record,
+                     Level& cf_next, Level& uf_next);
+  void run_uncore_only(TipiNode& node, double jpi, bool record,
+                       Level& cf_next, Level& uf_next);
+  void start_uf_phase(TipiNode& node, Level& uf_next);
+  void set_frequencies(Level cf, Level uf);
+  void trace_window(TraceEvent event, const TipiNode& node, Domain domain);
+  void trace_explore(const TipiNode& node, Domain domain,
+                     const ExploreResult& result);
+
+  hal::PlatformInterface* platform_;
+  ControllerConfig cfg_;
+  TipiSlabber slabber_;
+  FreqLadder cf_ladder_;
+  FreqLadder uf_ladder_;
+  FrequencyExplorer cf_explorer_;
+  FrequencyExplorer uf_explorer_;
+  BoundPropagator cf_propagator_;
+  BoundPropagator uf_propagator_;
+  SortedTipiList list_;
+  ControllerStats stats_;
+
+  hal::SensorTotals last_{};
+  TipiNode* prev_node_ = nullptr;
+  Level prev_cf_ = kNoLevel;
+  Level prev_uf_ = kNoLevel;
+  Level set_cf_ = kNoLevel;
+  Level set_uf_ = kNoLevel;
+  std::vector<TickTelemetry>* telemetry_ = nullptr;
+  DecisionTrace* trace_ = nullptr;
+};
+
+}  // namespace cuttlefish::core

@@ -1,0 +1,63 @@
+#include "core/daemon.hpp"
+
+#include <pthread.h>
+#include <sched.h>
+
+#include <chrono>
+
+#include "common/log.hpp"
+
+namespace cuttlefish::core {
+
+Daemon::Daemon(hal::PlatformInterface& platform, ControllerConfig cfg,
+               int pin_cpu)
+    : controller_(platform, cfg),
+      tinv_s_(cfg.tinv_s),
+      warmup_s_(cfg.warmup_s),
+      pin_cpu_(pin_cpu) {}
+
+Daemon::~Daemon() { stop(); }
+
+void Daemon::start() {
+  if (running_.load()) return;
+  shutdown_.store(false);
+  running_.store(true);
+  thread_ = std::thread([this] { loop(); });
+}
+
+void Daemon::stop() {
+  if (!running_.load()) return;
+  shutdown_.store(true);
+  if (thread_.joinable()) thread_.join();
+  running_.store(false);
+}
+
+void Daemon::loop() {
+  if (pin_cpu_ >= 0) {
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(static_cast<unsigned>(pin_cpu_), &set);
+    if (pthread_setaffinity_np(pthread_self(), sizeof(set), &set) != 0) {
+      CF_LOG_WARN("daemon: could not pin to CPU %d", pin_cpu_);
+    }
+  }
+
+  const auto tinv =
+      std::chrono::duration<double>(tinv_s_);
+  // §4.1: sleep through the cold-cache warm-up, in Tinv slices so stop()
+  // stays responsive.
+  const auto warmup_end = std::chrono::steady_clock::now() +
+                          std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::duration<double>(warmup_s_));
+  while (!shutdown_.load() && std::chrono::steady_clock::now() < warmup_end) {
+    std::this_thread::sleep_for(tinv);
+  }
+
+  controller_.begin();
+  while (!shutdown_.load()) {
+    std::this_thread::sleep_for(tinv);
+    controller_.tick();
+  }
+}
+
+}  // namespace cuttlefish::core

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <atomic>
+#include <thread>
+
+#include "core/controller.hpp"
+
+namespace cuttlefish::core {
+
+/// Wall-clock wrapper around the tick engine: the paper's daemon thread.
+/// Spawned by cuttlefish::start(), it pins both domains to max, sleeps
+/// through the two-second warm-up, then runs the Algorithm-1 loop every
+/// Tinv until cuttlefish::stop().
+///
+/// The thread is pinned to one core (the paper pins it to a fixed CPU so
+/// its own activity perturbs at most one worker).
+class Daemon {
+ public:
+  Daemon(hal::PlatformInterface& platform, ControllerConfig cfg,
+         int pin_cpu = 0);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  void start();
+  void stop();
+  bool running() const { return running_.load(); }
+
+  const Controller& controller() const { return controller_; }
+
+ private:
+  void loop();
+
+  Controller controller_;
+  double tinv_s_;
+  double warmup_s_;
+  int pin_cpu_;
+  std::thread thread_;
+  std::atomic<bool> shutdown_{false};
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace cuttlefish::core

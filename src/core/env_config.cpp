@@ -1,0 +1,82 @@
+#include "core/env_config.hpp"
+
+#include <cstdlib>
+
+#include "common/log.hpp"
+
+namespace cuttlefish::core {
+
+namespace {
+
+std::optional<std::string> env(const char* name) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return std::nullopt;
+  return std::string(value);
+}
+
+template <typename T, typename Parser, typename Apply>
+void override_from(const char* name, Parser parse, Apply apply) {
+  const auto text = env(name);
+  if (!text) return;
+  const std::optional<T> parsed = parse(*text);
+  if (!parsed) {
+    CF_LOG_WARN("ignoring malformed %s='%s'", name, text->c_str());
+    return;
+  }
+  apply(*parsed);
+}
+
+}  // namespace
+
+std::optional<PolicyKind> parse_policy(const std::string& text) {
+  if (text == "full" || text == "Full" || text == "cuttlefish") {
+    return PolicyKind::kFull;
+  }
+  if (text == "core" || text == "Core") return PolicyKind::kCoreOnly;
+  if (text == "uncore" || text == "Uncore") return PolicyKind::kUncoreOnly;
+  return std::nullopt;
+}
+
+std::optional<double> parse_positive_double(const std::string& text) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') return std::nullopt;
+  if (!(value > 0.0)) return std::nullopt;
+  return value;
+}
+
+std::optional<bool> parse_bool(const std::string& text) {
+  if (text == "0" || text == "false" || text == "off") return false;
+  if (text == "1" || text == "true" || text == "on") return true;
+  return std::nullopt;
+}
+
+ControllerConfig apply_env_overrides(ControllerConfig base) {
+  override_from<PolicyKind>("CUTTLEFISH_POLICY", parse_policy,
+                            [&](PolicyKind p) { base.policy = p; });
+  override_from<double>("CUTTLEFISH_TINV_MS", parse_positive_double,
+                        [&](double ms) { base.tinv_s = ms / 1000.0; });
+  override_from<double>(
+      "CUTTLEFISH_WARMUP_S",
+      [](const std::string& t) -> std::optional<double> {
+        // Zero warm-up is legitimate (tests, steady workloads).
+        char* end = nullptr;
+        const double v = std::strtod(t.c_str(), &end);
+        if (end == t.c_str() || *end != '\0' || v < 0.0) return std::nullopt;
+        return v;
+      },
+      [&](double s) { base.warmup_s = s; });
+  override_from<double>("CUTTLEFISH_JPI_SAMPLES", parse_positive_double,
+                        [&](double n) {
+                          base.jpi_samples = static_cast<int>(n);
+                        });
+  override_from<double>("CUTTLEFISH_SLAB_WIDTH", parse_positive_double,
+                        [&](double w) { base.tipi_slab_width = w; });
+  override_from<bool>("CUTTLEFISH_NARROWING", parse_bool,
+                      [&](bool b) { base.insertion_narrowing = b; });
+  override_from<bool>("CUTTLEFISH_REVALIDATION", parse_bool,
+                      [&](bool b) { base.revalidation = b; });
+  return base;
+}
+
+}  // namespace cuttlefish::core

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/controller.hpp"
+
+namespace cuttlefish::core {
+
+/// Environment-variable overrides for ControllerConfig. The paper ships
+/// the -Core/-Uncore variants as build-time flags; a deployed library
+/// wants the same switches without rebuilding, so cuttlefish::start()
+/// applies these on top of the caller-provided Options:
+///
+///   CUTTLEFISH_POLICY        full | core | uncore
+///   CUTTLEFISH_TINV_MS       profiling interval in milliseconds (> 0)
+///   CUTTLEFISH_WARMUP_S      warm-up duration in seconds (>= 0)
+///   CUTTLEFISH_JPI_SAMPLES   readings per frequency (> 0)
+///   CUTTLEFISH_SLAB_WIDTH    TIPI slab width (> 0)
+///   CUTTLEFISH_NARROWING     0/1: §4.4 insertion narrowing
+///   CUTTLEFISH_REVALIDATION  0/1: §4.5 revalidation propagation
+///
+/// Malformed values are rejected with a warning and the previous value is
+/// kept — a bad environment must never break the host application.
+ControllerConfig apply_env_overrides(ControllerConfig base);
+
+/// Parsing helpers (exposed for tests).
+std::optional<PolicyKind> parse_policy(const std::string& text);
+std::optional<double> parse_positive_double(const std::string& text);
+std::optional<bool> parse_bool(const std::string& text);
+
+}  // namespace cuttlefish::core

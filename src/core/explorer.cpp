@@ -1,0 +1,79 @@
+#include "core/explorer.hpp"
+
+#include "common/assert.hpp"
+
+namespace cuttlefish::core {
+
+FrequencyExplorer::FrequencyExplorer(const FreqLadder& ladder,
+                                     int step_levels)
+    : ladder_(ladder), step_(step_levels) {
+  CF_ASSERT(step_levels >= 1, "exploration step must be >= 1");
+}
+
+Level FrequencyExplorer::adjacent_choice(Level lb, Level rb) const {
+  const double pair_mid = (static_cast<double>(lb) + rb) / 2.0;
+  const double ladder_mid = static_cast<double>(ladder_.max_level()) / 2.0;
+  return pair_mid >= ladder_mid ? rb : lb;
+}
+
+ExploreResult FrequencyExplorer::step(DomainState& state, double jpi_sample,
+                                      Level level_prev, bool record) const {
+  CF_ASSERT(state.window_set, "exploration window not initialised");
+  CF_ASSERT(!state.complete(), "exploring a completed domain");
+  CF_ASSERT(state.jpi != nullptr, "JPI table missing");
+  ExploreResult res;
+
+  // Algorithm 2 lines 2-5: bounds adjacent -> positional choice (Fig. 5).
+  // A collapsed window (lb == rb, reachable through §4.4/§4.5 narrowing)
+  // resolves to that level directly.
+  if (state.collapsed()) {
+    state.opt = state.rb;
+    res.opt_found = true;
+    res.next = state.opt;
+    return res;
+  }
+  if (state.adjacent()) {
+    state.opt = adjacent_choice(state.lb, state.rb);
+    res.opt_found = true;
+    res.next = state.opt;
+    return res;
+  }
+
+  // Lines 6-8: record the interval's JPI unless it spanned a transition.
+  if (record && level_prev != kNoLevel) {
+    state.jpi->add(level_prev, jpi_sample);
+  }
+
+  // Lines 9-12: keep measuring until ten-sample averages exist at RB and
+  // then at RB - step.
+  if (!state.jpi->complete(state.rb)) {
+    res.next = state.rb;
+    return res;
+  }
+  const Level probe = std::max(state.lb, state.rb - step_);
+  if (!state.jpi->complete(probe)) {
+    res.next = probe;
+    return res;
+  }
+
+  // Lines 14-19: compare averages and shrink the window.
+  if (state.jpi->average(probe) < state.jpi->average(state.rb)) {
+    state.rb = probe;
+    res.rb_lowered = true;
+    res.next = (state.rb - state.lb > step_) ? state.rb - step_ : state.lb;
+  } else {
+    state.lb = state.rb - 1;
+    res.lb_raised = true;
+    res.next = state.lb;
+  }
+
+  // Lines 20-22: bounds met -> optimum found.
+  if (state.lb == state.rb) {
+    state.opt = state.rb;
+    res.opt_found = true;
+    res.next = state.opt;
+  }
+  return res;
+}
+
+}  // namespace cuttlefish::core

@@ -1,0 +1,53 @@
+#pragma once
+
+#include "common/frequency.hpp"
+#include "core/tipi_list.hpp"
+
+namespace cuttlefish::core {
+
+/// Outcome of one exploration step; the bound-movement flags feed the
+/// §4.5 revalidation propagation.
+struct ExploreResult {
+  Level next = kNoLevel;      // frequency level to run at until next tick
+  bool opt_found = false;     // FQopt was set during this call
+  bool rb_lowered = false;
+  bool lb_raised = false;
+};
+
+/// Algorithm 2 of the paper: linear descent of the exploration window in
+/// steps of two frequency levels, comparing ten-sample JPI averages at RB
+/// and RB-2, shrinking the window until the bounds meet (Fig. 4) or become
+/// adjacent (Fig. 5).
+///
+/// The Fig. 5 adjacency tie-break is positional (see DESIGN.md note 1):
+/// neither adjacent candidate has a complete JPI average at that point, so
+/// the choice cannot be a measurement comparison. If the adjacent pair
+/// sits in the upper half of the full ladder the MAP is compute-bound-ish
+/// there and the higher frequency is picked to protect performance
+/// (Fig. 5(a): F,G -> G); in the lower half the lower one is picked to
+/// protect energy (Fig. 5(b): B,C -> B).
+class FrequencyExplorer {
+ public:
+  /// `step_levels` is the paper's "steps of two"; parameterised so the
+  /// ablation bench can compare against step-1 and binary-search variants.
+  FrequencyExplorer(const FreqLadder& ladder, int step_levels = 2);
+
+  /// One exploration step for `state`.
+  ///   jpi_sample  - JPI measured over the last interval
+  ///   level_prev  - the level this domain ran at during that interval
+  ///   record      - false when the interval spanned a TIPI transition
+  ///                 (Algorithm 2 line 6: such samples are discarded)
+  ExploreResult step(DomainState& state, double jpi_sample, Level level_prev,
+                     bool record) const;
+
+  /// The Fig. 5 positional choice between adjacent lb/rb.
+  Level adjacent_choice(Level lb, Level rb) const;
+
+  const FreqLadder& ladder() const { return ladder_; }
+
+ private:
+  FreqLadder ladder_;
+  int step_;
+};
+
+}  // namespace cuttlefish::core

@@ -1,0 +1,49 @@
+#include "core/jpi_table.hpp"
+
+#include "common/assert.hpp"
+
+namespace cuttlefish::core {
+
+void JpiAccumulator::add(double jpi) {
+  CF_ASSERT(jpi >= 0.0, "negative JPI reading");
+  sum_ += jpi;
+  count_ += 1;
+}
+
+void JpiAccumulator::reset() {
+  sum_ = 0.0;
+  count_ = 0;
+}
+
+double JpiAccumulator::average() const {
+  CF_ASSERT(count_ > 0, "average of empty accumulator");
+  return sum_ / count_;
+}
+
+JpiTable::JpiTable(int levels, int samples_needed)
+    : cells_(static_cast<size_t>(levels)), samples_needed_(samples_needed) {
+  CF_ASSERT(levels > 0, "JPI table needs at least one level");
+  CF_ASSERT(samples_needed > 0, "samples_needed must be positive");
+}
+
+void JpiTable::add(Level level, double jpi) {
+  CF_ASSERT(level >= 0 && level < levels(), "level out of table range");
+  cells_[static_cast<size_t>(level)].add(jpi);
+}
+
+bool JpiTable::complete(Level level) const {
+  CF_ASSERT(level >= 0 && level < levels(), "level out of table range");
+  return cells_[static_cast<size_t>(level)].count() >= samples_needed_;
+}
+
+double JpiTable::average(Level level) const {
+  CF_ASSERT(complete(level), "average requested before it exists");
+  return cells_[static_cast<size_t>(level)].average();
+}
+
+int JpiTable::count(Level level) const {
+  CF_ASSERT(level >= 0 && level < levels(), "level out of table range");
+  return cells_[static_cast<size_t>(level)].count();
+}
+
+}  // namespace cuttlefish::core

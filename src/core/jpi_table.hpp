@@ -1,0 +1,46 @@
+#pragma once
+
+#include <vector>
+
+#include "common/frequency.hpp"
+
+namespace cuttlefish::core {
+
+/// Accumulates JPI readings at one frequency level. The paper requires the
+/// JPI used in exploration decisions to be an average of ten interval
+/// readings ("JPI avg at any FQ is average of 10 readings", Algorithm 2);
+/// an average "exists" only once that many samples have arrived.
+class JpiAccumulator {
+ public:
+  void add(double jpi);
+  void reset();
+
+  int count() const { return count_; }
+  double sum() const { return sum_; }
+  double average() const;
+
+ private:
+  double sum_ = 0.0;
+  int count_ = 0;
+};
+
+/// Per-frequency-level JPI measurement table for one domain (CF or UF) of
+/// one TIPI node.
+class JpiTable {
+ public:
+  JpiTable(int levels, int samples_needed);
+
+  void add(Level level, double jpi);
+  /// True once `level` has a complete (>= samples_needed) average.
+  bool complete(Level level) const;
+  double average(Level level) const;
+  int count(Level level) const;
+  int samples_needed() const { return samples_needed_; }
+  int levels() const { return static_cast<int>(cells_.size()); }
+
+ private:
+  std::vector<JpiAccumulator> cells_;
+  int samples_needed_;
+};
+
+}  // namespace cuttlefish::core

@@ -1,0 +1,55 @@
+#include "core/tipi_list.hpp"
+
+#include "common/assert.hpp"
+
+namespace cuttlefish::core {
+
+TipiNode* SortedTipiList::find(int64_t slab) {
+  auto it = nodes_.find(slab);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+const TipiNode* SortedTipiList::find(int64_t slab) const {
+  auto it = nodes_.find(slab);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+TipiNode* SortedTipiList::insert(int64_t slab) {
+  CF_ASSERT(nodes_.find(slab) == nodes_.end(), "slab already present");
+  auto [it, inserted] = nodes_.emplace(slab, std::make_unique<TipiNode>(slab));
+  CF_ASSERT(inserted, "map insertion failed");
+  TipiNode* node = it->second.get();
+
+  // Link into the doubly linked list using the map's sorted neighbours.
+  TipiNode* left = nullptr;
+  if (it != nodes_.begin()) left = std::prev(it)->second.get();
+  TipiNode* right = nullptr;
+  if (auto nx = std::next(it); nx != nodes_.end()) right = nx->second.get();
+
+  node->prev = left;
+  node->next = right;
+  if (left) left->next = node; else head_ = node;
+  if (right) right->prev = node; else tail_ = node;
+  return node;
+}
+
+bool SortedTipiList::check_invariants() const {
+  if (nodes_.empty()) return head_ == nullptr && tail_ == nullptr;
+  const TipiNode* walk = head_;
+  const TipiNode* last = nullptr;
+  size_t count = 0;
+  auto it = nodes_.begin();
+  while (walk != nullptr) {
+    if (it == nodes_.end()) return false;
+    if (walk != it->second.get()) return false;
+    if (walk->prev != last) return false;
+    if (last && last->slab >= walk->slab) return false;
+    last = walk;
+    walk = walk->next;
+    ++it;
+    ++count;
+  }
+  return count == nodes_.size() && last == tail_ && it == nodes_.end();
+}
+
+}  // namespace cuttlefish::core

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "common/frequency.hpp"
+#include "core/jpi_table.hpp"
+
+namespace cuttlefish::core {
+
+/// Per-domain exploration state of a TIPI node: the current exploration
+/// window [lb, rb] (ladder levels), the discovered optimum (kNoLevel until
+/// found), and the per-frequency JPI table.
+struct DomainState {
+  Level lb = kNoLevel;
+  Level rb = kNoLevel;
+  Level opt = kNoLevel;
+  bool window_set = false;
+  std::unique_ptr<JpiTable> jpi;
+
+  bool complete() const { return opt != kNoLevel; }
+  bool adjacent() const { return window_set && rb - lb == 1; }
+  bool collapsed() const { return window_set && lb == rb; }
+};
+
+/// One node of the sorted doubly linked list of discovered TIPI ranges
+/// (paper §4.2, Fig. 4(a)). Moving left -> right in the list is moving
+/// from compute-bound to memory-bound MAPs.
+struct TipiNode {
+  explicit TipiNode(int64_t slab_id) : slab(slab_id) {}
+
+  int64_t slab;
+  DomainState cf;
+  DomainState uf;
+  TipiNode* prev = nullptr;
+  TipiNode* next = nullptr;
+  /// Number of Tinv intervals observed in this range (drives the
+  /// "frequent TIPI" (>10%) classification of Tables 1-2).
+  uint64_t ticks = 0;
+};
+
+/// The sorted doubly linked list. Lookup is O(log n) through an index map
+/// (n <= ~60 in the paper's worst case, AMG); neighbour access is O(1)
+/// through the intrusive links, which is what §§4.4-4.5 traverse.
+class SortedTipiList {
+ public:
+  TipiNode* find(int64_t slab);
+  const TipiNode* find(int64_t slab) const;
+  /// Insert a new slab (must not exist); returns the linked node.
+  TipiNode* insert(int64_t slab);
+
+  TipiNode* head() { return head_; }
+  const TipiNode* head() const { return head_; }
+  TipiNode* tail() { return tail_; }
+  size_t size() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+
+  /// Validates the intrusive links against the sorted index (test hook).
+  bool check_invariants() const;
+
+ private:
+  std::map<int64_t, std::unique_ptr<TipiNode>> nodes_;
+  TipiNode* head_ = nullptr;
+  TipiNode* tail_ = nullptr;
+};
+
+}  // namespace cuttlefish::core

@@ -1,0 +1,69 @@
+#include "core/trace.hpp"
+
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace cuttlefish::core {
+
+const char* to_string(TraceEvent event) {
+  switch (event) {
+    case TraceEvent::kNodeInserted: return "node-inserted";
+    case TraceEvent::kCfWindowInit: return "cf-window-init";
+    case TraceEvent::kUfWindowInit: return "uf-window-init";
+    case TraceEvent::kBoundTightened: return "bound-tightened";
+    case TraceEvent::kOptFound: return "opt-found";
+    case TraceEvent::kFrequencySet: return "frequency-set";
+  }
+  return "?";
+}
+
+DecisionTrace::DecisionTrace(size_t capacity) : ring_(capacity) {
+  CF_ASSERT(capacity > 0, "trace capacity must be positive");
+}
+
+void DecisionTrace::record(const TraceRecord& rec) {
+  ring_[next_] = rec;
+  next_ = (next_ + 1) % ring_.size();
+  if (used_ < ring_.size()) ++used_;
+  ++total_;
+}
+
+std::vector<TraceRecord> DecisionTrace::snapshot() const {
+  std::vector<TraceRecord> out;
+  out.reserve(used_);
+  const size_t start = used_ < ring_.size() ? 0 : next_;
+  for (size_t i = 0; i < used_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::string DecisionTrace::to_text(const FreqLadder& cf_ladder,
+                                   const FreqLadder& uf_ladder) const {
+  std::ostringstream os;
+  for (const TraceRecord& r : snapshot()) {
+    const FreqLadder& ladder =
+        r.domain == Domain::kCore ? cf_ladder : uf_ladder;
+    os << "tick " << r.tick << "  " << to_string(r.event);
+    if (r.slab >= 0) os << "  slab " << r.slab;
+    os << "  " << to_string(r.domain);
+    if (r.lb != kNoLevel && r.rb != kNoLevel) {
+      os << "  window [" << ladder.at(r.lb).value << ","
+         << ladder.at(r.rb).value << "]";
+    }
+    if (r.level != kNoLevel) {
+      os << "  level " << ladder.at(r.level).value << " MHz";
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void DecisionTrace::clear() {
+  next_ = 0;
+  used_ = 0;
+  total_ = 0;
+}
+
+}  // namespace cuttlefish::core

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/frequency.hpp"
+
+namespace cuttlefish::core {
+
+/// Kinds of controller decisions worth auditing. Mirrors the narrative
+/// structure of the paper's §4 walkthroughs so a trace of a live run can
+/// be read against Figs. 4-9.
+enum class TraceEvent {
+  kNodeInserted,    // new TIPI range discovered (Alg. 1 line 9)
+  kCfWindowInit,    // CF exploration window set (§4.4)
+  kUfWindowInit,    // UF window set (Alg. 3 + §4.4)
+  kBoundTightened,  // LB raised / RB lowered (Alg. 2 / §4.5)
+  kOptFound,        // FQopt resolved (Alg. 2 lines 20-22, Fig. 5)
+  kFrequencySet,    // MSR write issued
+};
+
+const char* to_string(TraceEvent event);
+
+struct TraceRecord {
+  uint64_t tick = 0;
+  TraceEvent event = TraceEvent::kNodeInserted;
+  int64_t slab = 0;           // affected TIPI slab (-1: machine-wide)
+  Domain domain = Domain::kCore;
+  Level lb = kNoLevel;        // window state after the event
+  Level rb = kNoLevel;
+  Level level = kNoLevel;     // opt / target level where applicable
+};
+
+/// Bounded in-memory decision log. The controller appends through a raw
+/// pointer (null = disabled, zero overhead); the newest `capacity`
+/// records are retained. Not thread-safe by design — it lives on the
+/// daemon thread, like every other controller structure.
+class DecisionTrace {
+ public:
+  explicit DecisionTrace(size_t capacity = 4096);
+
+  void record(const TraceRecord& rec);
+  size_t size() const { return used_; }
+  size_t capacity() const { return ring_.size(); }
+  uint64_t total_recorded() const { return total_; }
+
+  /// Records in chronological order (oldest retained first).
+  std::vector<TraceRecord> snapshot() const;
+
+  /// Human-readable dump, one line per record.
+  std::string to_text(const FreqLadder& cf_ladder,
+                      const FreqLadder& uf_ladder) const;
+
+  void clear();
+
+ private:
+  std::vector<TraceRecord> ring_;
+  size_t next_ = 0;
+  size_t used_ = 0;
+  uint64_t total_ = 0;
+};
+
+}  // namespace cuttlefish::core

@@ -1,0 +1,51 @@
+#include "core/uncore_range.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace cuttlefish::core {
+
+UfWindow estimate_uf_window(const FreqLadder& cf_ladder,
+                            const FreqLadder& uf_ladder, Level cf_opt) {
+  CF_ASSERT(cf_opt >= 0 && cf_opt <= cf_ladder.max_level(),
+            "CFopt outside core ladder");
+  const int n_cf = cf_ladder.levels();
+  const int n_uf = uf_ladder.levels();
+  const double uf_top = static_cast<double>(n_uf - 1);
+
+  // Line 1: Range <- 4 * (UFmax - UFmin + 1) / (CFmax - CFmin + 1),
+  // i.e. four times the (rounded) ratio of ladder sizes.
+  const double ratio = std::max(
+      1.0, std::round(static_cast<double>(n_uf) / static_cast<double>(n_cf)));
+  const double range = 4.0 * ratio;
+  const double half = range / 2.0;
+
+  // Lines 2-3: project CFopt onto the UF ladder along the
+  // (CFmin,UFmax)-(CFmax,UFmin) line.
+  const double alpha =
+      n_cf > 1 ? uf_top / static_cast<double>(n_cf - 1) : 0.0;
+  const double est = uf_top - alpha * static_cast<double>(cf_opt);
+
+  // Lines 4-5: centre the window on the estimate, clamped to the ladder.
+  double lb = std::max(0.0, est - half);
+  double rb = std::min(uf_top, est + half);
+
+  // Lines 6-10: when the estimate sits within half a range of a ladder
+  // boundary, shift the clipped side so the window keeps its full width.
+  if (uf_top - est <= half) {
+    lb -= (est + half) - uf_top;
+  }
+  if (est <= half) {
+    rb += half - est;
+  }
+
+  UfWindow w;
+  w.lb = std::clamp(static_cast<Level>(std::floor(lb)), 0, n_uf - 1);
+  w.rb = std::clamp(static_cast<Level>(std::ceil(rb)), 0, n_uf - 1);
+  CF_ASSERT(w.lb <= w.rb, "Algorithm 3 produced an inverted window");
+  return w;
+}
+
+}  // namespace cuttlefish::core

@@ -1,0 +1,30 @@
+#pragma once
+
+#include "common/frequency.hpp"
+
+namespace cuttlefish::core {
+
+struct UfWindow {
+  Level lb = 0;
+  Level rb = 0;
+};
+
+/// Algorithm 3 of the paper: estimate the uncore exploration window from
+/// the discovered optimal core frequency.
+///
+/// The insight (§3.2): a high optimal core frequency implies a low optimal
+/// uncore frequency and vice versa, so (CFmax -> UFmin) and
+/// (CFmin -> UFmax) are mapped onto a straight line and the window is a
+/// fixed-size band around the projection of CFopt.
+///
+/// Interpretation note (DESIGN.md): "Range <- 4 * (#UF / #CF)" is computed
+/// with the frequency *counts* and the ratio rounded to the nearest
+/// integer, as integer C code would. On the paper's 7/7-level hypothetical
+/// machine this gives Range = 4 and reproduces both worked examples
+/// (CFopt=A -> [C,G]; CFopt=E -> [A,E]); on the 12/19-level Haswell it
+/// gives Range = 8, which is exactly what makes the paper's reported
+/// UFopt = 2.2 GHz reachable from CFopt = 1.2/1.3 GHz (window [2.2, 3.0]).
+UfWindow estimate_uf_window(const FreqLadder& cf_ladder,
+                            const FreqLadder& uf_ladder, Level cf_opt);
+
+}  // namespace cuttlefish::core

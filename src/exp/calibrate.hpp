@@ -1,0 +1,23 @@
+#pragma once
+
+#include "sim/machine_config.hpp"
+#include "sim/phase_workload.hpp"
+#include "workloads/suite.hpp"
+
+namespace cuttlefish::exp {
+
+/// Rescale `program`'s instruction counts so its Default-policy execution
+/// on `machine_cfg` lasts `target_s` seconds (the Table-1 "OpenMP Time"
+/// column). Iterates simulate-and-scale until within `tolerance`
+/// (relative); the Default run is noise-free in time, so two or three
+/// iterations converge.
+void calibrate_program(sim::PhaseProgram& program,
+                       const sim::MachineConfig& machine_cfg, double target_s,
+                       double tolerance = 0.002);
+
+/// Build a benchmark model's phase program and calibrate it.
+sim::PhaseProgram build_calibrated(const workloads::BenchmarkModel& model,
+                                   const sim::MachineConfig& machine_cfg,
+                                   uint64_t seed);
+
+}  // namespace cuttlefish::exp

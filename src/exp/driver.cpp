@@ -1,0 +1,128 @@
+#include "exp/driver.hpp"
+
+#include "common/assert.hpp"
+#include "sim/firmware_governor.hpp"
+#include "sim/sim_machine.hpp"
+#include "sim/sim_platform.hpp"
+
+namespace cuttlefish::exp {
+
+namespace {
+
+/// Shared per-quantum bookkeeping: advances the machine one quantum,
+/// appends a timeline sample if requested, and reports progress.
+class QuantumRunner {
+ public:
+  QuantumRunner(sim::SimMachine& machine, double tinv_s, bool capture,
+                std::vector<TimePoint>* timeline)
+      : machine_(&machine), tinv_(tinv_s), capture_(capture),
+        timeline_(timeline) {}
+
+  /// Returns false once the workload has completed.
+  bool step() {
+    const uint64_t i0 = machine_->instructions_retired();
+    const uint64_t t0 = machine_->tor_inserts();
+    const double e0 = machine_->energy_joules();
+    machine_->advance(tinv_);
+    if (capture_) {
+      const auto di = machine_->instructions_retired() - i0;
+      if (di > 0) {
+        TimePoint pt;
+        pt.t = machine_->now();
+        pt.tipi = static_cast<double>(machine_->tor_inserts() - t0) /
+                  static_cast<double>(di);
+        pt.jpi = (machine_->energy_joules() - e0) / static_cast<double>(di);
+        pt.cf = machine_->core_frequency();
+        pt.uf = machine_->uncore_frequency();
+        timeline_->push_back(pt);
+      }
+    }
+    return !machine_->workload_done();
+  }
+
+ private:
+  sim::SimMachine* machine_;
+  double tinv_;
+  bool capture_;
+  std::vector<TimePoint>* timeline_;
+};
+
+RunResult finish_result(const sim::SimMachine& machine, RunResult result) {
+  result.time_s = machine.now();
+  result.energy_j = machine.energy_joules();
+  result.instructions = machine.instructions_retired();
+  return result;
+}
+
+}  // namespace
+
+RunResult run_default(const sim::MachineConfig& machine_cfg,
+                      const sim::PhaseProgram& program,
+                      const RunOptions& options) {
+  sim::SimMachine machine(machine_cfg, program, options.seed);
+  machine.set_core_frequency(machine_cfg.core_ladder.max());
+  sim::FirmwareUncoreGovernor governor(machine);
+  RunResult result;
+  QuantumRunner runner(machine, options.controller.tinv_s,
+                       options.capture_timeline, &result.timeline);
+  // Let the governor see the first quantum's traffic before adapting.
+  while (runner.step()) {
+    governor.tick();
+  }
+  return finish_result(machine, std::move(result));
+}
+
+RunResult run_fixed(const sim::MachineConfig& machine_cfg,
+                    const sim::PhaseProgram& program, FreqMHz cf, FreqMHz uf,
+                    const RunOptions& options) {
+  sim::SimMachine machine(machine_cfg, program, options.seed);
+  machine.set_core_frequency(cf);
+  machine.set_uncore_frequency(uf);
+  RunResult result;
+  QuantumRunner runner(machine, options.controller.tinv_s,
+                       options.capture_timeline, &result.timeline);
+  while (runner.step()) {
+  }
+  return finish_result(machine, std::move(result));
+}
+
+RunResult run_policy(const sim::MachineConfig& machine_cfg,
+                     const sim::PhaseProgram& program,
+                     core::PolicyKind policy, const RunOptions& options) {
+  sim::SimMachine machine(machine_cfg, program, options.seed);
+  sim::SimPlatform platform(machine);
+  core::ControllerConfig ctl_cfg = options.controller;
+  ctl_cfg.policy = policy;
+  core::Controller controller(platform, ctl_cfg);
+
+  RunResult result;
+  QuantumRunner runner(machine, ctl_cfg.tinv_s, options.capture_timeline,
+                       &result.timeline);
+
+  // §4.1 warm-up: the machine runs at its construction-time maximum
+  // frequencies while the daemon sleeps.
+  bool alive = true;
+  for (double t = 0.0; t + ctl_cfg.tinv_s <= ctl_cfg.warmup_s + 1e-12;
+       t += ctl_cfg.tinv_s) {
+    alive = runner.step();
+    if (!alive) break;
+  }
+  if (alive) {
+    controller.begin();
+    while (runner.step()) {
+      controller.tick();
+    }
+    // Account the final partial quantum's sensor data.
+    controller.tick();
+  }
+
+  result.stats = controller.stats();
+  for (const core::TipiNode* node = controller.list().head(); node != nullptr;
+       node = node->next) {
+    result.nodes.push_back(NodeSummary{node->slab, node->ticks, node->cf.opt,
+                                       node->uf.opt});
+  }
+  return finish_result(machine, std::move(result));
+}
+
+}  // namespace cuttlefish::exp

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/controller.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/phase_workload.hpp"
+
+namespace cuttlefish::exp {
+
+/// One Tinv-quantum sample of a run (drives Fig. 2 style timelines).
+struct TimePoint {
+  double t = 0.0;      // end of the quantum, seconds
+  double tipi = 0.0;
+  double jpi = 0.0;
+  FreqMHz cf{0};
+  FreqMHz uf{0};
+};
+
+/// Final state of one TIPI node after a policy run (Table 2 inputs).
+struct NodeSummary {
+  int64_t slab = 0;
+  uint64_t ticks = 0;
+  Level cf_opt = kNoLevel;  // kNoLevel if never resolved
+  Level uf_opt = kNoLevel;
+};
+
+struct RunResult {
+  double time_s = 0.0;
+  double energy_j = 0.0;
+  uint64_t instructions = 0;
+  std::vector<TimePoint> timeline;   // filled when capture_timeline
+  std::vector<NodeSummary> nodes;    // policy runs only
+  core::ControllerStats stats;       // policy runs only
+
+  double edp() const { return time_s * energy_j; }
+  double avg_power_w() const { return energy_j / time_s; }
+};
+
+struct RunOptions {
+  uint64_t seed = 1;
+  bool capture_timeline = false;
+  /// Tinv / warm-up / optimization switches for policy runs; tinv_s also
+  /// sets the sampling quantum of Default and fixed runs so timelines are
+  /// comparable.
+  core::ControllerConfig controller;
+};
+
+/// The paper's Default baseline: performance governor (CF pinned at max)
+/// with the firmware "Auto" uncore scaler active.
+RunResult run_default(const sim::MachineConfig& machine_cfg,
+                      const sim::PhaseProgram& program,
+                      const RunOptions& options);
+
+/// Static frequency pair for the whole run (Fig. 3 sweeps).
+RunResult run_fixed(const sim::MachineConfig& machine_cfg,
+                    const sim::PhaseProgram& program, FreqMHz cf, FreqMHz uf,
+                    const RunOptions& options);
+
+/// A Cuttlefish policy run: 2 s warm-up at max frequencies, then the
+/// controller ticks every Tinv of virtual time until the workload ends.
+RunResult run_policy(const sim::MachineConfig& machine_cfg,
+                     const sim::PhaseProgram& program,
+                     core::PolicyKind policy, const RunOptions& options);
+
+}  // namespace cuttlefish::exp

@@ -1,0 +1,38 @@
+#include "exp/metrics.hpp"
+
+#include "common/assert.hpp"
+#include "common/stats.hpp"
+
+namespace cuttlefish::exp {
+
+Comparison compare(const RunResult& policy, const RunResult& baseline) {
+  CF_ASSERT(baseline.time_s > 0.0 && baseline.energy_j > 0.0,
+            "degenerate baseline");
+  Comparison c;
+  c.energy_savings_pct = (1.0 - policy.energy_j / baseline.energy_j) * 100.0;
+  c.slowdown_pct = (policy.time_s / baseline.time_s - 1.0) * 100.0;
+  c.edp_savings_pct = (1.0 - policy.edp() / baseline.edp()) * 100.0;
+  return c;
+}
+
+Aggregate aggregate(const std::vector<double>& values) {
+  RunningStats rs;
+  for (double v : values) rs.add(v);
+  return Aggregate{rs.mean(), rs.ci95_halfwidth()};
+}
+
+double geomean_savings_pct(const std::vector<double>& savings_pct) {
+  std::vector<double> ratios;
+  ratios.reserve(savings_pct.size());
+  for (double s : savings_pct) ratios.push_back(1.0 - s / 100.0);
+  return (1.0 - geomean(ratios)) * 100.0;
+}
+
+double geomean_slowdown_pct(const std::vector<double>& slowdown_pct) {
+  std::vector<double> ratios;
+  ratios.reserve(slowdown_pct.size());
+  for (double d : slowdown_pct) ratios.push_back(1.0 + d / 100.0);
+  return (geomean(ratios) - 1.0) * 100.0;
+}
+
+}  // namespace cuttlefish::exp

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <vector>
+
+#include "exp/driver.hpp"
+
+namespace cuttlefish::exp {
+
+/// Relative metrics against the Default baseline, in the units the paper
+/// plots: positive energy/EDP savings are good, positive slowdown is bad.
+struct Comparison {
+  double energy_savings_pct = 0.0;
+  double slowdown_pct = 0.0;
+  double edp_savings_pct = 0.0;
+};
+
+Comparison compare(const RunResult& policy, const RunResult& baseline);
+
+/// Mean with a 95% confidence half-width (the paper's error bars over ten
+/// runs).
+struct Aggregate {
+  double mean = 0.0;
+  double ci95 = 0.0;
+};
+Aggregate aggregate(const std::vector<double>& values);
+
+/// Geometric-mean savings across benchmarks: each percentage is converted
+/// to a ratio (1 - s/100), the ratios are geometrically averaged and the
+/// result converted back — the aggregation behind the paper's "19.4%
+/// geomean savings" headline.
+double geomean_savings_pct(const std::vector<double>& savings_pct);
+/// Same for slowdowns (ratios 1 + d/100).
+double geomean_slowdown_pct(const std::vector<double>& slowdown_pct);
+
+}  // namespace cuttlefish::exp

@@ -1,0 +1,113 @@
+#include "hal/cpufreq.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace cuttlefish::hal {
+
+namespace fs = std::filesystem;
+
+CpufreqActuator::CpufreqActuator(std::string sysfs_root)
+    : root_(std::move(sysfs_root)) {
+  std::error_code ec;
+  if (!fs::is_directory(root_, ec)) return;
+  for (const auto& entry : fs::directory_iterator(root_, ec)) {
+    if (ec) break;
+    const std::string name = entry.path().filename().string();
+    if (name.size() < 4 || name.compare(0, 3, "cpu") != 0) continue;
+    // Accept only cpuN (not cpuidle/cpufreq aggregates).
+    if (!std::all_of(name.begin() + 3, name.end(),
+                     [](char c) { return c >= '0' && c <= '9'; })) {
+      continue;
+    }
+    const fs::path setspeed = entry.path() / "cpufreq" / "scaling_setspeed";
+    if (fs::exists(setspeed, ec)) {
+      cpus_.push_back(std::stoi(name.substr(3)));
+    }
+  }
+  std::sort(cpus_.begin(), cpus_.end());
+}
+
+std::string CpufreqActuator::cpu_dir(int cpu) const {
+  return root_ + "/cpu" + std::to_string(cpu) + "/cpufreq";
+}
+
+bool CpufreqActuator::write_file(const std::string& path,
+                                 const std::string& value) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << value << '\n';
+  return static_cast<bool>(out);
+}
+
+std::optional<std::string> CpufreqActuator::read_file(
+    const std::string& path) const {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::string value;
+  std::getline(in, value);
+  // Trim trailing whitespace sysfs files often carry.
+  while (!value.empty() && (value.back() == '\n' || value.back() == ' ')) {
+    value.pop_back();
+  }
+  return value;
+}
+
+int CpufreqActuator::set_governor(const std::string& governor_name) {
+  int ok = 0;
+  for (int cpu : cpus_) {
+    if (write_file(cpu_dir(cpu) + "/scaling_governor", governor_name)) {
+      ++ok;
+    } else {
+      CF_LOG_WARN("cpufreq: governor write failed for cpu %d", cpu);
+    }
+  }
+  return ok;
+}
+
+int CpufreqActuator::set_frequency(FreqMHz f) {
+  const std::string khz = std::to_string(f.value * 1000);
+  int ok = 0;
+  for (int cpu : cpus_) {
+    if (write_file(cpu_dir(cpu) + "/scaling_setspeed", khz)) {
+      ++ok;
+    } else {
+      CF_LOG_WARN("cpufreq: setspeed write failed for cpu %d", cpu);
+    }
+  }
+  return ok;
+}
+
+std::optional<std::string> CpufreqActuator::governor(int cpu) const {
+  return read_file(cpu_dir(cpu) + "/scaling_governor");
+}
+
+namespace {
+std::optional<FreqMHz> parse_khz(const std::optional<std::string>& text) {
+  if (!text) return std::nullopt;
+  try {
+    return FreqMHz{static_cast<int>(std::stol(*text) / 1000)};
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+}  // namespace
+
+std::optional<FreqMHz> CpufreqActuator::current_frequency(int cpu) const {
+  return parse_khz(read_file(cpu_dir(cpu) + "/scaling_cur_freq"));
+}
+
+std::optional<FreqMHz> CpufreqActuator::min_frequency(int cpu) const {
+  return parse_khz(read_file(cpu_dir(cpu) + "/cpuinfo_min_freq"));
+}
+
+std::optional<FreqMHz> CpufreqActuator::max_frequency(int cpu) const {
+  return parse_khz(read_file(cpu_dir(cpu) + "/cpuinfo_max_freq"));
+}
+
+}  // namespace cuttlefish::hal

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/frequency.hpp"
+
+namespace cuttlefish::hal {
+
+/// DVFS actuator over the Linux cpufreq sysfs interface
+/// (/sys/devices/system/cpu/cpu*/cpufreq). The paper's methodology sets
+/// the `userspace` governor and then drives frequencies; on machines
+/// where MSR *writes* are blocked (msr-safe allowlists often permit reads
+/// only) this actuator is the supported fallback for the core domain.
+/// The uncore has no cpufreq equivalent — UFS still requires MSR 0x620.
+///
+/// The sysfs root is injectable so tests can run against a fake tree.
+class CpufreqActuator {
+ public:
+  explicit CpufreqActuator(
+      std::string sysfs_root = "/sys/devices/system/cpu");
+
+  /// True if at least one cpu*/cpufreq directory with a writable
+  /// scaling_setspeed was found.
+  bool available() const { return !cpus_.empty(); }
+  int cpu_count() const { return static_cast<int>(cpus_.size()); }
+  const std::string& root() const { return root_; }
+
+  /// Select the scaling governor on every CPU ("userspace" is required
+  /// before scaling_setspeed writes take effect). Returns the number of
+  /// CPUs successfully switched.
+  int set_governor(const std::string& governor);
+
+  /// Program every CPU's frequency (kHz granularity in sysfs). Returns
+  /// the number of CPUs successfully programmed.
+  int set_frequency(FreqMHz f);
+
+  std::optional<std::string> governor(int cpu) const;
+  std::optional<FreqMHz> current_frequency(int cpu) const;
+  /// Hardware limits as advertised by cpuinfo_min/max_freq.
+  std::optional<FreqMHz> min_frequency(int cpu) const;
+  std::optional<FreqMHz> max_frequency(int cpu) const;
+
+ private:
+  std::string cpu_dir(int cpu) const;
+  bool write_file(const std::string& path, const std::string& value) const;
+  std::optional<std::string> read_file(const std::string& path) const;
+
+  std::string root_;
+  std::vector<int> cpus_;
+};
+
+}  // namespace cuttlefish::hal

@@ -1,0 +1,126 @@
+#include "hal/linux_msr.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/log.hpp"
+#include "hal/msr.hpp"
+
+namespace cuttlefish::hal {
+
+LinuxMsrDevice::LinuxMsrDevice(int cpu) : cpu_(cpu) {
+  char path[64];
+  std::snprintf(path, sizeof(path), "/dev/cpu/%d/msr", cpu);
+  fd_ = ::open(path, O_RDWR);
+  if (fd_ < 0) fd_ = ::open(path, O_RDONLY);
+}
+
+LinuxMsrDevice::~LinuxMsrDevice() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool LinuxMsrDevice::read(uint32_t address, uint64_t& value) {
+  if (fd_ < 0) return false;
+  const ssize_t n = ::pread(fd_, &value, sizeof(value),
+                            static_cast<off_t>(address));
+  return n == static_cast<ssize_t>(sizeof(value));
+}
+
+bool LinuxMsrDevice::write(uint32_t address, uint64_t value) {
+  if (fd_ < 0) return false;
+  const ssize_t n = ::pwrite(fd_, &value, sizeof(value),
+                             static_cast<off_t>(address));
+  return n == static_cast<ssize_t>(sizeof(value));
+}
+
+int online_cpu_count() {
+  // sysfs "online" is a range list like "0-19"; counting present dirs is
+  // simpler and good enough for the probe.
+  int count = 0;
+  for (int cpu = 0; cpu < 4096; ++cpu) {
+    char path[64];
+    std::snprintf(path, sizeof(path), "/dev/cpu/%d/msr", cpu);
+    if (::access(path, F_OK) != 0) break;
+    ++count;
+  }
+  return count;
+}
+
+bool LinuxMsrPlatform::available() {
+  LinuxMsrDevice probe(0);
+  if (!probe.ok()) return false;
+  uint64_t unit = 0;
+  return probe.read(msr::kRaplPowerUnit, unit);
+}
+
+LinuxMsrPlatform::LinuxMsrPlatform(FreqLadder core, FreqLadder uncore)
+    : core_ladder_(core), uncore_ladder_(uncore) {
+  const int cpus = online_cpu_count();
+  for (int cpu = 0; cpu < cpus; ++cpu) {
+    auto dev = std::make_unique<LinuxMsrDevice>(cpu);
+    if (!dev->ok()) break;
+    cpus_.push_back(std::move(dev));
+  }
+  if (cpus_.empty()) {
+    CF_LOG_WARN("LinuxMsrPlatform: no usable /dev/cpu/*/msr devices");
+    return;
+  }
+  uint64_t unit_msr = 0;
+  if (!cpus_[0]->read(msr::kRaplPowerUnit, unit_msr)) {
+    CF_LOG_WARN("LinuxMsrPlatform: cannot read MSR_RAPL_POWER_UNIT");
+    return;
+  }
+  energy_unit_j_ = decode_rapl_energy_unit(unit_msr);
+  uint64_t raw = 0;
+  if (cpus_[0]->read(msr::kPkgEnergyStatus, raw)) {
+    last_energy_raw_ = static_cast<uint32_t>(raw);
+  }
+  core_freq_ = core_ladder_.max();
+  uncore_freq_ = uncore_ladder_.max();
+  ok_ = true;
+}
+
+void LinuxMsrPlatform::set_core_frequency(FreqMHz f) {
+  const uint64_t value = encode_perf_ctl(f);
+  for (auto& cpu : cpus_) {
+    if (!cpu->write(msr::kIa32PerfCtl, value)) {
+      CF_LOG_WARN("IA32_PERF_CTL write failed on cpu %d", cpu->cpu());
+    }
+  }
+  core_freq_ = f;
+}
+
+void LinuxMsrPlatform::set_uncore_frequency(FreqMHz f) {
+  // Pin by writing min == max, as the paper does via MSR 0x620.
+  const uint64_t value = encode_uncore_ratio_limit(f, f);
+  if (!cpus_.empty() && !cpus_[0]->write(msr::kUncoreRatioLimit, value)) {
+    CF_LOG_WARN("UNCORE_RATIO_LIMIT write failed");
+  }
+  uncore_freq_ = f;
+}
+
+SensorTotals LinuxMsrPlatform::read_sensors() {
+  SensorTotals totals;
+  if (cpus_.empty()) return totals;
+  uint64_t raw = 0;
+  if (cpus_[0]->read(msr::kPkgEnergyStatus, raw)) {
+    const auto now = static_cast<uint32_t>(raw);
+    energy_acc_j_ += static_cast<double>(rapl_delta_units(last_energy_raw_, now)) *
+                     energy_unit_j_;
+    last_energy_raw_ = now;
+  }
+  totals.energy_joules = energy_acc_j_;
+  uint64_t value = 0;
+  if (cpus_[0]->read(msr::kInstRetiredAggregate, value)) {
+    totals.instructions = value;
+  }
+  if (cpus_[0]->read(msr::kTorInsertsAggregate, value)) {
+    totals.tor_inserts = value;
+  }
+  return totals;
+}
+
+}  // namespace cuttlefish::hal

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hal/msr_device.hpp"
+#include "hal/platform.hpp"
+
+namespace cuttlefish::hal {
+
+/// MsrDevice over a /dev/cpu/<cpu>/msr character device (stock `msr`
+/// module or LLNL msr-safe, which the paper uses). One instance per
+/// logical CPU.
+class LinuxMsrDevice final : public MsrDevice {
+ public:
+  /// Opens the device node; `ok()` reports success (no exceptions so the
+  /// probe path can fall back to the simulator quietly).
+  explicit LinuxMsrDevice(int cpu);
+  ~LinuxMsrDevice() override;
+
+  LinuxMsrDevice(const LinuxMsrDevice&) = delete;
+  LinuxMsrDevice& operator=(const LinuxMsrDevice&) = delete;
+
+  bool ok() const { return fd_ >= 0; }
+  int cpu() const { return cpu_; }
+
+  bool read(uint32_t address, uint64_t& value) override;
+  bool write(uint32_t address, uint64_t value) override;
+
+ private:
+  int cpu_;
+  int fd_ = -1;
+};
+
+/// PlatformInterface over real MSRs. Reads RAPL package energy (with
+/// 32-bit wrap unwrapping), programs IA32_PERF_CTL on every CPU and the
+/// package UNCORE_RATIO_LIMIT, and reads the aggregate fixed instruction
+/// counter. TOR_INSERT programming of CBo PMUs is chipset-specific; this
+/// backend reads the same aggregate virtual counter addresses and reports
+/// zero TIPI if they are unavailable, which degrades Cuttlefish to a
+/// single-slab controller rather than failing.
+class LinuxMsrPlatform final : public PlatformInterface {
+ public:
+  LinuxMsrPlatform(FreqLadder core, FreqLadder uncore);
+
+  /// True if at least CPU0's MSR device and the RAPL unit register are
+  /// usable. `available()` is the cheap probe used by cuttlefish::start().
+  static bool available();
+  bool ok() const { return ok_; }
+
+  const FreqLadder& core_ladder() const override { return core_ladder_; }
+  const FreqLadder& uncore_ladder() const override { return uncore_ladder_; }
+
+  void set_core_frequency(FreqMHz f) override;
+  void set_uncore_frequency(FreqMHz f) override;
+  FreqMHz core_frequency() const override { return core_freq_; }
+  FreqMHz uncore_frequency() const override { return uncore_freq_; }
+
+  SensorTotals read_sensors() override;
+
+ private:
+  FreqLadder core_ladder_;
+  FreqLadder uncore_ladder_;
+  std::vector<std::unique_ptr<LinuxMsrDevice>> cpus_;
+  bool ok_ = false;
+  double energy_unit_j_ = 0.0;
+  uint32_t last_energy_raw_ = 0;
+  double energy_acc_j_ = 0.0;
+  FreqMHz core_freq_{0};
+  FreqMHz uncore_freq_{0};
+};
+
+/// Number of online logical CPUs according to sysfs (0 on failure).
+int online_cpu_count();
+
+}  // namespace cuttlefish::hal

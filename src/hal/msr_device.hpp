@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cstdint>
+
+namespace cuttlefish::hal {
+
+/// Raw 64-bit MSR access for one package. LinuxMsrDevice maps this onto
+/// /dev/cpu/<cpu>/msr pread/pwrite; sim::SimMachine implements the same
+/// interface over its emulated register file so both backends share the
+/// codec layer in hal/msr.hpp.
+class MsrDevice {
+ public:
+  virtual ~MsrDevice() = default;
+
+  /// Returns false if the register cannot be read (missing device node,
+  /// msr-safe allowlist rejection, unknown address in the sim map).
+  virtual bool read(uint32_t address, uint64_t& value) = 0;
+  virtual bool write(uint32_t address, uint64_t value) = 0;
+};
+
+}  // namespace cuttlefish::hal

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/frequency.hpp"
+
+namespace cuttlefish::hal {
+
+/// Monotonic package-wide counter totals since platform construction.
+/// The controller differences consecutive samples to obtain per-interval
+/// TIPI (tor_inserts / instructions) and JPI (energy / instructions).
+struct SensorTotals {
+  uint64_t instructions = 0;
+  uint64_t tor_inserts = 0;
+  double energy_joules = 0.0;  // unwrapped by the backend
+};
+
+/// The hardware contract Cuttlefish is written against. Exactly two
+/// implementations exist: sim::SimPlatform (register-accurate emulation of
+/// the paper's 20-core Haswell) and hal::LinuxMsrPlatform (real
+/// /dev/cpu/*/msr access, usable on bare-metal Intel hosts with the msr or
+/// msr-safe module loaded). The controller never sees which one it drives.
+class PlatformInterface {
+ public:
+  virtual ~PlatformInterface() = default;
+
+  virtual const FreqLadder& core_ladder() const = 0;
+  virtual const FreqLadder& uncore_ladder() const = 0;
+
+  /// Set the DVFS target of every core (the paper scales all 20 cores
+  /// together) / pin the uncore via min==max ratio limits.
+  virtual void set_core_frequency(FreqMHz f) = 0;
+  virtual void set_uncore_frequency(FreqMHz f) = 0;
+  virtual FreqMHz core_frequency() const = 0;
+  virtual FreqMHz uncore_frequency() const = 0;
+
+  virtual SensorTotals read_sensors() = 0;
+};
+
+}  // namespace cuttlefish::hal

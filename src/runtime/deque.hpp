@@ -1,0 +1,134 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace cuttlefish::runtime {
+
+/// Chase-Lev work-stealing deque (Le/Pop/Cointe/Zappa Nardelli memory
+/// orderings). The owner pushes/pops at the bottom; thieves steal from the
+/// top. Element type must be trivially copyable-ish (we store pointers).
+///
+/// Retired buffers are kept until destruction instead of freed on growth:
+/// a thief may still be reading from an old buffer after the owner grows,
+/// and at these sizes (grown geometrically from 8192) leaking the chain
+/// until the deque dies costs at most 2x the peak footprint.
+template <typename T>
+class ChaseLevDeque {
+ public:
+  explicit ChaseLevDeque(int64_t initial_capacity = 8192)
+      : buffer_(new Buffer(initial_capacity)) {
+    retired_.emplace_back(buffer_.load(std::memory_order_relaxed));
+  }
+
+  ~ChaseLevDeque() = default;
+
+  ChaseLevDeque(const ChaseLevDeque&) = delete;
+  ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
+
+  /// Owner only.
+  void push(T item) {
+    const int64_t b = bottom_.load(std::memory_order_relaxed);
+    const int64_t t = top_.load(std::memory_order_acquire);
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    if (b - t > buf->capacity - 1) {
+      buf = grow(buf, t, b);
+    }
+    buf->put(b, item);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  /// Owner only. Returns false when empty; `out` is written only on
+  /// success (a failed last-element race must not leak the pointer a
+  /// thief now owns).
+  bool pop(T& out) {
+    const int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    int64_t t = top_.load(std::memory_order_relaxed);
+    if (t > b) {
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return false;
+    }
+    const T candidate = buf->get(b);
+    if (t == b) {
+      // Last element: race against thieves via CAS on top.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return false;
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    out = candidate;
+    return true;
+  }
+
+  /// Any thread. Returns false when empty or lost a race; `out` is
+  /// written only on success.
+  bool steal(T& out) {
+    int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return false;
+    Buffer* buf = buffer_.load(std::memory_order_consume);
+    const T candidate = buf->get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return false;
+    }
+    out = candidate;
+    return true;
+  }
+
+  bool empty() const {
+    const int64_t b = bottom_.load(std::memory_order_relaxed);
+    const int64_t t = top_.load(std::memory_order_relaxed);
+    return b <= t;
+  }
+
+  int64_t size_estimate() const {
+    const int64_t b = bottom_.load(std::memory_order_relaxed);
+    const int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? b - t : 0;
+  }
+
+ private:
+  struct Buffer {
+    explicit Buffer(int64_t cap)
+        : capacity(cap), mask(cap - 1),
+          cells(new std::atomic<T>[static_cast<size_t>(cap)]) {}
+    int64_t capacity;
+    int64_t mask;
+    std::unique_ptr<std::atomic<T>[]> cells;
+
+    T get(int64_t i) const {
+      return cells[static_cast<size_t>(i & mask)].load(
+          std::memory_order_relaxed);
+    }
+    void put(int64_t i, T v) {
+      cells[static_cast<size_t>(i & mask)].store(v,
+                                                 std::memory_order_relaxed);
+    }
+  };
+
+  Buffer* grow(Buffer* old, int64_t t, int64_t b) {
+    auto grown = std::make_unique<Buffer>(old->capacity * 2);
+    for (int64_t i = t; i < b; ++i) grown->put(i, old->get(i));
+    Buffer* raw = grown.get();
+    retired_.push_back(std::move(grown));
+    buffer_.store(raw, std::memory_order_release);
+    return raw;
+  }
+
+  std::atomic<int64_t> top_{0};
+  std::atomic<int64_t> bottom_{0};
+  std::atomic<Buffer*> buffer_;
+  std::vector<std::unique_ptr<Buffer>> retired_;
+};
+
+}  // namespace cuttlefish::runtime

@@ -1,0 +1,82 @@
+#include "runtime/parallel_for.hpp"
+
+#include <atomic>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace cuttlefish::runtime {
+namespace {
+
+int64_t default_chunk(int64_t n, int threads) {
+  // Matches the common OpenMP dynamic default heuristic: enough chunks for
+  // ~8-way oversubscription without degenerating to single iterations.
+  const int64_t chunks = static_cast<int64_t>(threads) * 8;
+  return std::max<int64_t>(1, n / std::max<int64_t>(1, chunks));
+}
+
+}  // namespace
+
+void parallel_for_blocked(ThreadPool& pool, int64_t begin, int64_t end,
+                          const std::function<void(int64_t, int64_t)>& body,
+                          Schedule schedule, int64_t chunk) {
+  if (begin >= end) return;
+  const int64_t n = end - begin;
+  const int threads = pool.size();
+
+  if (schedule == Schedule::kStatic) {
+    pool.run_on_all([&](int tid) {
+      // Contiguous static partition, like schedule(static).
+      const int64_t per = n / threads;
+      const int64_t extra = n % threads;
+      const int64_t lo =
+          begin + tid * per + std::min<int64_t>(tid, extra);
+      const int64_t hi = lo + per + (tid < extra ? 1 : 0);
+      if (lo < hi) body(lo, hi);
+    });
+    return;
+  }
+
+  const int64_t step = chunk > 0 ? chunk : default_chunk(n, threads);
+  std::atomic<int64_t> next{begin};
+  pool.run_on_all([&](int) {
+    for (;;) {
+      const int64_t lo = next.fetch_add(step, std::memory_order_relaxed);
+      if (lo >= end) return;
+      body(lo, std::min(lo + step, end));
+    }
+  });
+}
+
+void parallel_for(ThreadPool& pool, int64_t begin, int64_t end,
+                  const std::function<void(int64_t)>& body,
+                  Schedule schedule, int64_t chunk) {
+  parallel_for_blocked(
+      pool, begin, end,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) body(i);
+      },
+      schedule, chunk);
+}
+
+double parallel_reduce(ThreadPool& pool, int64_t begin, int64_t end,
+                       const std::function<double(int64_t)>& term) {
+  if (begin >= end) return 0.0;
+  std::vector<double> partial(static_cast<size_t>(pool.size()), 0.0);
+  const int64_t n = end - begin;
+  const int threads = pool.size();
+  pool.run_on_all([&](int tid) {
+    const int64_t per = n / threads;
+    const int64_t extra = n % threads;
+    const int64_t lo = begin + tid * per + std::min<int64_t>(tid, extra);
+    const int64_t hi = lo + per + (tid < extra ? 1 : 0);
+    double acc = 0.0;
+    for (int64_t i = lo; i < hi; ++i) acc += term(i);
+    partial[static_cast<size_t>(tid)] = acc;
+  });
+  double total = 0.0;
+  for (double p : partial) total += p;
+  return total;
+}
+
+}  // namespace cuttlefish::runtime

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "runtime/thread_pool.hpp"
+
+namespace cuttlefish::runtime {
+
+/// Loop scheduling disciplines of the work-sharing runtime, mirroring
+/// OpenMP's schedule(static) and schedule(dynamic, chunk).
+enum class Schedule { kStatic, kDynamic };
+
+/// Parallel loop over [begin, end) executing body(i) — the work-sharing
+/// (`ws`) concurrency decomposition of the paper's benchmarks.
+void parallel_for(ThreadPool& pool, int64_t begin, int64_t end,
+                  const std::function<void(int64_t)>& body,
+                  Schedule schedule = Schedule::kStatic,
+                  int64_t chunk = 0);
+
+/// Blocked variant: body receives [chunk_begin, chunk_end) ranges, which
+/// lets stencil kernels keep their inner loops tight.
+void parallel_for_blocked(ThreadPool& pool, int64_t begin, int64_t end,
+                          const std::function<void(int64_t, int64_t)>& body,
+                          Schedule schedule = Schedule::kStatic,
+                          int64_t chunk = 0);
+
+/// Parallel sum reduction over [begin, end) of term(i).
+double parallel_reduce(ThreadPool& pool, int64_t begin, int64_t end,
+                       const std::function<double(int64_t)>& term);
+
+}  // namespace cuttlefish::runtime

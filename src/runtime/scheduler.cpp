@@ -1,0 +1,136 @@
+#include "runtime/scheduler.hpp"
+
+#include "common/assert.hpp"
+
+namespace cuttlefish::runtime {
+
+namespace {
+thread_local int t_worker_id = -1;
+}  // namespace
+
+int TaskScheduler::current_worker() { return t_worker_id; }
+
+TaskScheduler::TaskScheduler(int threads) : thread_count_(threads) {
+  CF_ASSERT(threads > 0, "scheduler needs at least one worker");
+  slots_.reserve(static_cast<size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    auto w = std::make_unique<Worker>();
+    w->rng = SplitMix64(0x7a5c3ULL + static_cast<uint64_t>(i));
+    slots_.push_back(std::move(w));
+  }
+  workers_.reserve(static_cast<size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+TaskScheduler::~TaskScheduler() {
+  shutdown_.store(true);
+  idle_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+  // Drain anything never executed (shutdown mid-finish is a programming
+  // error, but we must not leak).
+  for (Task* t : injected_) delete t;
+  Task* task = nullptr;
+  for (auto& slot : slots_) {
+    while (slot->deque.pop(task)) delete task;
+  }
+}
+
+void TaskScheduler::enqueue(Task* task) {
+  const int id = t_worker_id;
+  if (id >= 0 && id < size()) {
+    slots_[static_cast<size_t>(id)]->deque.push(task);
+  } else {
+    std::lock_guard<std::mutex> lock(inject_mutex_);
+    injected_.push_back(task);
+  }
+  idle_cv_.notify_one();
+}
+
+void TaskScheduler::async(Task task) {
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  enqueue(new Task(std::move(task)));
+}
+
+void TaskScheduler::finish(Task root) {
+  CF_ASSERT(t_worker_id == -1, "nested finish from inside a task");
+  async(std::move(root));
+  std::unique_lock<std::mutex> lock(idle_mutex_);
+  quiesce_cv_.wait(lock, [this] {
+    return pending_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void TaskScheduler::run_task(int id, Task* task) {
+  (*task)();
+  delete task;
+  slots_[static_cast<size_t>(id)]->executed += 1;
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(idle_mutex_);
+    quiesce_cv_.notify_all();
+  }
+}
+
+bool TaskScheduler::try_run_one(int id) {
+  Worker& self = *slots_[static_cast<size_t>(id)];
+  Task* task = nullptr;
+  if (self.deque.pop(task)) {
+    run_task(id, task);
+    return true;
+  }
+  task = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(inject_mutex_);
+    if (!injected_.empty()) {
+      task = injected_.back();
+      injected_.pop_back();
+    }
+  }
+  if (task != nullptr) {
+    run_task(id, task);
+    return true;
+  }
+  // Random-victim stealing; a handful of attempts before going idle.
+  const int n = size();
+  for (int attempt = 0; attempt < 2 * n; ++attempt) {
+    const int victim = static_cast<int>(
+        self.rng.next_below(static_cast<uint64_t>(n)));
+    if (victim == id) continue;
+    self.steal_attempts += 1;
+    if (slots_[static_cast<size_t>(victim)]->deque.steal(task)) {
+      self.steals += 1;
+      run_task(id, task);
+      return true;
+    }
+  }
+  return false;
+}
+
+void TaskScheduler::worker_loop(int id) {
+  t_worker_id = id;
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    if (try_run_one(id)) continue;
+    std::unique_lock<std::mutex> lock(idle_mutex_);
+    if (shutdown_.load(std::memory_order_acquire)) break;
+    if (pending_.load(std::memory_order_acquire) != 0) {
+      // Work exists somewhere; retry stealing after a short wait.
+      idle_cv_.wait_for(lock, std::chrono::microseconds(50));
+    } else {
+      idle_cv_.wait_for(lock, std::chrono::milliseconds(1));
+    }
+  }
+  t_worker_id = -1;
+}
+
+TaskScheduler::Stats TaskScheduler::stats() const {
+  Stats s;
+  for (const auto& w : slots_) {
+    s.executed += w->executed;
+    s.steals += w->steals;
+    s.steal_attempts += w->steal_attempts;
+  }
+  return s;
+}
+
+}  // namespace cuttlefish::runtime

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "runtime/deque.hpp"
+
+namespace cuttlefish::runtime {
+
+/// Async-finish work-stealing runtime in the style of HClib (the second
+/// programming model of the paper's evaluation). Each worker owns a
+/// Chase-Lev deque; idle workers steal from uniformly random victims.
+///
+///   TaskScheduler rt(20);
+///   rt.finish([&] {
+///     rt.async([&] { ... rt.async(...); ... });
+///   });
+///
+/// finish() returns once the root and every transitively spawned task has
+/// completed. async() may only be called from inside a running task (or
+/// the finish root); it never blocks.
+class TaskScheduler {
+ public:
+  using Task = std::function<void()>;
+
+  explicit TaskScheduler(int threads);
+  ~TaskScheduler();
+
+  TaskScheduler(const TaskScheduler&) = delete;
+  TaskScheduler& operator=(const TaskScheduler&) = delete;
+
+  /// Worker count; fixed before any worker thread starts (reading
+  /// workers_.size() from workers would race with construction).
+  int size() const { return thread_count_; }
+
+  /// Spawn a task into the calling worker's deque (or the injection queue
+  /// when called from outside the pool).
+  void async(Task task);
+
+  /// Run `root` under a finish scope and wait for quiescence. Only one
+  /// finish scope is active at a time (matching the paper benchmarks'
+  /// single top-level finish); asyncs nest freely inside it.
+  void finish(Task root);
+
+  /// Worker id of the calling thread, -1 for external threads.
+  static int current_worker();
+
+  struct Stats {
+    uint64_t executed = 0;
+    uint64_t steals = 0;
+    uint64_t steal_attempts = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Worker {
+    ChaseLevDeque<Task*> deque;
+    SplitMix64 rng{0};
+    uint64_t executed = 0;
+    uint64_t steals = 0;
+    uint64_t steal_attempts = 0;
+    char pad[64];  // keep hot counters off shared cache lines
+  };
+
+  void worker_loop(int id);
+  bool try_run_one(int id);
+  void run_task(int id, Task* task);
+  void enqueue(Task* task);
+
+  int thread_count_ = 0;
+  std::vector<std::unique_ptr<Worker>> slots_;
+  std::vector<std::thread> workers_;
+
+  // Injection queue for tasks spawned by external threads.
+  std::mutex inject_mutex_;
+  std::vector<Task*> injected_;
+
+  std::atomic<uint64_t> pending_{0};
+  std::atomic<bool> shutdown_{false};
+  std::mutex idle_mutex_;
+  std::condition_variable idle_cv_;
+  std::condition_variable quiesce_cv_;
+};
+
+}  // namespace cuttlefish::runtime

@@ -1,0 +1,59 @@
+#include "runtime/thread_pool.hpp"
+
+#include "common/assert.hpp"
+
+namespace cuttlefish::runtime {
+
+int default_thread_count() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+ThreadPool::ThreadPool(int threads) {
+  CF_ASSERT(threads > 0, "thread pool needs at least one worker");
+  workers_.reserve(static_cast<size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run_on_all(const std::function<void(int)>& fn) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  CF_ASSERT(task_ == nullptr, "nested run_on_all is not supported");
+  task_ = &fn;
+  remaining_ = size();
+  ++epoch_;
+  start_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return remaining_ == 0; });
+  task_ = nullptr;
+}
+
+void ThreadPool::worker_loop(int id) {
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(int)>* task = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+      task = task_;
+    }
+    (*task)(id);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace cuttlefish::runtime

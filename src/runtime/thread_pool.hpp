@@ -1,0 +1,45 @@
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cuttlefish::runtime {
+
+/// Persistent worker pool for the work-sharing runtime (the stand-in for
+/// OpenMP's `parallel` regions in the `ws` benchmark variants). Workers
+/// are created once and reused; each parallel region is one "epoch" in
+/// which every worker runs the same callable with its thread id.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Run `fn(thread_id)` on every worker; blocks until all return.
+  /// thread_id ranges over [0, size()).
+  void run_on_all(const std::function<void(int)>& fn);
+
+ private:
+  void worker_loop(int id);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* task_ = nullptr;
+  uint64_t epoch_ = 0;
+  int remaining_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Default worker count: hardware concurrency, at least 1.
+int default_thread_count();
+
+}  // namespace cuttlefish::runtime

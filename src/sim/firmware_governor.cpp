@@ -1,0 +1,37 @@
+#include "sim/firmware_governor.hpp"
+
+namespace cuttlefish::sim {
+
+FirmwareUncoreGovernor::FirmwareUncoreGovernor(SimMachine& machine,
+                                               Config cfg)
+    : machine_(&machine),
+      cfg_(cfg),
+      high_(machine.config().uncore_ladder.max()),
+      current_(high_) {
+  if (!machine.config().uncore_ladder.contains(cfg_.low)) {
+    // Smaller ladders (the hypothetical machine) get the nearest level.
+    cfg_.low = machine.config().uncore_ladder.at(
+        machine.config().uncore_ladder.nearest_level(cfg_.low));
+  }
+  machine_->set_uncore_frequency(current_);
+}
+
+void FirmwareUncoreGovernor::tick() {
+  const double demand_gbs = machine_->demand_bandwidth_now() / 1e9;
+  const double up = cfg_.demand_threshold_gbs * (1.0 + cfg_.hysteresis_band);
+  const double down = cfg_.demand_threshold_gbs * (1.0 - cfg_.hysteresis_band);
+  FreqMHz next = current_;
+  if (current_ == cfg_.low && demand_gbs > up) {
+    next = high_;
+  } else if (current_ == high_ && demand_gbs < down) {
+    next = cfg_.low;
+  } else if (current_ != cfg_.low && current_ != high_) {
+    next = demand_gbs > cfg_.demand_threshold_gbs ? high_ : cfg_.low;
+  }
+  if (next != current_) {
+    current_ = next;
+    machine_->set_uncore_frequency(current_);
+  }
+}
+
+}  // namespace cuttlefish::sim

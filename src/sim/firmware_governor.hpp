@@ -1,0 +1,41 @@
+#pragma once
+
+#include "common/frequency.hpp"
+#include "sim/sim_machine.hpp"
+
+namespace cuttlefish::sim {
+
+/// Model of the Intel firmware uncore autoscaler active when the BIOS UFS
+/// option is "Auto" — the paper's Default baseline. The real algorithm is
+/// undocumented but "highly sensitive to memory requests" (paper §2); its
+/// observed behaviour on the testbed (Table 2, Default column) is:
+/// uncore 3.0 GHz for memory-bound phases, 2.2 GHz for compute-bound ones.
+/// We model it as a bandwidth-demand threshold with hysteresis.
+struct FirmwareGovernorConfig {
+  double demand_threshold_gbs = 40.0;
+  /// Hysteresis: demand must cross threshold*(1 -/+ band) to switch.
+  double hysteresis_band = 0.10;
+  FreqMHz low{2200};
+  // high == the machine's uncore ladder max, filled in at construction.
+};
+
+class FirmwareUncoreGovernor {
+ public:
+  using Config = FirmwareGovernorConfig;
+
+  explicit FirmwareUncoreGovernor(SimMachine& machine, Config cfg = {});
+
+  /// Inspect current demand and reprogram the uncore. Called once per
+  /// simulation quantum during Default runs.
+  void tick();
+
+  FreqMHz current() const { return current_; }
+
+ private:
+  SimMachine* machine_;
+  Config cfg_;
+  FreqMHz high_;
+  FreqMHz current_;
+};
+
+}  // namespace cuttlefish::sim

@@ -1,0 +1,37 @@
+#include "sim/machine_config.hpp"
+
+#include <algorithm>
+
+namespace cuttlefish::sim {
+
+double MachineConfig::core_voltage(FreqMHz f) const {
+  const double fmin = core_ladder.min().ghz();
+  const double fmax = core_ladder.max().ghz();
+  const double t = std::clamp((f.ghz() - fmin) / (fmax - fmin), 0.0, 1.0);
+  return v_at_fmin + (v_at_fmax - v_at_fmin) * t;
+}
+
+MachineConfig haswell_2650v3() { return MachineConfig{}; }
+
+MachineConfig broadwell_2690v4() {
+  MachineConfig cfg;
+  cfg.cores = 28;
+  cfg.core_ladder = FreqLadder{FreqMHz{1200}, FreqMHz{3200}, 100};  // 21
+  cfg.uncore_ladder = FreqLadder{FreqMHz{1200}, FreqMHz{3000}, 100};  // 19
+  cfg.dram_bw_gbs = 77.0;           // DDR4-2400, two sockets
+  cfg.uncore_bw_gbs_per_ghz = 35.0;  // knee at ~2.2 GHz again
+  cfg.static_power_w = 70.0;
+  cfg.core_dyn_coeff = 1.30;         // 14 nm process
+  cfg.v_at_fmax = 1.00;
+  return cfg;
+}
+
+MachineConfig hypothetical_machine() {
+  MachineConfig cfg;
+  cfg.core_ladder = hypothetical_ladder();
+  cfg.uncore_ladder = hypothetical_ladder();
+  cfg.cores = 8;
+  return cfg;
+}
+
+}  // namespace cuttlefish::sim

@@ -1,0 +1,52 @@
+#include "sim/perf_model.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace cuttlefish::sim {
+
+double PerfModel::compute_roofline(FreqMHz core,
+                                   const OperatingPoint& op) const {
+  CF_ASSERT(op.cpi0 > 0.0, "CPI0 must be positive");
+  return static_cast<double>(cfg_->cores) * core.ghz() * 1e9 / op.cpi0;
+}
+
+double PerfModel::supply_bandwidth(FreqMHz uncore) const {
+  const double uncore_bw = cfg_->uncore_bw_gbs_per_ghz * uncore.ghz() * 1e9;
+  const double dram_bw = cfg_->dram_bw_gbs * 1e9;
+  return std::min(uncore_bw, dram_bw);
+}
+
+double PerfModel::demand_bandwidth(double ips,
+                                   const OperatingPoint& op) const {
+  return ips * op.tipi * cfg_->line_bytes;
+}
+
+double PerfModel::memory_roofline(FreqMHz uncore,
+                                  const OperatingPoint& op) const {
+  if (op.tipi <= 0.0) return std::numeric_limits<double>::infinity();
+  return supply_bandwidth(uncore) / (cfg_->line_bytes * op.tipi);
+}
+
+double PerfModel::instructions_per_second(FreqMHz core, FreqMHz uncore,
+                                          const OperatingPoint& op) const {
+  const double c = compute_roofline(core, op);
+  const double m = memory_roofline(uncore, op);
+  if (!std::isfinite(m)) return c;
+  // Smooth minimum (p-norm). A hard min() would make memory-bound codes
+  // exactly insensitive to core frequency; real machines keep a small
+  // coupling (address generation, prefetch issue), which is also where
+  // part of Cuttlefish's measured slowdown comes from.
+  const double p = cfg_->roofline_smoothing_p;
+  return std::pow(std::pow(c, -p) + std::pow(m, -p), -1.0 / p);
+}
+
+double PerfModel::utilization(FreqMHz core, FreqMHz uncore,
+                              const OperatingPoint& op) const {
+  const double ips = instructions_per_second(core, uncore, op);
+  return ips / compute_roofline(core, op);
+}
+
+}  // namespace cuttlefish::sim

@@ -1,0 +1,42 @@
+#pragma once
+
+#include "sim/machine_config.hpp"
+
+namespace cuttlefish::sim {
+
+/// Instantaneous operating point of a workload segment: how many core
+/// cycles an average instruction needs (CPI0 captures ILP and instruction
+/// mix) and how many LLC misses it produces (TIPI).
+struct OperatingPoint {
+  double cpi0 = 1.0;
+  double tipi = 0.0;
+};
+
+class PerfModel {
+ public:
+  explicit PerfModel(const MachineConfig& cfg) : cfg_(&cfg) {}
+
+  /// Package instruction throughput [instructions/s].
+  double instructions_per_second(FreqMHz core, FreqMHz uncore,
+                                 const OperatingPoint& op) const;
+
+  /// Fraction of peak compute throughput actually achieved (1 = fully
+  /// compute-bound, -> 0 as memory stalls dominate). Drives the
+  /// stall-power weighting.
+  double utilization(FreqMHz core, FreqMHz uncore,
+                     const OperatingPoint& op) const;
+
+  /// Memory bandwidth supplied at this uncore frequency [bytes/s].
+  double supply_bandwidth(FreqMHz uncore) const;
+
+  /// Memory bandwidth demanded when running at `ips` [bytes/s].
+  double demand_bandwidth(double ips, const OperatingPoint& op) const;
+
+ private:
+  double compute_roofline(FreqMHz core, const OperatingPoint& op) const;
+  double memory_roofline(FreqMHz uncore, const OperatingPoint& op) const;
+
+  const MachineConfig* cfg_;
+};
+
+}  // namespace cuttlefish::sim

@@ -1,0 +1,73 @@
+#include "sim/phase_workload.hpp"
+
+#include "common/assert.hpp"
+
+namespace cuttlefish::sim {
+
+PhaseProgram& PhaseProgram::add(double instructions, double cpi0,
+                                double tipi) {
+  CF_ASSERT(instructions >= 0.0, "negative instruction count");
+  CF_ASSERT(cpi0 > 0.0, "CPI0 must be positive");
+  CF_ASSERT(tipi >= 0.0, "negative TIPI");
+  segments_.push_back(Segment{instructions, OperatingPoint{cpi0, tipi}});
+  return *this;
+}
+
+PhaseProgram& PhaseProgram::repeat(int count,
+                                   const std::vector<Segment>& block) {
+  CF_ASSERT(count >= 0, "negative repeat count");
+  for (int i = 0; i < count; ++i) {
+    for (const Segment& s : block) segments_.push_back(s);
+  }
+  return *this;
+}
+
+void PhaseProgram::scale_instructions(double factor) {
+  CF_ASSERT(factor > 0.0, "scale factor must be positive");
+  for (Segment& s : segments_) s.instructions *= factor;
+}
+
+double PhaseProgram::total_instructions() const {
+  double total = 0.0;
+  for (const Segment& s : segments_) total += s.instructions;
+  return total;
+}
+
+WorkloadCursor::WorkloadCursor(const PhaseProgram* program)
+    : program_(program) {
+  CF_ASSERT(program != nullptr, "null program");
+  if (!program_->segments().empty()) {
+    remaining_ = program_->segments()[0].instructions;
+  }
+  skip_empty();
+}
+
+void WorkloadCursor::skip_empty() {
+  const auto& segs = program_->segments();
+  while (index_ < segs.size() && remaining_ <= 0.0) {
+    ++index_;
+    if (index_ < segs.size()) remaining_ = segs[index_].instructions;
+  }
+}
+
+bool WorkloadCursor::done() const {
+  return program_ == nullptr || index_ >= program_->segments().size();
+}
+
+const OperatingPoint& WorkloadCursor::op() const {
+  CF_ASSERT(!done(), "cursor exhausted");
+  return program_->segments()[index_].op;
+}
+
+void WorkloadCursor::consume(double instructions) {
+  CF_ASSERT(!done(), "consuming from exhausted cursor");
+  CF_ASSERT(instructions <= remaining_ + 1e-6,
+            "consuming beyond segment boundary");
+  remaining_ -= instructions;
+  if (remaining_ <= 1e-6) {
+    remaining_ = 0.0;
+    skip_empty();
+  }
+}
+
+}  // namespace cuttlefish::sim

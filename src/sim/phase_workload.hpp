@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/perf_model.hpp"
+
+namespace cuttlefish::sim {
+
+/// One homogeneous stretch of execution: `instructions` retired at a fixed
+/// operating point (CPI0, TIPI). Benchmarks are modelled as sequences of
+/// segments; Cuttlefish observes the TIPI of whichever segment is running.
+struct Segment {
+  double instructions = 0.0;
+  OperatingPoint op;
+};
+
+/// An immutable program of segments plus a builder API. Workload models in
+/// src/workloads construct these to mirror the phase structure of the ten
+/// paper benchmarks (Table 1).
+class PhaseProgram {
+ public:
+  PhaseProgram() = default;
+
+  PhaseProgram& add(double instructions, double cpi0, double tipi);
+  /// Appends `count` copies of the segment block built by `body` — used
+  /// for iterative solvers (CG, AMG V-cycles, time-stepped stencils).
+  PhaseProgram& repeat(int count, const std::vector<Segment>& block);
+
+  /// Multiply every segment's instruction count by `factor` (used to
+  /// calibrate total Default-execution time against Table 1).
+  void scale_instructions(double factor);
+
+  const std::vector<Segment>& segments() const { return segments_; }
+  double total_instructions() const;
+  bool empty() const { return segments_.empty(); }
+
+ private:
+  std::vector<Segment> segments_;
+};
+
+/// Consumption state over a PhaseProgram; owned by SimMachine.
+class WorkloadCursor {
+ public:
+  WorkloadCursor() = default;
+  explicit WorkloadCursor(const PhaseProgram* program);
+
+  bool done() const;
+  /// Operating point of the segment currently executing.
+  const OperatingPoint& op() const;
+  /// Instructions left in the current segment.
+  double remaining_in_segment() const { return remaining_; }
+  /// Consume `instructions` from the current segment (must not exceed
+  /// remaining_in_segment); advances to the next segment when drained.
+  void consume(double instructions);
+
+ private:
+  const PhaseProgram* program_ = nullptr;
+  size_t index_ = 0;
+  double remaining_ = 0.0;
+  void skip_empty();
+};
+
+}  // namespace cuttlefish::sim

@@ -1,0 +1,45 @@
+#include "sim/power_model.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace cuttlefish::sim {
+
+double PowerModel::core_watts(FreqMHz core, double utilization) const {
+  CF_ASSERT(utilization >= 0.0 && utilization <= 1.0 + 1e-9,
+            "utilization out of range");
+  const double v = cfg_->core_voltage(core);
+  const double active = static_cast<double>(cfg_->cores) *
+                        cfg_->core_dyn_coeff * v * v * core.ghz();
+  // A stalled core is not idle: it spins in the load/store unit waiting on
+  // the uncore, drawing a fraction of its active power.
+  const double u = std::clamp(utilization, 0.0, 1.0);
+  const double activity = u + cfg_->stall_power_frac * (1.0 - u);
+  return active * activity;
+}
+
+double PowerModel::uncore_watts(FreqMHz uncore) const {
+  const double f = uncore.ghz();
+  return cfg_->uncore_coeff_w_per_ghz3 * f * f * f;
+}
+
+double PowerModel::joules_per_miss() const {
+  const double f = cfg_->remote_miss_fraction;
+  return ((1.0 - f) * cfg_->energy_per_local_miss_nj +
+          f * cfg_->energy_per_remote_miss_nj) *
+         1e-9;
+}
+
+double PowerModel::traffic_watts(double miss_rate) const {
+  return joules_per_miss() * miss_rate;
+}
+
+double PowerModel::package_watts(FreqMHz core, FreqMHz uncore,
+                                 double utilization,
+                                 double miss_rate) const {
+  return cfg_->static_power_w + core_watts(core, utilization) +
+         uncore_watts(uncore) + traffic_watts(miss_rate);
+}
+
+}  // namespace cuttlefish::sim

@@ -1,0 +1,29 @@
+#pragma once
+
+#include "sim/machine_config.hpp"
+#include "sim/perf_model.hpp"
+
+namespace cuttlefish::sim {
+
+class PowerModel {
+ public:
+  explicit PowerModel(const MachineConfig& cfg) : cfg_(&cfg) {}
+
+  /// Package power [W] at a steady operating point.
+  /// `utilization` in [0,1] is PerfModel::utilization; `miss_rate` is
+  /// LLC misses per second (total TOR inserts / s), split into local and
+  /// remote service by MachineConfig::remote_miss_fraction.
+  double package_watts(FreqMHz core, FreqMHz uncore, double utilization,
+                       double miss_rate) const;
+
+  double core_watts(FreqMHz core, double utilization) const;
+  double uncore_watts(FreqMHz uncore) const;
+  double traffic_watts(double miss_rate) const;
+  /// Blended per-miss energy in joules given the NUMA split.
+  double joules_per_miss() const;
+
+ private:
+  const MachineConfig* cfg_;
+};
+
+}  // namespace cuttlefish::sim

@@ -1,0 +1,150 @@
+#include "sim/sim_machine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "hal/msr.hpp"
+
+namespace cuttlefish::sim {
+
+SimMachine::SimMachine(const MachineConfig& cfg, const PhaseProgram& program,
+                       uint64_t noise_seed)
+    : cfg_(cfg),
+      perf_(cfg_),
+      power_(cfg_),
+      cursor_(&program),
+      noise_(noise_seed),
+      core_f_(cfg_.core_ladder.max()),
+      uncore_f_(cfg_.uncore_ladder.max()) {}
+
+void SimMachine::set_core_frequency(FreqMHz f) {
+  CF_ASSERT(cfg_.core_ladder.contains(f), "core frequency off ladder");
+  if (f != core_f_) {
+    stall_s_ += cfg_.core_switch_latency_s;
+    freq_switches_ += 1;
+  }
+  core_f_ = f;
+}
+
+void SimMachine::set_uncore_frequency(FreqMHz f) {
+  CF_ASSERT(cfg_.uncore_ladder.contains(f), "uncore frequency off ladder");
+  if (f != uncore_f_) {
+    stall_s_ += cfg_.uncore_switch_latency_s;
+    freq_switches_ += 1;
+  }
+  uncore_f_ = f;
+}
+
+double SimMachine::power_noise_factor() {
+  if (cfg_.power_noise_sigma <= 0.0) return 1.0;
+  // Cheap approximately-normal jitter: sum of three uniforms.
+  const double u =
+      noise_.next_double() + noise_.next_double() + noise_.next_double();
+  const double z = (u - 1.5) * 2.0;  // ~N(0,1)
+  return 1.0 + cfg_.power_noise_sigma * z;
+}
+
+double SimMachine::demand_bandwidth_now() const {
+  if (cursor_.done()) return 0.0;
+  const OperatingPoint& op = cursor_.op();
+  const double ips = perf_.instructions_per_second(core_f_, uncore_f_, op);
+  return perf_.demand_bandwidth(ips, op);
+}
+
+double SimMachine::advance(double dt) {
+  CF_ASSERT(dt >= 0.0, "negative time step");
+  double left = dt;
+  while (left > 1e-12 && !cursor_.done()) {
+    if (stall_s_ > 1e-12) {
+      // PLL relock: cores halted, no instructions retire; the package
+      // still burns static + gated-core + uncore power.
+      const double step = std::min(left, stall_s_);
+      const double watts =
+          power_.package_watts(core_f_, uncore_f_, 0.0, 0.0);
+      energy_j_ += watts * step * power_noise_factor();
+      now_s_ += step;
+      stall_s_ -= step;
+      left -= step;
+      continue;
+    }
+    const OperatingPoint& op = cursor_.op();
+    const double ips = perf_.instructions_per_second(core_f_, uncore_f_, op);
+    CF_ASSERT(ips > 0.0, "non-positive throughput");
+    const double seg_time = cursor_.remaining_in_segment() / ips;
+    const double step = std::min(left, seg_time);
+    const double instr = ips * step;
+
+    const double util = perf_.utilization(core_f_, uncore_f_, op);
+    const double miss_rate = ips * op.tipi;
+    const double watts =
+        power_.package_watts(core_f_, uncore_f_, util, miss_rate);
+    energy_j_ += watts * step * power_noise_factor();
+    instr_ += instr;
+    tor_ += instr * op.tipi;
+    cursor_.consume(instr);
+    now_s_ += step;
+    left -= step;
+  }
+  return dt - left;
+}
+
+bool SimMachine::read(uint32_t address, uint64_t& value) {
+  using namespace hal;
+  switch (address) {
+    case msr::kIa32PerfStatus:
+    case msr::kIa32PerfCtl:
+      value = encode_perf_status(core_f_);
+      return true;
+    case msr::kRaplPowerUnit:
+      value = encode_rapl_power_unit(cfg_.rapl_esu_bits);
+      return true;
+    case msr::kPkgEnergyStatus: {
+      const double unit = 1.0 / static_cast<double>(1ULL << cfg_.rapl_esu_bits);
+      const auto units = static_cast<uint64_t>(energy_j_ / unit);
+      value = units & 0xffffffffULL;
+      return true;
+    }
+    case msr::kUncoreRatioLimit:
+      value = encode_uncore_ratio_limit(uncore_f_, uncore_f_);
+      return true;
+    case msr::kTorInsertsAggregate:
+      value = tor_inserts();
+      return true;
+    case msr::kTorInsertsMissLocal:
+      value = tor_inserts_local();
+      return true;
+    case msr::kTorInsertsMissRemote:
+      value = tor_inserts_remote();
+      return true;
+    case msr::kInstRetiredAggregate:
+      value = static_cast<uint64_t>(instr_);
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool SimMachine::write(uint32_t address, uint64_t value) {
+  using namespace hal;
+  switch (address) {
+    case msr::kIa32PerfCtl: {
+      const FreqMHz f = decode_perf_ctl(value);
+      if (!cfg_.core_ladder.contains(f)) return false;
+      set_core_frequency(f);
+      return true;
+    }
+    case msr::kUncoreRatioLimit: {
+      const FreqMHz hi = decode_uncore_max(value);
+      if (!cfg_.uncore_ladder.contains(hi)) return false;
+      // Real firmware honours the max ratio as the pin target when
+      // min == max (Cuttlefish always writes them equal).
+      set_uncore_frequency(hi);
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace cuttlefish::sim

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "hal/msr_device.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/perf_model.hpp"
+#include "sim/phase_workload.hpp"
+#include "sim/power_model.hpp"
+
+namespace cuttlefish::sim {
+
+/// Virtual-time simulation of one multicore package running a
+/// PhaseProgram. Exposes the counters and control knobs Cuttlefish needs
+/// through the same MSR register map as real Haswell hardware
+/// (hal::MsrDevice), so the controller above is backend-agnostic.
+///
+/// Time advances analytically: within a segment the machine executes at
+/// PerfModel::instructions_per_second for the current (CF, UF) setting and
+/// dissipates PowerModel::package_watts; RAPL, TOR and INST counters
+/// integrate accordingly (RAPL with the real 32-bit wrap and the
+/// 1/2^ESU-joule unit).
+class SimMachine final : public hal::MsrDevice {
+ public:
+  SimMachine(const MachineConfig& cfg, const PhaseProgram& program,
+             uint64_t noise_seed = 0x5eedULL);
+
+  /// Advance virtual time by up to `dt` seconds; stops early if the
+  /// workload completes. Returns the time actually elapsed.
+  double advance(double dt);
+
+  bool workload_done() const { return cursor_.done(); }
+  double now() const { return now_s_; }
+  /// True total energy in joules (not quantised to RAPL units); used by
+  /// experiment metrics.
+  double energy_joules() const { return energy_j_; }
+  /// Counters integrate in double precision (a quantum retires ~1e9
+  /// instructions; rounding each quantum would drift) and are rounded
+  /// once at the register boundary.
+  uint64_t instructions_retired() const {
+    return static_cast<uint64_t>(instr_);
+  }
+  uint64_t tor_inserts() const {
+    return tor_inserts_local() + tor_inserts_remote();
+  }
+  /// NUMA split (MISS_LOCAL / MISS_REMOTE umasks of the paper's §3.1).
+  uint64_t tor_inserts_local() const {
+    return static_cast<uint64_t>(tor_ * (1.0 - cfg_.remote_miss_fraction));
+  }
+  uint64_t tor_inserts_remote() const {
+    return static_cast<uint64_t>(tor_ * cfg_.remote_miss_fraction);
+  }
+
+  FreqMHz core_frequency() const { return core_f_; }
+  FreqMHz uncore_frequency() const { return uncore_f_; }
+  void set_core_frequency(FreqMHz f);
+  void set_uncore_frequency(FreqMHz f);
+
+  const MachineConfig& config() const { return cfg_; }
+  const PerfModel& perf_model() const { return perf_; }
+  const PowerModel& power_model() const { return power_; }
+
+  /// Current bandwidth demand [bytes/s] at the present operating point;
+  /// consumed by the firmware uncore governor of Default runs.
+  double demand_bandwidth_now() const;
+
+  /// Number of frequency changes applied (each incurs the configured PLL
+  /// relock dead time).
+  uint64_t frequency_switches() const { return freq_switches_; }
+
+  // hal::MsrDevice — the register map mirrors hal/msr.hpp.
+  bool read(uint32_t address, uint64_t& value) override;
+  bool write(uint32_t address, uint64_t value) override;
+
+ private:
+  MachineConfig cfg_;
+  PerfModel perf_;
+  PowerModel power_;
+  WorkloadCursor cursor_;
+  SplitMix64 noise_;
+
+  double now_s_ = 0.0;
+  double energy_j_ = 0.0;
+  double instr_ = 0.0;
+  double tor_ = 0.0;
+  double stall_s_ = 0.0;  // pending PLL-relock dead time
+  uint64_t freq_switches_ = 0;
+  FreqMHz core_f_;
+  FreqMHz uncore_f_;
+
+  double power_noise_factor();
+};
+
+}  // namespace cuttlefish::sim

@@ -1,0 +1,34 @@
+#pragma once
+
+#include "hal/platform.hpp"
+#include "sim/sim_machine.hpp"
+
+namespace cuttlefish::sim {
+
+/// hal::PlatformInterface over a SimMachine. Deliberately goes through the
+/// MSR register map and the shared hal codecs (rather than poking the
+/// machine object directly) so the exact code paths of the real-hardware
+/// backend — including RAPL unit decoding and 32-bit wrap handling — are
+/// exercised by every simulated run.
+class SimPlatform final : public hal::PlatformInterface {
+ public:
+  explicit SimPlatform(SimMachine& machine);
+
+  const FreqLadder& core_ladder() const override;
+  const FreqLadder& uncore_ladder() const override;
+
+  void set_core_frequency(FreqMHz f) override;
+  void set_uncore_frequency(FreqMHz f) override;
+  FreqMHz core_frequency() const override;
+  FreqMHz uncore_frequency() const override;
+
+  hal::SensorTotals read_sensors() override;
+
+ private:
+  SimMachine* machine_;
+  double energy_unit_j_;
+  uint32_t last_energy_raw_;
+  double energy_acc_j_ = 0.0;
+};
+
+}  // namespace cuttlefish::sim

@@ -1,0 +1,84 @@
+#include "workloads/kernels/uts.hpp"
+
+#include <atomic>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace cuttlefish::workloads {
+
+namespace {
+
+/// Number of children of the node identified by `id`.
+int child_count(const UtsParams& p, uint64_t id, bool is_root) {
+  if (is_root) return p.root_branching;
+  // Derive a uniform double from the node id deterministically.
+  SplitMix64 rng(id);
+  return rng.next_double() < p.q ? p.m : 0;
+}
+
+uint64_t child_id(uint64_t parent, int index) {
+  return mix64(parent, static_cast<uint64_t>(index) + 1);
+}
+
+uint64_t count_subtree(const UtsParams& p, uint64_t id, bool is_root) {
+  uint64_t total = 1;
+  const int kids = child_count(p, id, is_root);
+  for (int c = 0; c < kids; ++c) {
+    total += count_subtree(p, child_id(id, c), false);
+  }
+  return total;
+}
+
+}  // namespace
+
+double uts_expected_size(const UtsParams& params) {
+  const double qm = params.q * params.m;
+  CF_ASSERT(qm < 1.0, "supercritical UTS tree (q*m >= 1)");
+  return static_cast<double>(params.root_branching) / (1.0 - qm);
+}
+
+uint64_t uts_count_sequential(const UtsParams& params) {
+  return count_subtree(params, params.root_seed, true);
+}
+
+uint64_t uts_count_parallel(runtime::TaskScheduler& rt,
+                            const UtsParams& params) {
+  std::atomic<uint64_t> nodes{1};  // the root
+  const UtsParams p = params;
+
+  // One async per root child; within a subtree, spawn per child until the
+  // subtree is plausibly small, then recurse sequentially. This mirrors
+  // how the irregular-task variants create dynamic parallelism.
+  struct Walker {
+    static void walk(runtime::TaskScheduler& sched, const UtsParams& pp,
+                     std::atomic<uint64_t>& acc, uint64_t id, int depth) {
+      acc.fetch_add(1, std::memory_order_relaxed);
+      const int kids = child_count(pp, id, false);
+      for (int c = 0; c < kids; ++c) {
+        const uint64_t cid = child_id(id, c);
+        if (depth < 6) {
+          sched.async([&sched, &pp, &acc, cid, depth] {
+            walk(sched, pp, acc, cid, depth + 1);
+          });
+        } else {
+          acc.fetch_add(count_subtree(pp, cid, false),
+                        std::memory_order_relaxed);
+        }
+      }
+    }
+  };
+
+  rt.finish([&rt, &p, &nodes] {
+    for (int c = 0; c < p.root_branching; ++c) {
+      const uint64_t cid = child_id(p.root_seed, c);
+      rt.async([&rt, &p, &nodes, cid] {
+        Walker::walk(rt, p, nodes, cid, 1);
+      });
+    }
+  });
+  return nodes.load();
+}
+
+}  // namespace cuttlefish::workloads

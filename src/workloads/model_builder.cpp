@@ -1,0 +1,60 @@
+#include "workloads/model_builder.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace cuttlefish::workloads {
+
+ModelBuilder::ModelBuilder(double cpi0, uint64_t seed)
+    : cpi0_(cpi0), rng_(seed) {}
+
+double ModelBuilder::jitter_tipi(int64_t slab) {
+  // Keep 20% margin from each slab edge so tick-quantised measurement
+  // cannot round into a neighbour.
+  const double lo = slabber_.lower_bound(slab) + 0.2 * slabber_.width();
+  const double hi = slabber_.upper_bound(slab) - 0.2 * slabber_.width();
+  return lo + (hi - lo) * rng_.next_double();
+}
+
+ModelBuilder& ModelBuilder::seg(int64_t slab, double units) {
+  prog_.add(units, cpi0_, jitter_tipi(slab));
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::seg_tipi(double tipi, double units) {
+  prog_.add(units, cpi0_, tipi);
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::seg_cpi(int64_t slab, double units, double cpi0) {
+  prog_.add(units, cpi0, jitter_tipi(slab));
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::cold_phase(int64_t slab_lo, int64_t slab_hi,
+                                       double units, int bursts) {
+  CF_ASSERT(slab_lo <= slab_hi, "cold phase slab range inverted");
+  CF_ASSERT(bursts > 0, "cold phase needs at least one burst");
+  const double per = units / bursts;
+  for (int i = 0; i < bursts; ++i) {
+    const auto span = static_cast<uint64_t>(slab_hi - slab_lo + 1);
+    const int64_t slab = slab_lo + static_cast<int64_t>(rng_.next_below(span));
+    seg(slab, per);
+  }
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::staircase(int64_t from, int64_t to,
+                                      double units_per_step) {
+  const int64_t dir = from <= to ? 1 : -1;
+  for (int64_t s = from;; s += dir) {
+    seg(s, units_per_step);
+    if (s == to) break;
+  }
+  return *this;
+}
+
+sim::PhaseProgram ModelBuilder::take() { return std::move(prog_); }
+
+}  // namespace cuttlefish::workloads

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/tipi.hpp"
+#include "sim/phase_workload.hpp"
+
+namespace cuttlefish::workloads {
+
+/// Helper for composing benchmark phase models out of TIPI slabs.
+/// Instruction amounts are expressed in abstract "units" (fractions of a
+/// notional budget); exp::calibrate_program rescales the finished program
+/// so its Default-policy execution time matches Table 1.
+///
+/// TIPI values are drawn inside a slab with seeded jitter (staying clear
+/// of the slab edges so per-tick measurement lands in the intended range),
+/// mirroring the within-slab variation of real counters.
+class ModelBuilder {
+ public:
+  ModelBuilder(double cpi0, uint64_t seed);
+
+  /// Segment of `units` instructions inside `slab`.
+  ModelBuilder& seg(int64_t slab, double units);
+  /// Segment at an explicit TIPI value (cold-start phases use this to
+  /// wander outside the steady slab set).
+  ModelBuilder& seg_tipi(double tipi, double units);
+  /// Segment with a different CPI0 (instruction-mix change).
+  ModelBuilder& seg_cpi(int64_t slab, double units, double cpi0);
+
+  /// Cold-start fluctuation (§4.1): `units` instructions wandering over
+  /// [slab_lo, slab_hi] in short bursts. Meant to complete inside the
+  /// 2-second warm-up the daemon skips.
+  ModelBuilder& cold_phase(int64_t slab_lo, int64_t slab_hi, double units,
+                           int bursts = 24);
+
+  /// Consecutive-slab staircase from `from` to `to` (inclusive),
+  /// `units_per_step` each. Adjacent steps keep transition-tick TIPI
+  /// mixtures inside the traversed slab set.
+  ModelBuilder& staircase(int64_t from, int64_t to, double units_per_step);
+
+  double cpi0() const { return cpi0_; }
+  sim::PhaseProgram take();
+
+ private:
+  double jitter_tipi(int64_t slab);
+
+  sim::PhaseProgram prog_;
+  double cpi0_;
+  SplitMix64 rng_;
+  TipiSlabber slabber_;
+};
+
+}  // namespace cuttlefish::workloads

@@ -1,0 +1,238 @@
+#include "workloads/suite.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "workloads/model_builder.hpp"
+
+namespace cuttlefish::workloads {
+namespace {
+
+/// All models use a notional budget of ~100 instruction units; the
+/// calibration pass in cf_exp rescales to the Table-1 Default times.
+/// Slab indices refer to TIPI slabs of width 0.004 (slab k covers
+/// [0.004k, 0.004(k+1))).
+
+/// UTS: pure tree search, TIPI ~0 (slab 0), high ILP. Stable from the
+/// start (the paper notes only Heat/SOR variants and AMG fluctuate).
+sim::PhaseProgram build_uts(uint64_t seed, double cpi0) {
+  ModelBuilder b(cpi0, seed);
+  for (int i = 0; i < 40; ++i) b.seg(0, 2.5);
+  return b.take();
+}
+
+/// SOR body: one steady slab (6: TIPI 0.024-0.028); irt/rt differ only in
+/// concurrency decomposition, which the model captures as identical MAPs
+/// (the paper measures the same TIPI range and slab count for both).
+sim::PhaseProgram build_sor_body(uint64_t seed, double cpi0) {
+  ModelBuilder b(cpi0, seed);
+  b.cold_phase(5, 7, 2.5);
+  for (int i = 0; i < 48; ++i) b.seg(6, 97.5 / 48.0);
+  return b.take();
+}
+
+/// SOR-ws adds brief static-partition phases at lower TIPI (slabs 4-5):
+/// 3 distinct slabs, slab 6 frequent (~93% of samples).
+sim::PhaseProgram build_sor_ws(uint64_t seed, double cpi0) {
+  ModelBuilder b(cpi0, seed);
+  b.cold_phase(5, 7, 2.5);
+  for (int i = 0; i < 20; ++i) {
+    b.seg(6, 4.525);
+    b.seg(5, 0.20);
+    b.seg(4, 0.15);
+  }
+  return b.take();
+}
+
+/// Heat-irt: 4 distinct slabs {14,15,16,17}, slab 16 (0.064-0.068)
+/// frequent at ~88%.
+sim::PhaseProgram build_heat_irt(uint64_t seed, double cpi0) {
+  ModelBuilder b(cpi0, seed);
+  b.cold_phase(13, 18, 2.3);
+  for (int i = 0; i < 22; ++i) {
+    b.seg(16, 3.90);
+    b.seg(15, 0.057);
+    b.seg(14, 0.057);
+    b.seg(17, 0.057);
+  }
+  return b.take();
+}
+
+/// Heat-rt: 3 distinct slabs; slab 15 shows up in >10% of samples but
+/// only in sub-Tinv bursts spread across the whole run: a ~0.85-tick
+/// burst can never produce two consecutive slab-15 intervals, so every
+/// one of its JPI samples spans a TIPI transition and gets discarded.
+/// Cuttlefish never accumulates the ten readings it needs (Table 2
+/// reports no CFopt/UFopt for 0.060-0.064 despite its ~15% share).
+sim::PhaseProgram build_heat_rt(uint64_t seed, double cpi0) {
+  ModelBuilder b(cpi0, seed);
+  b.cold_phase(13, 18, 2.3);
+  const int cycles = 520;
+  const double burst = 0.0225;  // ~0.85 ticks of Default execution
+  const double seventeen_total = 1.0;  // slab 17: ~1% of the run
+  const double dwell =
+      (97.7 - cycles * burst - seventeen_total) / cycles;  // slab 16
+  for (int i = 0; i < cycles; ++i) {
+    b.seg(16, dwell);
+    b.seg(15, burst);
+    if (i % 45 == 20) b.seg(17, seventeen_total / 10.0);
+  }
+  return b.take();
+}
+
+/// Heat-ws: 11 distinct slabs {4..14}; slab 14 (0.056-0.060) frequent at
+/// ~88%, the rest visited by adjacent-step staircases (static loop
+/// partitioning exposes the low-TIPI boundary phases).
+sim::PhaseProgram build_heat_ws(uint64_t seed, double cpi0) {
+  ModelBuilder b(cpi0, seed);
+  b.cold_phase(10, 15, 2.3);
+  const int cycles = 6;
+  const double dwell = (97.7 * 0.88) / cycles;
+  const double step = (97.7 * 0.12) / (cycles * 20.0);
+  for (int i = 0; i < cycles; ++i) {
+    b.seg(14, dwell);
+    b.staircase(13, 4, step);
+    b.staircase(4, 13, step);
+  }
+  return b.take();
+}
+
+/// MiniFE: 16 distinct slabs {17..32}; CG dwell at slab 28 (0.112-0.116,
+/// ~76%) with assembly/boundary ramps walking adjacent slabs.
+sim::PhaseProgram build_minife(uint64_t seed, double cpi0) {
+  ModelBuilder b(cpi0, seed);
+  const int cycles = 8;
+  const double dwell = (100.0 * 0.76) / cycles;
+  // 24% split over the ramps; each cycle walks 28->17->28 (22 steps) and
+  // every other cycle spikes 29->32->29 (8 steps).
+  const double ramp_steps = cycles * 22.0 + (cycles / 2.0) * 8.0;
+  const double step = (100.0 * 0.24) / ramp_steps;
+  for (int i = 0; i < cycles; ++i) {
+    b.seg(28, dwell);
+    b.staircase(27, 17, step);
+    b.staircase(17, 27, step);
+    if (i % 2 == 1) {
+      b.staircase(29, 32, step);
+      b.staircase(32, 29, step);
+    }
+  }
+  return b.take();
+}
+
+/// HPCCG: 17 distinct slabs {15..31}; dwell at slab 30 (0.120-0.124,
+/// ~76%).
+sim::PhaseProgram build_hpccg(uint64_t seed, double cpi0) {
+  ModelBuilder b(cpi0, seed);
+  const int cycles = 8;
+  const double dwell = (100.0 * 0.76) / cycles;
+  const double ramp_steps = cycles * 30.0 + cycles * 2.0;
+  const double step = (100.0 * 0.24) / ramp_steps;
+  for (int i = 0; i < cycles; ++i) {
+    b.seg(30, dwell);
+    b.staircase(29, 15, step);
+    b.staircase(15, 29, step);
+    b.seg(31, step);
+    b.seg(31, step);
+  }
+  return b.take();
+}
+
+/// AMG: ~60 distinct slabs {23..82}; V-cycles dwell on the fine levels
+/// (slabs 36 at ~55% and 37 at ~24%, the two frequent ranges of Table 2)
+/// and excurse through progressively coarser, higher-TIPI levels. Peaks
+/// deepen with the cycle index so the coarse slabs up to 82 are reached;
+/// dips below the dwell cover slabs 23..35.
+sim::PhaseProgram build_amg(uint64_t seed, double cpi0) {
+  ModelBuilder b(cpi0, seed);
+  b.cold_phase(30, 45, 2.0);
+  const int cycles = 22;
+  const double dwell36 = (98.0 * 0.55) / cycles;
+  const double dwell37 = (98.0 * 0.24) / cycles;
+  // Count excursion steps to size them inside the remaining ~19% budget.
+  double steps = 0.0;
+  for (int k = 1; k <= cycles; ++k) {
+    const int peak = std::min<int>(38 + 2 * k, 82);
+    const int dip = 36 - 1 - (k % 13);
+    steps += 2.0 * (peak - 38 + 1) + 2.0 * (35 - dip + 1) + 2.0;
+  }
+  const double step = (98.0 * 0.19) / steps;
+  for (int k = 1; k <= cycles; ++k) {
+    const int peak = std::min<int>(38 + 2 * k, 82);
+    const int dip = 36 - 1 - (k % 13);
+    b.seg(36, dwell36);
+    b.staircase(35, dip, step);
+    b.staircase(dip, 35, step);
+    b.seg(36, step);  // re-entry step keeps slab adjacency
+    b.seg(37, dwell37);
+    b.staircase(38, peak, step);
+    b.seg(peak, 2.0 * step);  // linger at the coarse level so it registers
+    b.staircase(peak, 38, step);
+  }
+  return b.take();
+}
+
+std::vector<BenchmarkModel> make_openmp_suite() {
+  return {
+      {"UTS", "Irregular Tasks", "T1XXL", 69.9, 0.70, false, &build_uts},
+      {"SOR-irt", "Irregular Tasks", "32Kx32K (200)", 69.1, 2.90, false,
+       &build_sor_body},
+      {"SOR-rt", "Regular Tasks", "32Kx32K (200)", 69.4, 2.90, false,
+       &build_sor_body},
+      {"SOR-ws", "Work-sharing", "32Kx32K (200)", 68.7, 2.90, false,
+       &build_sor_ws},
+      {"Heat-irt", "Irregular Tasks", "32Kx32K (200)", 76.6, 1.20, true,
+       &build_heat_irt},
+      {"Heat-rt", "Regular Tasks", "32Kx32K (200)", 75.5, 1.20, true,
+       &build_heat_rt},
+      {"Heat-ws", "Work-sharing", "32Kx32K (200)", 70.9, 1.20, true,
+       &build_heat_ws},
+      {"MiniFE", "Work-sharing", "256x512x512 (200)", 78.5, 2.00, true,
+       &build_minife},
+      {"HPCCG", "Work-sharing", "256x256x1024 (149)", 60.0, 2.00, true,
+       &build_hpccg},
+      {"AMG", "Work-sharing", "256x256x1024 (22)", 63.7, 2.40, true,
+       &build_amg},
+  };
+}
+
+std::vector<BenchmarkModel> make_hclib_suite() {
+  // §5.2: SOR and Heat variants ported to async-finish task parallelism.
+  // The work-stealing runtime adds a small scheduling overhead to the
+  // instruction mix (~3% CPI) but leaves the MAP structure unchanged —
+  // that invariance is exactly the paper's programming-model-obliviousness
+  // claim.
+  constexpr double kTaskOverhead = 1.03;
+  std::vector<BenchmarkModel> out;
+  for (const BenchmarkModel& m : make_openmp_suite()) {
+    if (m.name.rfind("SOR", 0) != 0 && m.name.rfind("Heat", 0) != 0) {
+      continue;
+    }
+    BenchmarkModel h = m;
+    h.cpi0 *= kTaskOverhead;
+    h.default_time_s *= kTaskOverhead;
+    out.push_back(h);
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<BenchmarkModel>& openmp_suite() {
+  static const std::vector<BenchmarkModel> suite = make_openmp_suite();
+  return suite;
+}
+
+const std::vector<BenchmarkModel>& hclib_suite() {
+  static const std::vector<BenchmarkModel> suite = make_hclib_suite();
+  return suite;
+}
+
+const BenchmarkModel& find_benchmark(const std::string& name) {
+  for (const BenchmarkModel& m : openmp_suite()) {
+    if (m.name == name) return m;
+  }
+  CF_ASSERT(false, "unknown benchmark name");
+  return openmp_suite().front();  // unreachable
+}
+
+}  // namespace cuttlefish::workloads

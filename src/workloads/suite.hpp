@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/phase_workload.hpp"
+
+namespace cuttlefish::workloads {
+
+/// One benchmark of the paper's evaluation (Table 1), as a phase model
+/// that drives the simulator. `build(seed)` returns the uncalibrated
+/// program; exp::calibrate_program rescales it so the Default execution
+/// lasts `default_time_s` (the Table-1 "OpenMP Time" column).
+struct BenchmarkModel {
+  std::string name;
+  std::string parallelism;   // Table-1 "Parallelism Style"
+  std::string config_label;  // Table-1 "Configuration"
+  double default_time_s = 0.0;
+  double cpi0 = 1.0;         // instruction-mix model parameter
+  bool memory_bound = false; // ground truth used by tests
+  sim::PhaseProgram (*build)(uint64_t seed, double cpi0) = nullptr;
+
+  sim::PhaseProgram build_program(uint64_t seed) const {
+    return build(seed, cpi0);
+  }
+};
+
+/// The ten OpenMP benchmarks of Table 1.
+const std::vector<BenchmarkModel>& openmp_suite();
+
+/// The six HClib (async-finish work-stealing) ports of §5.2: SOR and Heat
+/// variants only — the paper omits UTS/MiniFE/HPCCG/AMG for porting
+/// reasons. Modelled as the same phase structure with a small
+/// task-runtime CPI overhead.
+const std::vector<BenchmarkModel>& hclib_suite();
+
+/// Lookup by name (aborts if missing — benches use fixed names).
+const BenchmarkModel& find_benchmark(const std::string& name);
+
+}  // namespace cuttlefish::workloads

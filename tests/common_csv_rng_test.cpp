@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/rng.hpp"
+
+namespace cuttlefish {
+namespace {
+
+TEST(SplitMix64, Deterministic) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, SeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(SplitMix64, DoublesInUnitInterval) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(SplitMix64, NextBelowRespectsBound) {
+  SplitMix64 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(SplitMix64, RoughlyUniform) {
+  SplitMix64 rng(11);
+  int buckets[4] = {0, 0, 0, 0};
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) buckets[rng.next_below(4)] += 1;
+  for (int b : buckets) {
+    EXPECT_NEAR(b, n / 4, n / 40);  // within 10%
+  }
+}
+
+TEST(Mix64, IndependentOfOrdering) {
+  EXPECT_NE(mix64(1, 2), mix64(2, 1));
+  EXPECT_EQ(mix64(5, 6), mix64(5, 6));
+}
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  const std::string path = "/tmp/cuttlefish_csv_test.csv";
+  {
+    CsvWriter csv(path, {"a", "b"});
+    csv.row({"1", "2"});
+    csv.row({CsvWriter::num(3.5), CsvWriter::num(4.25)});
+  }
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), "a,b\n1,2\n3.5,4.25\n");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cuttlefish

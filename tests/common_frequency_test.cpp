@@ -1,0 +1,76 @@
+#include "common/frequency.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cuttlefish {
+namespace {
+
+TEST(FreqLadder, HaswellCoreLadderHasTwelveLevels) {
+  const FreqLadder l = haswell_core_ladder();
+  EXPECT_EQ(l.levels(), 12);
+  EXPECT_EQ(l.min().value, 1200);
+  EXPECT_EQ(l.max().value, 2300);
+  EXPECT_EQ(l.at(0).value, 1200);
+  EXPECT_EQ(l.at(11).value, 2300);
+}
+
+TEST(FreqLadder, HaswellUncoreLadderHasNineteenLevels) {
+  const FreqLadder l = haswell_uncore_ladder();
+  EXPECT_EQ(l.levels(), 19);
+  EXPECT_EQ(l.min().value, 1200);
+  EXPECT_EQ(l.max().value, 3000);
+}
+
+TEST(FreqLadder, HypotheticalLadderMatchesPaperAtoG) {
+  const FreqLadder l = hypothetical_ladder();
+  EXPECT_EQ(l.levels(), 7);
+  EXPECT_EQ(level_letter(l.min_level()), 'A');
+  EXPECT_EQ(level_letter(l.max_level()), 'G');
+}
+
+TEST(FreqLadder, LevelRoundTrip) {
+  const FreqLadder l = haswell_uncore_ladder();
+  for (Level lev = 0; lev < l.levels(); ++lev) {
+    EXPECT_EQ(l.level_of(l.at(lev)), lev);
+  }
+}
+
+TEST(FreqLadder, ContainsRejectsOffLadderValues) {
+  const FreqLadder l = haswell_core_ladder();
+  EXPECT_TRUE(l.contains(FreqMHz{1800}));
+  EXPECT_FALSE(l.contains(FreqMHz{1850}));
+  EXPECT_FALSE(l.contains(FreqMHz{1100}));
+  EXPECT_FALSE(l.contains(FreqMHz{2400}));
+}
+
+TEST(FreqLadder, NearestLevelClampsAndRounds) {
+  const FreqLadder l = haswell_core_ladder();
+  EXPECT_EQ(l.nearest_level(FreqMHz{0}), 0);
+  EXPECT_EQ(l.nearest_level(FreqMHz{9999}), l.max_level());
+  EXPECT_EQ(l.nearest_level(FreqMHz{1849}), l.level_of(FreqMHz{1800}));
+  EXPECT_EQ(l.nearest_level(FreqMHz{1851}), l.level_of(FreqMHz{1900}));
+}
+
+TEST(FreqLadder, ClampStaysInRange) {
+  const FreqLadder l = haswell_core_ladder();
+  EXPECT_EQ(l.clamp(-3), 0);
+  EXPECT_EQ(l.clamp(99), l.max_level());
+  EXPECT_EQ(l.clamp(5), 5);
+}
+
+TEST(FreqLadder, GhzConversion) {
+  EXPECT_DOUBLE_EQ(FreqMHz{2300}.ghz(), 2.3);
+  EXPECT_DOUBLE_EQ(FreqMHz{1200}.ghz(), 1.2);
+}
+
+TEST(FreqLadder, AllEnumeratesEveryStep) {
+  const FreqLadder l = hypothetical_ladder();
+  const auto freqs = l.all();
+  ASSERT_EQ(freqs.size(), 7u);
+  for (size_t i = 1; i < freqs.size(); ++i) {
+    EXPECT_EQ(freqs[i].value - freqs[i - 1].value, 100);
+  }
+}
+
+}  // namespace
+}  // namespace cuttlefish

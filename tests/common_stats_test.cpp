@@ -1,0 +1,55 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cuttlefish {
+namespace {
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats rs;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.add(x);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_NEAR(rs.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(RunningStats, CiShrinksWithSamples) {
+  RunningStats small;
+  RunningStats large;
+  for (int i = 0; i < 10; ++i) small.add(i % 2 == 0 ? 1.0 : 3.0);
+  for (int i = 0; i < 1000; ++i) large.add(i % 2 == 0 ? 1.0 : 3.0);
+  EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+}
+
+TEST(RunningStats, ResetClears) {
+  RunningStats rs;
+  rs.add(5.0);
+  rs.reset();
+  EXPECT_TRUE(rs.empty());
+}
+
+TEST(Stats, GeomeanOfEqualValuesIsThatValue) {
+  EXPECT_NEAR(geomean({3.0, 3.0, 3.0}), 3.0, 1e-12);
+}
+
+TEST(Stats, GeomeanBelowArithmeticMean) {
+  const std::vector<double> xs{1.0, 4.0, 16.0};
+  EXPECT_LT(geomean(xs), mean(xs));
+  EXPECT_NEAR(geomean(xs), 4.0, 1e-12);
+}
+
+TEST(Stats, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(Stats, Ci95MatchesRunningStats) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  EXPECT_NEAR(ci95_halfwidth(xs), rs.ci95_halfwidth(), 1e-12);
+}
+
+}  // namespace
+}  // namespace cuttlefish

@@ -1,0 +1,55 @@
+#include "common/tipi.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cuttlefish {
+namespace {
+
+TEST(TipiSlabber, PaperExampleValuesShareOneSlab) {
+  // §3.2: "TIPI values 0.004, 0.005, and 0.007 would be reported under the
+  // TIPI range 0.004-0.008".
+  const TipiSlabber s;
+  EXPECT_EQ(s.slab_of(0.004), 1);
+  EXPECT_EQ(s.slab_of(0.005), 1);
+  EXPECT_EQ(s.slab_of(0.007), 1);
+  EXPECT_EQ(s.range_label(1), "0.004-0.008");
+}
+
+TEST(TipiSlabber, ZeroBelongsToSlabZero) {
+  const TipiSlabber s;
+  EXPECT_EQ(s.slab_of(0.0), 0);
+  EXPECT_EQ(s.range_label(0), "0.000-0.004");
+}
+
+TEST(TipiSlabber, BoundariesBelongToUpperSlab) {
+  const TipiSlabber s;
+  EXPECT_EQ(s.slab_of(0.0039999), 0);
+  EXPECT_EQ(s.slab_of(0.008), 2);
+}
+
+TEST(TipiSlabber, PaperFrequentRangesMapToExpectedSlabs) {
+  const TipiSlabber s;
+  EXPECT_EQ(s.slab_of(0.065), 16);   // Heat-irt frequent 0.064-0.068
+  EXPECT_EQ(s.slab_of(0.113), 28);   // MiniFE frequent 0.112-0.116
+  EXPECT_EQ(s.slab_of(0.121), 30);   // HPCCG frequent 0.120-0.124
+  EXPECT_EQ(s.slab_of(0.145), 36);   // AMG frequent 0.144-0.148
+  EXPECT_EQ(s.slab_of(0.150), 37);   // AMG frequent 0.148-0.152
+  EXPECT_EQ(s.slab_of(0.026), 6);    // SOR 0.024-0.028
+}
+
+TEST(TipiSlabber, BoundsRoundTrip) {
+  const TipiSlabber s;
+  for (int64_t slab = 0; slab < 100; ++slab) {
+    EXPECT_EQ(s.slab_of(s.lower_bound(slab)), slab);
+    EXPECT_EQ(s.slab_of(s.upper_bound(slab) - 1e-9), slab);
+  }
+}
+
+TEST(TipiSlabber, CustomWidth) {
+  const TipiSlabber s(0.01);
+  EXPECT_EQ(s.slab_of(0.025), 2);
+  EXPECT_DOUBLE_EQ(s.width(), 0.01);
+}
+
+}  // namespace
+}  // namespace cuttlefish

@@ -1,0 +1,97 @@
+#include "core/env_config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace cuttlefish::core {
+namespace {
+
+/// RAII guard: sets an env var for the test and removes it afterwards.
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    setenv(name, value, 1);
+  }
+  ~EnvGuard() { unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+TEST(EnvConfig, NoVariablesKeepsDefaults) {
+  const ControllerConfig base;
+  const ControllerConfig cfg = apply_env_overrides(base);
+  EXPECT_EQ(cfg.policy, base.policy);
+  EXPECT_DOUBLE_EQ(cfg.tinv_s, base.tinv_s);
+  EXPECT_EQ(cfg.jpi_samples, base.jpi_samples);
+  EXPECT_EQ(cfg.insertion_narrowing, base.insertion_narrowing);
+}
+
+TEST(EnvConfig, PolicyOverride) {
+  EnvGuard g("CUTTLEFISH_POLICY", "uncore");
+  EXPECT_EQ(apply_env_overrides({}).policy, PolicyKind::kUncoreOnly);
+}
+
+TEST(EnvConfig, PolicyAcceptsAllSpellings) {
+  EXPECT_EQ(parse_policy("full"), PolicyKind::kFull);
+  EXPECT_EQ(parse_policy("cuttlefish"), PolicyKind::kFull);
+  EXPECT_EQ(parse_policy("core"), PolicyKind::kCoreOnly);
+  EXPECT_EQ(parse_policy("Uncore"), PolicyKind::kUncoreOnly);
+  EXPECT_FALSE(parse_policy("turbo").has_value());
+}
+
+TEST(EnvConfig, TinvMillisecondsConverted) {
+  EnvGuard g("CUTTLEFISH_TINV_MS", "40");
+  EXPECT_DOUBLE_EQ(apply_env_overrides({}).tinv_s, 0.040);
+}
+
+TEST(EnvConfig, MalformedTinvIgnoredWithDefaultKept) {
+  EnvGuard g("CUTTLEFISH_TINV_MS", "fast");
+  EXPECT_DOUBLE_EQ(apply_env_overrides({}).tinv_s,
+                   ControllerConfig{}.tinv_s);
+}
+
+TEST(EnvConfig, NegativeTinvRejected) {
+  EnvGuard g("CUTTLEFISH_TINV_MS", "-5");
+  EXPECT_DOUBLE_EQ(apply_env_overrides({}).tinv_s,
+                   ControllerConfig{}.tinv_s);
+}
+
+TEST(EnvConfig, ZeroWarmupAccepted) {
+  EnvGuard g("CUTTLEFISH_WARMUP_S", "0");
+  EXPECT_DOUBLE_EQ(apply_env_overrides({}).warmup_s, 0.0);
+}
+
+TEST(EnvConfig, OptimizationSwitches) {
+  EnvGuard g1("CUTTLEFISH_NARROWING", "0");
+  EnvGuard g2("CUTTLEFISH_REVALIDATION", "off");
+  const ControllerConfig cfg = apply_env_overrides({});
+  EXPECT_FALSE(cfg.insertion_narrowing);
+  EXPECT_FALSE(cfg.revalidation);
+}
+
+TEST(EnvConfig, BoolParser) {
+  EXPECT_EQ(parse_bool("1"), true);
+  EXPECT_EQ(parse_bool("on"), true);
+  EXPECT_EQ(parse_bool("false"), false);
+  EXPECT_FALSE(parse_bool("yes").has_value());
+}
+
+TEST(EnvConfig, SlabWidthAndSamples) {
+  EnvGuard g1("CUTTLEFISH_SLAB_WIDTH", "0.008");
+  EnvGuard g2("CUTTLEFISH_JPI_SAMPLES", "5");
+  const ControllerConfig cfg = apply_env_overrides({});
+  EXPECT_DOUBLE_EQ(cfg.tipi_slab_width, 0.008);
+  EXPECT_EQ(cfg.jpi_samples, 5);
+}
+
+TEST(EnvConfig, PositiveDoubleParser) {
+  EXPECT_EQ(parse_positive_double("2.5"), 2.5);
+  EXPECT_FALSE(parse_positive_double("0").has_value());
+  EXPECT_FALSE(parse_positive_double("2.5ms").has_value());
+  EXPECT_FALSE(parse_positive_double("").has_value());
+}
+
+}  // namespace
+}  // namespace cuttlefish::core

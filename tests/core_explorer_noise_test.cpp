@@ -1,0 +1,141 @@
+// Noise-robustness properties of Algorithm 2: the paper averages ten JPI
+// readings per frequency precisely so measurement jitter cannot derail
+// the descent. These parameterised sweeps verify that behaviour holds on
+// the Haswell ladders for realistic noise levels, and that the
+// transition-discard rule keeps polluted samples out entirely.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "core/explorer.hpp"
+
+namespace cuttlefish::core {
+namespace {
+
+constexpr int kSamples = 10;
+
+DomainState make_state(const FreqLadder& ladder) {
+  DomainState st;
+  st.lb = 0;
+  st.rb = ladder.max_level();
+  st.window_set = true;
+  st.jpi = std::make_unique<JpiTable>(ladder.levels(), kSamples);
+  return st;
+}
+
+/// Valley with a per-level relative JPI slope of ~4% per step, matching
+/// the measured slopes of the calibrated machine model.
+double valley(Level level, Level opt) {
+  return 1.0 + 0.04 * std::abs(static_cast<double>(level - opt));
+}
+
+struct NoiseCase {
+  uint64_t seed;
+  double sigma;
+};
+
+class NoisyExploration
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(NoisyExploration, LandsWithinOneStepUnderMeasurementNoise) {
+  const auto [valley_pos, seed] = GetParam();
+  const FreqLadder ladder = haswell_uncore_ladder();
+  if (valley_pos > ladder.max_level()) GTEST_SKIP();
+  FrequencyExplorer ex(ladder, 2);
+  DomainState st = make_state(ladder);
+  SplitMix64 rng(static_cast<uint64_t>(seed) * 7919 + 17);
+
+  Level current = st.rb;
+  ex.step(st, 0.0, kNoLevel, false);
+  for (int tick = 0; tick < 4000 && !st.complete(); ++tick) {
+    // sigma = 0.3% per reading, the simulator's calibrated noise level;
+    // the 10-sample average reduces it to ~0.1%, well under the 4% step
+    // slope.
+    const double noise = 1.0 + 0.003 * (rng.next_double() * 2.0 - 1.0);
+    const auto res = ex.step(st, valley(current, valley_pos) * noise,
+                             current, true);
+    current = res.next;
+  }
+  ASSERT_TRUE(st.complete());
+  // Valleys on the step-2 measurement grid (even distance from the top)
+  // resolve within one level; off-grid valleys see identical JPI at both
+  // neighbours, so noise may push the landing one further step.
+  const bool on_grid = (ladder.max_level() - valley_pos) % 2 == 0;
+  EXPECT_LE(std::abs(st.opt - valley_pos), on_grid ? 1 : 2)
+      << "valley " << valley_pos << " seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ValleysAndSeeds, NoisyExploration,
+    ::testing::Combine(::testing::Values(0, 4, 9, 14, 18),
+                       ::testing::Range(0, 5)));
+
+TEST(NoisyExploration, HeavyTransitionPollutionIsHarmless) {
+  // Interleave every valid sample with three wildly wrong readings
+  // delivered with record=false (TIPI transitions): the result must be
+  // identical to the clean run.
+  const FreqLadder ladder = haswell_core_ladder();
+  FrequencyExplorer ex(ladder, 2);
+
+  DomainState clean = make_state(ladder);
+  DomainState dirty = make_state(ladder);
+  Level c_cur = clean.rb;
+  Level d_cur = dirty.rb;
+  ex.step(clean, 0.0, kNoLevel, false);
+  ex.step(dirty, 0.0, kNoLevel, false);
+  SplitMix64 rng(99);
+  for (int tick = 0; tick < 2000; ++tick) {
+    if (!clean.complete()) {
+      c_cur = ex.step(clean, valley(c_cur, 3), c_cur, true).next;
+    }
+    if (!dirty.complete()) {
+      // Transition ticks can themselves conclude the exploration through
+      // the adjacency branch (which precedes sample recording), so check
+      // completion between deliveries.
+      for (int j = 0; j < 3 && !dirty.complete(); ++j) {
+        ex.step(dirty, 1000.0 * rng.next_double(), d_cur, false);
+      }
+      if (!dirty.complete()) {
+        d_cur = ex.step(dirty, valley(d_cur, 3), d_cur, true).next;
+      }
+    }
+  }
+  ASSERT_TRUE(clean.complete());
+  ASSERT_TRUE(dirty.complete());
+  EXPECT_EQ(clean.opt, dirty.opt);
+}
+
+TEST(NoisyExploration, FlatCurveTerminates) {
+  // Degenerate JPI surface (all levels equal): the descent must still
+  // terminate at *some* level rather than oscillate.
+  const FreqLadder ladder = haswell_uncore_ladder();
+  FrequencyExplorer ex(ladder, 2);
+  DomainState st = make_state(ladder);
+  Level current = st.rb;
+  ex.step(st, 0.0, kNoLevel, false);
+  for (int tick = 0; tick < 4000 && !st.complete(); ++tick) {
+    current = ex.step(st, 1.0, current, true).next;
+  }
+  EXPECT_TRUE(st.complete());
+}
+
+TEST(NoisyExploration, StepOneExplorerAlsoConverges) {
+  // The explore_step knob is exercised by the ablation bench; verify the
+  // step-1 variant is functionally sound.
+  const FreqLadder ladder = haswell_core_ladder();
+  FrequencyExplorer ex(ladder, 1);
+  DomainState st = make_state(ladder);
+  Level current = st.rb;
+  ex.step(st, 0.0, kNoLevel, false);
+  for (int tick = 0; tick < 4000 && !st.complete(); ++tick) {
+    current = ex.step(st, valley(current, 5), current, true).next;
+  }
+  ASSERT_TRUE(st.complete());
+  EXPECT_LE(std::abs(st.opt - 5), 1);
+}
+
+}  // namespace
+}  // namespace cuttlefish::core

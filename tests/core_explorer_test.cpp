@@ -1,0 +1,204 @@
+// Golden-trace tests of Algorithm 2 on the paper's hypothetical 7-level
+// A..G processor (Figs. 4 and 5), plus parameterised property sweeps on
+// the Haswell ladders.
+
+#include "core/explorer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/frequency.hpp"
+
+namespace cuttlefish::core {
+namespace {
+
+constexpr int kSamples = 10;
+
+DomainState make_state(const FreqLadder& ladder, Level lb, Level rb) {
+  DomainState st;
+  st.lb = lb;
+  st.rb = rb;
+  st.window_set = true;
+  st.jpi = std::make_unique<JpiTable>(ladder.levels(), kSamples);
+  return st;
+}
+
+/// Drive the explorer against a synthetic JPI curve until the optimum is
+/// found (or `max_ticks` elapse). Returns the visited measurement levels
+/// in order of first visit.
+std::vector<Level> explore(const FrequencyExplorer& ex, DomainState& st,
+                           const std::function<double(Level)>& jpi_curve,
+                           int max_ticks = 2000) {
+  std::vector<Level> visited;
+  Level current = st.rb;  // exploration starts at the window's right bound
+  visited.push_back(current);
+  // First tick after discovery: transition, sample discarded.
+  ExploreResult res = ex.step(st, 0.0, kNoLevel, false);
+  EXPECT_EQ(res.next, st.rb);
+  current = res.next;
+  for (int tick = 0; tick < max_ticks && !st.complete(); ++tick) {
+    res = ex.step(st, jpi_curve(current), current, true);
+    if (res.next != current &&
+        std::find(visited.begin(), visited.end(), res.next) ==
+            visited.end()) {
+      visited.push_back(res.next);
+    }
+    current = res.next;
+  }
+  return visited;
+}
+
+class HypotheticalExplorer : public ::testing::Test {
+ protected:
+  FreqLadder ladder = hypothetical_ladder();  // A=0 .. G=6
+  FrequencyExplorer ex{ladder, 2};
+};
+
+TEST_F(HypotheticalExplorer, Figure4DescendsToAWhenJpiFallsWithFrequency) {
+  // Fig. 4: JPI decreases monotonically towards A: G -> E -> C -> A.
+  DomainState st = make_state(ladder, 0, 6);
+  const auto visited = explore(ex, st, [](Level l) {
+    return 1.0 + 0.1 * static_cast<double>(l);
+  });
+  EXPECT_EQ(st.opt, 0);  // CFopt = A
+  const std::vector<Level> expected{6, 4, 2, 0};
+  EXPECT_EQ(visited, expected);
+}
+
+TEST_F(HypotheticalExplorer, Figure4MeasurementsNeedTenTicksPerLevel) {
+  DomainState st = make_state(ladder, 0, 6);
+  int ticks = 0;
+  Level current = st.rb;
+  ex.step(st, 0.0, kNoLevel, false);
+  while (!st.complete() && ticks < 1000) {
+    const ExploreResult res =
+        ex.step(st, 1.0 + 0.1 * current, current, true);
+    current = res.next;
+    ++ticks;
+  }
+  // Four measured levels (G, E, C, A) x 10 readings, plus the bookkeeping
+  // ticks between levels.
+  EXPECT_GE(ticks, 40);
+  EXPECT_LE(ticks, 48);
+}
+
+TEST_F(HypotheticalExplorer, Figure5aAdjacentNearTopPicksUpperBound) {
+  // Fig. 5(a): JPI(E) > JPI(G) -> LB becomes F; the adjacent (F,G) pair
+  // near the top resolves to G (compute-bound: protect performance).
+  DomainState st = make_state(ladder, 0, 6);
+  const auto visited = explore(ex, st, [](Level l) {
+    // Minimum at G: JPI falls with frequency.
+    return 2.0 - 0.1 * static_cast<double>(l);
+  });
+  EXPECT_EQ(st.opt, 6);  // CFopt = G
+  const std::vector<Level> expected{6, 4, 5};  // G, E, then F briefly
+  EXPECT_EQ(visited, expected);
+}
+
+TEST_F(HypotheticalExplorer, Figure5bAdjacentNearBottomPicksLowerBound) {
+  // Fig. 5(b): descent reaches C, JPI(A) > JPI(C) -> LB becomes B; the
+  // adjacent (B,C) pair near the bottom resolves to B (memory-bound:
+  // maximise savings).
+  DomainState st = make_state(ladder, 0, 6);
+  const auto visited = explore(ex, st, [](Level l) {
+    // Minimum at C (level 2): V-shaped JPI.
+    return 1.0 + 0.2 * std::abs(static_cast<double>(l) - 2.0);
+  });
+  EXPECT_EQ(st.opt, 1);  // CFopt = B
+  const std::vector<Level> expected{6, 4, 2, 0, 1};
+  EXPECT_EQ(visited, expected);
+}
+
+TEST_F(HypotheticalExplorer, TransitionSamplesAreDiscarded) {
+  DomainState st = make_state(ladder, 0, 6);
+  ex.step(st, 0.0, kNoLevel, false);
+  // Poison samples delivered with record=false must not count.
+  for (int i = 0; i < 50; ++i) {
+    ex.step(st, 99.0, st.rb, false);
+  }
+  EXPECT_EQ(st.jpi->count(st.rb), 0);
+  EXPECT_FALSE(st.complete());
+}
+
+TEST_F(HypotheticalExplorer, CollapsedWindowResolvesImmediately) {
+  DomainState st = make_state(ladder, 3, 3);
+  const ExploreResult res = ex.step(st, 0.0, kNoLevel, false);
+  EXPECT_TRUE(res.opt_found);
+  EXPECT_EQ(st.opt, 3);
+}
+
+TEST_F(HypotheticalExplorer, AdjacentChoiceIsPositional) {
+  EXPECT_EQ(ex.adjacent_choice(5, 6), 6);  // upper half -> RB
+  EXPECT_EQ(ex.adjacent_choice(1, 2), 1);  // lower half -> LB
+  EXPECT_EQ(ex.adjacent_choice(2, 3), 2);  // midpoint 2.5 < 3 -> LB
+}
+
+TEST_F(HypotheticalExplorer, BoundEventsReported) {
+  DomainState st = make_state(ladder, 0, 6);
+  ex.step(st, 0.0, kNoLevel, false);
+  // Fill G with high JPI, then E with lower JPI -> RB lowered event.
+  for (int i = 0; i < kSamples; ++i) ex.step(st, 2.0, 6, true);
+  ExploreResult res{};
+  for (int i = 0; i < kSamples; ++i) res = ex.step(st, 1.0, 4, true);
+  EXPECT_TRUE(res.rb_lowered);
+  EXPECT_EQ(st.rb, 4);
+}
+
+// ---------------------------------------------------------------------
+// Property sweeps on the Haswell ladders: for every unimodal JPI valley
+// the explorer must terminate quickly and land within one level of the
+// true argmin (the step-2 grid plus the Fig. 5 rule allows +-1).
+
+class UnimodalSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(UnimodalSweep, CoreLadderLandsNearArgmin) {
+  const FreqLadder ladder = haswell_core_ladder();
+  const Level valley = GetParam();
+  if (valley > ladder.max_level()) GTEST_SKIP();
+  FrequencyExplorer ex(ladder, 2);
+  DomainState st = make_state(ladder, 0, ladder.max_level());
+  const auto jpi = [valley](Level l) {
+    return 1.0 + 0.05 * std::abs(static_cast<double>(l - valley));
+  };
+  explore(ex, st, jpi);
+  ASSERT_TRUE(st.complete());
+  EXPECT_LE(std::abs(st.opt - valley), 1)
+      << "valley " << valley << " landed " << st.opt;
+}
+
+TEST_P(UnimodalSweep, UncoreLadderLandsNearArgmin) {
+  const FreqLadder ladder = haswell_uncore_ladder();
+  const Level valley = GetParam();
+  if (valley > ladder.max_level()) GTEST_SKIP();
+  FrequencyExplorer ex(ladder, 2);
+  DomainState st = make_state(ladder, 0, ladder.max_level());
+  const auto jpi = [valley](Level l) {
+    return 1.0 + 0.05 * std::abs(static_cast<double>(l - valley));
+  };
+  explore(ex, st, jpi);
+  ASSERT_TRUE(st.complete());
+  EXPECT_LE(std::abs(st.opt - valley), 1);
+}
+
+TEST_P(UnimodalSweep, ExplorationVisitsAtMostHalfTheLadderPlusTwo) {
+  // §4.3: linear search in steps of two needs at most
+  // total_frequencies/2 (+ boundary bookkeeping) measured settings.
+  const FreqLadder ladder = haswell_uncore_ladder();
+  const Level valley = GetParam();
+  if (valley > ladder.max_level()) GTEST_SKIP();
+  FrequencyExplorer ex(ladder, 2);
+  DomainState st = make_state(ladder, 0, ladder.max_level());
+  const auto visited = explore(ex, st, [valley](Level l) {
+    return 1.0 + 0.05 * std::abs(static_cast<double>(l - valley));
+  });
+  EXPECT_LE(static_cast<int>(visited.size()), ladder.levels() / 2 + 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllValleys, UnimodalSweep,
+                         ::testing::Range(0, 19));
+
+}  // namespace
+}  // namespace cuttlefish::core

@@ -1,0 +1,51 @@
+#include "core/jpi_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cuttlefish::core {
+namespace {
+
+TEST(JpiAccumulator, AveragesReadings) {
+  JpiAccumulator acc;
+  acc.add(2.0);
+  acc.add(4.0);
+  EXPECT_EQ(acc.count(), 2);
+  EXPECT_DOUBLE_EQ(acc.average(), 3.0);
+}
+
+TEST(JpiAccumulator, ResetClears) {
+  JpiAccumulator acc;
+  acc.add(2.0);
+  acc.reset();
+  EXPECT_EQ(acc.count(), 0);
+}
+
+TEST(JpiTable, CompleteRequiresTenSamples) {
+  // Algorithm 2: "JPI avg at any FQ is average of 10 readings".
+  JpiTable table(12, 10);
+  for (int i = 0; i < 9; ++i) table.add(5, 1.0);
+  EXPECT_FALSE(table.complete(5));
+  table.add(5, 1.0);
+  EXPECT_TRUE(table.complete(5));
+  EXPECT_DOUBLE_EQ(table.average(5), 1.0);
+}
+
+TEST(JpiTable, LevelsAreIndependent) {
+  JpiTable table(7, 3);
+  table.add(0, 1.0);
+  table.add(6, 2.0);
+  EXPECT_EQ(table.count(0), 1);
+  EXPECT_EQ(table.count(6), 1);
+  EXPECT_EQ(table.count(3), 0);
+}
+
+TEST(JpiTable, AverageUsesAllSamplesBeyondMinimum) {
+  JpiTable table(7, 2);
+  table.add(1, 1.0);
+  table.add(1, 2.0);
+  table.add(1, 6.0);
+  EXPECT_DOUBLE_EQ(table.average(1), 3.0);
+}
+
+}  // namespace
+}  // namespace cuttlefish::core

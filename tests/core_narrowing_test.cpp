@@ -1,0 +1,230 @@
+// Scenario tests for the §4.4 window narrowing (Figs. 6-7) and §4.5
+// revalidation propagation (Figs. 8-9), on the hypothetical A..G machine.
+
+#include "core/narrowing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/frequency.hpp"
+#include "core/explorer.hpp"
+
+namespace cuttlefish::core {
+namespace {
+
+constexpr int kSamples = 10;
+// Levels of the hypothetical ladder, named as in the paper's figures.
+constexpr Level A = 0, B = 1, C = 2, D = 3, E = 4, F = 5, G = 6;
+
+class NarrowingTest : public ::testing::Test {
+ protected:
+  FreqLadder ladder = hypothetical_ladder();
+  SortedTipiList list;
+
+  TipiNode* insert_with_cf(int64_t slab, bool narrow = true) {
+    TipiNode* n = list.insert(slab);
+    init_cf_window(*n, ladder, kSamples, narrow);
+    return n;
+  }
+};
+
+TEST_F(NarrowingTest, FirstNodeGetsFullCfLadder) {
+  TipiNode* n = insert_with_cf(10);
+  EXPECT_EQ(n->cf.lb, A);
+  EXPECT_EQ(n->cf.rb, G);
+  EXPECT_TRUE(n->cf.window_set);
+}
+
+TEST_F(NarrowingTest, Fig6aFrontInsertInheritsLbFromRightNeighborOpt) {
+  // TIPI-3 exists with CFopt = B; TIPI-1 inserted at the front is
+  // compute-bound relative to it: CF_LB = B, CF_RB = G.
+  TipiNode* t3 = insert_with_cf(30);
+  t3->cf.opt = B;
+  TipiNode* t1 = insert_with_cf(10);
+  EXPECT_EQ(t1->cf.lb, B);
+  EXPECT_EQ(t1->cf.rb, G);
+}
+
+TEST_F(NarrowingTest, Fig6bMiddleInsertUsesLeftRbWhenLeftUnresolved) {
+  // TIPI-1 still exploring with CF_RB = E; TIPI-3 resolved at B. TIPI-2
+  // inserted between them gets CF_LB = B (right's opt) and CF_RB = E
+  // (left's live RB).
+  TipiNode* t3 = insert_with_cf(30);
+  t3->cf.opt = B;
+  TipiNode* t1 = insert_with_cf(10);
+  t1->cf.rb = E;  // mid-exploration
+  TipiNode* t2 = insert_with_cf(20);
+  EXPECT_EQ(t2->cf.lb, B);
+  EXPECT_EQ(t2->cf.rb, E);
+}
+
+TEST_F(NarrowingTest, NarrowingDisabledIgnoresNeighbors) {
+  TipiNode* t3 = insert_with_cf(30);
+  t3->cf.opt = B;
+  TipiNode* t1 = insert_with_cf(10, /*narrow=*/false);
+  EXPECT_EQ(t1->cf.lb, A);
+  EXPECT_EQ(t1->cf.rb, G);
+}
+
+TEST_F(NarrowingTest, ConflictingNeighborsCollapseInsteadOfInverting) {
+  TipiNode* t3 = insert_with_cf(30);
+  t3->cf.opt = F;  // memory-bound node with (noisy) high optimum
+  TipiNode* t1 = insert_with_cf(10);
+  t1->cf.opt = C;  // compute-bound neighbour with lower optimum
+  t1->cf.rb = C;
+  TipiNode* t2 = insert_with_cf(20);
+  // lb would be F, rb would be C -> inverted; must collapse, not abort.
+  EXPECT_LE(t2->cf.lb, t2->cf.rb);
+  EXPECT_TRUE(t2->cf.complete());
+}
+
+TEST_F(NarrowingTest, Fig7aUfWindowIntersectsAlgo3WithRightNeighbor) {
+  // TIPI-1 has CFopt = E (Algorithm 3 alone would give [A, E]); right
+  // neighbour TIPI-3 has UFopt = C -> UF_RB = C.
+  TipiNode* t3 = insert_with_cf(30);
+  t3->uf.opt = C;
+  t3->uf.window_set = true;
+  t3->uf.lb = t3->uf.rb = C;
+  TipiNode* t1 = insert_with_cf(10);
+  t1->cf.opt = E;
+  init_uf_window(*t1, ladder, ladder, kSamples, t1->cf.opt, true);
+  EXPECT_EQ(t1->uf.lb, A);
+  EXPECT_EQ(t1->uf.rb, C);
+}
+
+TEST_F(NarrowingTest, Fig7bUfWindowBoundedByBothNeighborsOpts) {
+  // UF_LB(TIPI-2) = UFopt(TIPI-1), UF_RB(TIPI-2) = UFopt(TIPI-3).
+  TipiNode* t1 = insert_with_cf(10);
+  t1->uf.opt = B;
+  t1->uf.window_set = true;
+  t1->uf.lb = t1->uf.rb = B;
+  TipiNode* t3 = insert_with_cf(30);
+  t3->uf.opt = F;
+  t3->uf.window_set = true;
+  t3->uf.lb = t3->uf.rb = F;
+  TipiNode* t2 = insert_with_cf(20);
+  t2->cf.opt = D;  // Algorithm 3 window [B, F] on the 7/7 ladder
+  init_uf_window(*t2, ladder, ladder, kSamples, t2->cf.opt, true);
+  EXPECT_EQ(t2->uf.lb, B);
+  EXPECT_EQ(t2->uf.rb, F);
+}
+
+TEST_F(NarrowingTest, UncoreOnlyWindowWithoutCfOptIsFullLadder) {
+  TipiNode* t1 = insert_with_cf(10);
+  init_uf_window(*t1, ladder, ladder, kSamples, std::nullopt, true);
+  EXPECT_EQ(t1->uf.lb, A);
+  EXPECT_EQ(t1->uf.rb, G);
+}
+
+// --- §4.5 revalidation -------------------------------------------------
+
+TEST_F(NarrowingTest, Fig8aCfOptPropagatesAsLbToLeftNodes) {
+  TipiNode* t1 = insert_with_cf(10);
+  TipiNode* t2 = insert_with_cf(20);
+  t1->cf.lb = B;
+  t2->cf.opt = E;
+  BoundPropagator prop(Domain::kCore, true);
+  prop.on_opt_found(*t2, E);
+  EXPECT_EQ(t1->cf.lb, E);  // raised from B to TIPI-2's CFopt
+}
+
+TEST_F(NarrowingTest, Fig8bCfRbLoweringPropagatesRight) {
+  TipiNode* t3 = insert_with_cf(30);
+  TipiNode* t4 = insert_with_cf(40);
+  EXPECT_EQ(t4->cf.rb, G);
+  t3->cf.rb = E;  // JPI(E) beat JPI(G) during TIPI-3's exploration
+  ExploreResult res;
+  res.rb_lowered = true;
+  BoundPropagator prop(Domain::kCore, true);
+  prop.apply(*t3, res);
+  EXPECT_EQ(t4->cf.rb, E);
+}
+
+TEST_F(NarrowingTest, Fig9aUfRbLoweringPropagatesLeft) {
+  TipiNode* t4 = insert_with_cf(40);
+  TipiNode* t5 = insert_with_cf(50);
+  for (TipiNode* n : {t4, t5}) {
+    init_uf_window(*n, ladder, ladder, kSamples, std::nullopt, false);
+  }
+  t5->uf.rb = E;  // lowered from G
+  ExploreResult res;
+  res.rb_lowered = true;
+  BoundPropagator prop(Domain::kUncore, true);
+  prop.apply(*t5, res);
+  EXPECT_EQ(t4->uf.rb, E);
+  EXPECT_EQ(t4->uf.lb, A);  // untouched
+}
+
+TEST_F(NarrowingTest, Fig9bUfOptCascadesThroughCollapse) {
+  // TIPI-4 resolves UFopt = E; TIPI-5's window [C, E] first gets LB = E,
+  // which collapses it, which sets its UFopt = E — the full Fig. 9(b)
+  // cascade.
+  TipiNode* t4 = insert_with_cf(40);
+  TipiNode* t5 = insert_with_cf(50);
+  t4->uf.window_set = true;
+  t4->uf.lb = t4->uf.rb = E;
+  t4->uf.opt = E;
+  t5->uf.window_set = true;
+  t5->uf.jpi = std::make_unique<JpiTable>(ladder.levels(), kSamples);
+  t5->uf.lb = C;
+  t5->uf.rb = E;
+  BoundPropagator prop(Domain::kUncore, true);
+  prop.on_opt_found(*t4, E);
+  EXPECT_TRUE(t5->uf.complete());
+  EXPECT_EQ(t5->uf.opt, E);
+}
+
+TEST_F(NarrowingTest, PropagationSkipsCompletedNodes) {
+  TipiNode* t1 = insert_with_cf(10);
+  TipiNode* t2 = insert_with_cf(20);
+  t1->cf.opt = G;  // already resolved
+  const Level before = t1->cf.lb;
+  BoundPropagator prop(Domain::kCore, true);
+  prop.on_opt_found(*t2, C);
+  EXPECT_EQ(t1->cf.opt, G);
+  EXPECT_EQ(t1->cf.lb, before);
+}
+
+TEST_F(NarrowingTest, PropagationDisabledDoesNothing) {
+  TipiNode* t1 = insert_with_cf(10);
+  TipiNode* t2 = insert_with_cf(20);
+  BoundPropagator prop(Domain::kCore, false);
+  prop.on_opt_found(*t2, E);
+  EXPECT_EQ(t1->cf.lb, A);
+}
+
+TEST_F(NarrowingTest, PropagationReachesAllNodesOnTheSide) {
+  TipiNode* t1 = insert_with_cf(10);
+  TipiNode* t2 = insert_with_cf(20);
+  TipiNode* t3 = insert_with_cf(30);
+  TipiNode* t4 = insert_with_cf(40);
+  BoundPropagator prop(Domain::kCore, true);
+  prop.on_opt_found(*t3, D);
+  EXPECT_EQ(t1->cf.lb, D);  // both left nodes raised
+  EXPECT_EQ(t2->cf.lb, D);
+  EXPECT_EQ(t4->cf.rb, D);  // right node lowered
+}
+
+TEST_F(NarrowingTest, PropagationNeverWidensWindows) {
+  TipiNode* t1 = insert_with_cf(10);
+  TipiNode* t2 = insert_with_cf(20);
+  t1->cf.lb = F;  // already tighter than the incoming bound
+  BoundPropagator prop(Domain::kCore, true);
+  prop.on_opt_found(*t2, C);
+  EXPECT_EQ(t1->cf.lb, F);
+}
+
+TEST_F(NarrowingTest, ConflictingPropagationClampsToCollapse) {
+  TipiNode* t2 = insert_with_cf(20);
+  TipiNode* t3 = insert_with_cf(30);
+  t3->cf.lb = E;
+  t3->cf.rb = G;
+  BoundPropagator prop(Domain::kCore, true);
+  // TIPI-2 resolves at C; the right neighbour's RB should drop to C but
+  // cannot cross its own LB = E: it clamps there and collapses.
+  prop.on_opt_found(*t2, C);
+  EXPECT_TRUE(t3->cf.complete());
+  EXPECT_EQ(t3->cf.opt, E);
+}
+
+}  // namespace
+}  // namespace cuttlefish::core

@@ -1,0 +1,140 @@
+// Randomised stress of the §4.5 revalidation machinery: arbitrary
+// interleavings of node insertions and bound-tightening events must
+// never invert a window, never widen one, never mutate a resolved
+// optimum, and must preserve the monotone left-to-right ordering the
+// optimizations are built on.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "core/narrowing.hpp"
+#include "core/tipi_list.hpp"
+
+namespace cuttlefish::core {
+namespace {
+
+constexpr int kSamples = 10;
+
+class PropagationFuzz : public ::testing::TestWithParam<int> {
+ protected:
+  FreqLadder cf_ladder = haswell_core_ladder();
+  FreqLadder uf_ladder = haswell_uncore_ladder();
+};
+
+struct Snapshot {
+  Level cf_lb, cf_rb, cf_opt;
+  Level uf_lb, uf_rb, uf_opt;
+  bool uf_set;
+};
+
+TEST_P(PropagationFuzz, RandomEventSequencesPreserveInvariants) {
+  SplitMix64 rng(static_cast<uint64_t>(GetParam()) * 1000003ULL + 7);
+  SortedTipiList list;
+  BoundPropagator cf_prop(Domain::kCore, true);
+  BoundPropagator uf_prop(Domain::kUncore, true);
+  std::map<int64_t, Snapshot> snaps;
+
+  auto snapshot = [&](const TipiNode& n) {
+    return Snapshot{n.cf.window_set ? n.cf.lb : kNoLevel,
+                    n.cf.window_set ? n.cf.rb : kNoLevel,
+                    n.cf.opt,
+                    n.uf.window_set ? n.uf.lb : kNoLevel,
+                    n.uf.window_set ? n.uf.rb : kNoLevel,
+                    n.uf.opt,
+                    n.uf.window_set};
+  };
+
+  auto check_all = [&]() {
+    ASSERT_TRUE(list.check_invariants());
+    Level prev_cf_opt = 999;
+    Level prev_uf_opt = -1;
+    for (const TipiNode* n = list.head(); n != nullptr; n = n->next) {
+      if (n->cf.window_set) {
+        ASSERT_LE(n->cf.lb, n->cf.rb) << "slab " << n->slab;
+      }
+      if (n->uf.window_set) {
+        ASSERT_LE(n->uf.lb, n->uf.rb) << "slab " << n->slab;
+      }
+      // Monotone ordering of resolved optima along the list.
+      if (n->cf.complete()) {
+        ASSERT_LE(n->cf.opt, prev_cf_opt) << "slab " << n->slab;
+        prev_cf_opt = n->cf.opt;
+      }
+      if (n->uf.complete()) {
+        ASSERT_GE(n->uf.opt, prev_uf_opt) << "slab " << n->slab;
+        prev_uf_opt = n->uf.opt;
+      }
+      // Shrink-only relative to the last snapshot; optima immutable.
+      auto it = snaps.find(n->slab);
+      if (it != snaps.end()) {
+        const Snapshot& s = it->second;
+        if (s.cf_opt != kNoLevel) {
+          ASSERT_EQ(n->cf.opt, s.cf_opt) << "slab " << n->slab;
+        } else if (n->cf.window_set && s.cf_lb != kNoLevel) {
+          ASSERT_GE(n->cf.lb, s.cf_lb) << "slab " << n->slab;
+          ASSERT_LE(n->cf.rb, s.cf_rb) << "slab " << n->slab;
+        }
+        if (s.uf_opt != kNoLevel) {
+          ASSERT_EQ(n->uf.opt, s.uf_opt) << "slab " << n->slab;
+        } else if (n->uf.window_set && s.uf_set) {
+          ASSERT_GE(n->uf.lb, s.uf_lb) << "slab " << n->slab;
+          ASSERT_LE(n->uf.rb, s.uf_rb) << "slab " << n->slab;
+        }
+      }
+      snaps[n->slab] = snapshot(*n);
+    }
+  };
+
+  for (int step = 0; step < 400; ++step) {
+    const uint64_t action = rng.next_below(10);
+    if (action < 3 || list.empty()) {
+      // Insert a new slab with §4.4 narrowing.
+      const auto slab = static_cast<int64_t>(rng.next_below(80));
+      if (list.find(slab) == nullptr) {
+        TipiNode* n = list.insert(slab);
+        init_cf_window(*n, cf_ladder, kSamples, true);
+        if (n->cf.complete()) cf_prop.on_opt_found(*n, n->cf.opt);
+      }
+    } else {
+      // Pick a random node and apply a random exploration event to it.
+      const size_t target = rng.next_below(list.size());
+      TipiNode* n = list.head();
+      for (size_t i = 0; i < target; ++i) n = n->next;
+      const uint64_t kind = rng.next_below(4);
+      if (kind == 0 && n->cf.window_set && !n->cf.complete() &&
+          n->cf.rb - n->cf.lb >= 2) {
+        // CF RB lowered by one or two levels.
+        n->cf.rb -= static_cast<Level>(1 + rng.next_below(2));
+        if (n->cf.rb < n->cf.lb) n->cf.rb = n->cf.lb;
+        ExploreResult res;
+        res.rb_lowered = true;
+        cf_prop.apply(*n, res);
+      } else if (kind == 1 && n->cf.window_set && !n->cf.complete()) {
+        // CF exploration concludes somewhere in the window.
+        const auto span =
+            static_cast<uint64_t>(n->cf.rb - n->cf.lb + 1);
+        n->cf.opt = n->cf.lb + static_cast<Level>(rng.next_below(span));
+        cf_prop.on_opt_found(*n, n->cf.opt);
+      } else if (kind == 2 && n->cf.complete() && !n->uf.window_set) {
+        // UF phase arming (Algorithm 3 + §4.4).
+        init_uf_window(*n, cf_ladder, uf_ladder, kSamples, n->cf.opt, true);
+        if (n->uf.complete()) uf_prop.on_opt_found(*n, n->uf.opt);
+      } else if (kind == 3 && n->uf.window_set && !n->uf.complete()) {
+        const auto span =
+            static_cast<uint64_t>(n->uf.rb - n->uf.lb + 1);
+        n->uf.opt = n->uf.lb + static_cast<Level>(rng.next_below(span));
+        uf_prop.on_opt_found(*n, n->uf.opt);
+      }
+    }
+    check_all();
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropagationFuzz, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace cuttlefish::core

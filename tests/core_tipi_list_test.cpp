@@ -1,0 +1,90 @@
+#include "core/tipi_list.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace cuttlefish::core {
+namespace {
+
+TEST(SortedTipiList, EmptyList) {
+  SortedTipiList list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.head(), nullptr);
+  EXPECT_EQ(list.find(3), nullptr);
+  EXPECT_TRUE(list.check_invariants());
+}
+
+TEST(SortedTipiList, SingleInsert) {
+  SortedTipiList list;
+  TipiNode* n = list.insert(16);
+  EXPECT_EQ(list.head(), n);
+  EXPECT_EQ(list.tail(), n);
+  EXPECT_EQ(n->prev, nullptr);
+  EXPECT_EQ(n->next, nullptr);
+  EXPECT_TRUE(list.check_invariants());
+}
+
+TEST(SortedTipiList, InsertFrontMiddleBack) {
+  SortedTipiList list;
+  TipiNode* mid = list.insert(10);
+  TipiNode* front = list.insert(2);   // Fig. 6(a): new node at the front
+  TipiNode* back = list.insert(20);
+  TipiNode* between = list.insert(5);  // Fig. 6(b): between two nodes
+
+  EXPECT_EQ(list.head(), front);
+  EXPECT_EQ(list.tail(), back);
+  EXPECT_EQ(front->next, between);
+  EXPECT_EQ(between->prev, front);
+  EXPECT_EQ(between->next, mid);
+  EXPECT_EQ(mid->next, back);
+  EXPECT_TRUE(list.check_invariants());
+}
+
+TEST(SortedTipiList, FindReturnsInsertedNodes) {
+  SortedTipiList list;
+  list.insert(7);
+  list.insert(3);
+  EXPECT_NE(list.find(7), nullptr);
+  EXPECT_NE(list.find(3), nullptr);
+  EXPECT_EQ(list.find(5), nullptr);
+}
+
+TEST(SortedTipiList, RandomInsertionKeepsSortedOrder) {
+  // Property test: any insertion order yields a sorted, fully linked
+  // list (the invariant §§4.4-4.5 depend on).
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    SortedTipiList list;
+    SplitMix64 rng(seed);
+    std::vector<int64_t> slabs;
+    for (int i = 0; i < 60; ++i) {
+      const auto slab = static_cast<int64_t>(rng.next_below(200));
+      if (list.find(slab) == nullptr) {
+        list.insert(slab);
+        slabs.push_back(slab);
+      }
+      ASSERT_TRUE(list.check_invariants()) << "seed " << seed;
+    }
+    std::sort(slabs.begin(), slabs.end());
+    size_t i = 0;
+    for (const TipiNode* n = list.head(); n != nullptr; n = n->next, ++i) {
+      EXPECT_EQ(n->slab, slabs[i]);
+    }
+    EXPECT_EQ(i, slabs.size());
+  }
+}
+
+TEST(SortedTipiList, DomainStateDefaults) {
+  SortedTipiList list;
+  TipiNode* n = list.insert(1);
+  EXPECT_FALSE(n->cf.window_set);
+  EXPECT_FALSE(n->cf.complete());
+  EXPECT_EQ(n->cf.opt, kNoLevel);
+  EXPECT_EQ(n->ticks, 0u);
+}
+
+}  // namespace
+}  // namespace cuttlefish::core

@@ -1,0 +1,85 @@
+#include "core/uncore_range.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/frequency.hpp"
+
+namespace cuttlefish::core {
+namespace {
+
+TEST(UncoreRange, HypotheticalCfOptAtMinGivesCtoG) {
+  // Paper §4.3 worked example: CFopt = A on the 7/7-level machine yields
+  // UF_LB = C, UF_RB = G.
+  const FreqLadder l = hypothetical_ladder();
+  const UfWindow w = estimate_uf_window(l, l, 0);
+  EXPECT_EQ(w.lb, 2);  // C
+  EXPECT_EQ(w.rb, 6);  // G
+}
+
+TEST(UncoreRange, HypotheticalCfOptAtEGivesAtoE) {
+  // Fig. 7(a): CFopt = E -> UF_LB = A, UF_RB = E.
+  const FreqLadder l = hypothetical_ladder();
+  const UfWindow w = estimate_uf_window(l, l, 4);
+  EXPECT_EQ(w.lb, 0);  // A
+  EXPECT_EQ(w.rb, 4);  // E
+}
+
+TEST(UncoreRange, HypotheticalCfOptAtMaxGivesLowWindow) {
+  const FreqLadder l = hypothetical_ladder();
+  const UfWindow w = estimate_uf_window(l, l, 6);
+  EXPECT_EQ(w.lb, 0);  // A
+  EXPECT_EQ(w.rb, 4);  // boundary shift keeps the window 4 levels wide
+}
+
+TEST(UncoreRange, HaswellCfMinReachesThePaper22GHz) {
+  // Table 2: memory-bound benchmarks land UFopt = 2.2 GHz from
+  // CFopt = 1.2/1.3 GHz — so 2.2 GHz (level 10) must be inside the
+  // estimated window.
+  const FreqLadder cf = haswell_core_ladder();
+  const FreqLadder uf = haswell_uncore_ladder();
+  const UfWindow w0 = estimate_uf_window(cf, uf, 0);   // CFopt = 1.2
+  EXPECT_LE(w0.lb, 10);
+  EXPECT_EQ(w0.rb, uf.max_level());
+  const UfWindow w1 = estimate_uf_window(cf, uf, 1);   // CFopt = 1.3
+  EXPECT_LE(w1.lb, 10);
+  EXPECT_EQ(w1.rb, uf.max_level());
+}
+
+TEST(UncoreRange, HaswellCfMaxGivesLowUncoreWindow) {
+  // Compute-bound: CFopt = 2.3 must allow reaching UFopt = 1.2/1.3.
+  const FreqLadder cf = haswell_core_ladder();
+  const FreqLadder uf = haswell_uncore_ladder();
+  const UfWindow w = estimate_uf_window(cf, uf, cf.max_level());
+  EXPECT_EQ(w.lb, 0);
+  EXPECT_LE(w.rb, 9);  // window stays in the lower half
+}
+
+TEST(UncoreRange, WindowIsAlwaysSmallerThanFullLadderOnHaswell) {
+  // §4.4: "Compared to CF, the exploration range of UF is already
+  // smaller (Algorithm 3)".
+  const FreqLadder cf = haswell_core_ladder();
+  const FreqLadder uf = haswell_uncore_ladder();
+  for (Level cf_opt = 0; cf_opt < cf.levels(); ++cf_opt) {
+    const UfWindow w = estimate_uf_window(cf, uf, cf_opt);
+    EXPECT_LT(w.rb - w.lb, uf.levels() - 1) << "cf_opt " << cf_opt;
+    EXPECT_GE(w.lb, 0);
+    EXPECT_LE(w.rb, uf.max_level());
+    EXPECT_LE(w.lb, w.rb);
+  }
+}
+
+TEST(UncoreRange, EstimateMovesMonotonicallyWithCfOpt) {
+  // Higher CFopt -> lower UF window (the §3.2 inverse relation).
+  const FreqLadder cf = haswell_core_ladder();
+  const FreqLadder uf = haswell_uncore_ladder();
+  UfWindow prev = estimate_uf_window(cf, uf, 0);
+  for (Level cf_opt = 1; cf_opt < cf.levels(); ++cf_opt) {
+    const UfWindow w = estimate_uf_window(cf, uf, cf_opt);
+    EXPECT_LE(w.lb, prev.lb);
+    EXPECT_LE(w.rb, prev.rb);
+    prev = w;
+  }
+}
+
+}  // namespace
+}  // namespace cuttlefish::core

@@ -1,0 +1,184 @@
+#include "exp/driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "exp/calibrate.hpp"
+#include "exp/metrics.hpp"
+#include "sim/machine_config.hpp"
+#include "workloads/suite.hpp"
+
+namespace cuttlefish::exp {
+namespace {
+
+sim::PhaseProgram two_phase_program() {
+  sim::PhaseProgram p;
+  // TIPI values sit mid-slab (slabs 0 and 20): a value on a slab edge
+  // would dither between neighbouring slabs through counter rounding.
+  p.add(3e11, 0.7, 0.002);   // compute-bound opening
+  p.add(3e11, 0.8, 0.082);   // memory-bound close
+  return p;
+}
+
+class DriverTest : public ::testing::Test {
+ protected:
+  sim::MachineConfig machine = sim::haswell_2650v3();
+};
+
+TEST_F(DriverTest, DefaultRunIsDeterministicPerSeed) {
+  const sim::PhaseProgram p = two_phase_program();
+  RunOptions opt;
+  opt.seed = 5;
+  const RunResult a = run_default(machine, p, opt);
+  const RunResult b = run_default(machine, p, opt);
+  EXPECT_DOUBLE_EQ(a.time_s, b.time_s);
+  EXPECT_DOUBLE_EQ(a.energy_j, b.energy_j);
+}
+
+TEST_F(DriverTest, SeedsChangeEnergyNotTime) {
+  const sim::PhaseProgram p = two_phase_program();
+  RunOptions a_opt;
+  a_opt.seed = 1;
+  RunOptions b_opt;
+  b_opt.seed = 2;
+  const RunResult a = run_default(machine, p, a_opt);
+  const RunResult b = run_default(machine, p, b_opt);
+  // Power noise perturbs measured energy but the perf model is
+  // noise-free, so time is identical.
+  EXPECT_DOUBLE_EQ(a.time_s, b.time_s);
+  EXPECT_NE(a.energy_j, b.energy_j);
+  EXPECT_NEAR(a.energy_j, b.energy_j, 0.01 * a.energy_j);
+}
+
+TEST_F(DriverTest, FixedMaxRunIsFasterOrEqualToAnyOtherFixedRun) {
+  const sim::PhaseProgram p = two_phase_program();
+  RunOptions opt;
+  const RunResult fast = run_fixed(machine, p, machine.core_ladder.max(),
+                                   machine.uncore_ladder.max(), opt);
+  const RunResult slow = run_fixed(machine, p, machine.core_ladder.min(),
+                                   machine.uncore_ladder.min(), opt);
+  EXPECT_LE(fast.time_s, slow.time_s);
+}
+
+TEST_F(DriverTest, TimelineCoversWholeRun) {
+  const sim::PhaseProgram p = two_phase_program();
+  RunOptions opt;
+  opt.capture_timeline = true;
+  const RunResult r = run_default(machine, p, opt);
+  ASSERT_FALSE(r.timeline.empty());
+  EXPECT_NEAR(r.timeline.back().t, r.time_s, 0.021);
+  for (size_t i = 1; i < r.timeline.size(); ++i) {
+    EXPECT_GT(r.timeline[i].t, r.timeline[i - 1].t);
+  }
+}
+
+TEST_F(DriverTest, PolicyRunReportsNodesAndStats) {
+  const sim::PhaseProgram p = two_phase_program();
+  RunOptions opt;
+  const RunResult r =
+      run_policy(machine, p, core::PolicyKind::kFull, opt);
+  // The two phase slabs, plus possibly transient slabs from the ticks
+  // that straddle the single phase boundary.
+  EXPECT_GE(r.nodes.size(), 2u);
+  EXPECT_LE(r.nodes.size(), 4u);
+  uint64_t total_ticks = 0;
+  uint64_t dominant_ticks = 0;
+  for (const auto& n : r.nodes) {
+    total_ticks += n.ticks;
+    if (n.slab == 0 || n.slab == 20) dominant_ticks += n.ticks;
+  }
+  EXPECT_GT(r.stats.ticks, 0u);
+  EXPECT_GT(r.stats.freq_writes, 0u);
+  EXPECT_GT(total_ticks, 0u);
+  // Transient slabs must be a negligible share.
+  EXPECT_GT(static_cast<double>(dominant_ticks),
+            0.99 * static_cast<double>(total_ticks));
+}
+
+TEST_F(DriverTest, InstructionsAccountedExactly) {
+  const sim::PhaseProgram p = two_phase_program();
+  RunOptions opt;
+  const RunResult r = run_default(machine, p, opt);
+  EXPECT_NEAR(static_cast<double>(r.instructions),
+              p.total_instructions(), 4.0);
+}
+
+TEST_F(DriverTest, CalibrationConvergesForEveryBenchmark) {
+  for (const auto& model : workloads::openmp_suite()) {
+    sim::PhaseProgram program = model.build_program(11);
+    calibrate_program(program, machine, model.default_time_s);
+    RunOptions opt;
+    const RunResult r = run_default(machine, program, opt);
+    EXPECT_NEAR(r.time_s, model.default_time_s,
+                0.005 * model.default_time_s)
+        << model.name;
+  }
+}
+
+TEST_F(DriverTest, CalibrationScalesInstructionsNotStructure) {
+  const auto& model = workloads::find_benchmark("Heat-irt");
+  sim::PhaseProgram raw = model.build_program(4);
+  sim::PhaseProgram calibrated = model.build_program(4);
+  calibrate_program(calibrated, machine, model.default_time_s);
+  ASSERT_EQ(raw.segments().size(), calibrated.segments().size());
+  const double ratio = calibrated.segments()[0].instructions /
+                       raw.segments()[0].instructions;
+  for (size_t i = 0; i < raw.segments().size(); ++i) {
+    EXPECT_NEAR(calibrated.segments()[i].instructions /
+                    raw.segments()[i].instructions,
+                ratio, 1e-9);
+    EXPECT_DOUBLE_EQ(calibrated.segments()[i].op.tipi,
+                     raw.segments()[i].op.tipi);
+  }
+}
+
+// --- metrics -------------------------------------------------------------
+
+TEST(Metrics, CompareComputesThePaperQuantities) {
+  RunResult baseline;
+  baseline.time_s = 100.0;
+  baseline.energy_j = 1000.0;
+  RunResult policy;
+  policy.time_s = 104.0;
+  policy.energy_j = 800.0;
+  const Comparison c = compare(policy, baseline);
+  EXPECT_NEAR(c.energy_savings_pct, 20.0, 1e-9);
+  EXPECT_NEAR(c.slowdown_pct, 4.0, 1e-9);
+  EXPECT_NEAR(c.edp_savings_pct, (1.0 - 0.8 * 1.04) * 100.0, 1e-9);
+}
+
+TEST(Metrics, GeomeanSavingsMatchesHandComputation) {
+  // Ratios 0.8 and 0.9 -> geomean sqrt(0.72) -> savings 1 - 0.8485...
+  const double got = geomean_savings_pct({20.0, 10.0});
+  EXPECT_NEAR(got, (1.0 - std::sqrt(0.72)) * 100.0, 1e-9);
+}
+
+TEST(Metrics, GeomeanSlowdownMatchesHandComputation) {
+  const double got = geomean_slowdown_pct({4.0, 1.0});
+  EXPECT_NEAR(got, (std::sqrt(1.04 * 1.01) - 1.0) * 100.0, 1e-9);
+}
+
+TEST(Metrics, GeomeanHandlesNegativeSavings) {
+  // Cuttlefish-Core on compute-bound benchmarks has negative savings;
+  // the ratio form must handle them (ratio > 1).
+  const double got = geomean_savings_pct({-10.0, 10.0});
+  EXPECT_NEAR(got, (1.0 - std::sqrt(1.1 * 0.9)) * 100.0, 1e-9);
+}
+
+TEST(Metrics, AggregateMeanAndCi) {
+  const Aggregate a = aggregate({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(a.mean, 2.0);
+  EXPECT_GT(a.ci95, 0.0);
+}
+
+TEST(Metrics, EdpIsTimesEnergy) {
+  RunResult r;
+  r.time_s = 10.0;
+  r.energy_j = 500.0;
+  EXPECT_DOUBLE_EQ(r.edp(), 5000.0);
+  EXPECT_DOUBLE_EQ(r.avg_power_w(), 50.0);
+}
+
+}  // namespace
+}  // namespace cuttlefish::exp

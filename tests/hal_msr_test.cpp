@@ -1,0 +1,54 @@
+#include "hal/msr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cuttlefish::hal {
+namespace {
+
+TEST(MsrCodec, PerfCtlRoundTrip) {
+  for (int mhz = 1200; mhz <= 2300; mhz += 100) {
+    const FreqMHz f{mhz};
+    EXPECT_EQ(decode_perf_ctl(encode_perf_ctl(f)).value, mhz);
+  }
+}
+
+TEST(MsrCodec, PerfCtlFieldPlacement) {
+  // Ratio 23 (2.3 GHz) sits in bits 15:8.
+  EXPECT_EQ(encode_perf_ctl(FreqMHz{2300}), 23ULL << 8);
+}
+
+TEST(MsrCodec, UncoreRatioLimitRoundTrip) {
+  const uint64_t v = encode_uncore_ratio_limit(FreqMHz{1200}, FreqMHz{3000});
+  EXPECT_EQ(decode_uncore_min(v).value, 1200);
+  EXPECT_EQ(decode_uncore_max(v).value, 3000);
+}
+
+TEST(MsrCodec, UncorePinnedWritesMinEqualsMax) {
+  const uint64_t v = encode_uncore_ratio_limit(FreqMHz{2200}, FreqMHz{2200});
+  EXPECT_EQ(decode_uncore_min(v).value, 2200);
+  EXPECT_EQ(decode_uncore_max(v).value, 2200);
+  // max ratio in bits 6:0, min in bits 14:8 (Haswell-EP layout).
+  EXPECT_EQ(v & 0x7fULL, 22ULL);
+  EXPECT_EQ((v >> 8) & 0x7fULL, 22ULL);
+}
+
+TEST(MsrCodec, RaplUnitDecode) {
+  // ESU = 14 -> 1/2^14 J, the Haswell-EP default.
+  EXPECT_DOUBLE_EQ(decode_rapl_energy_unit(encode_rapl_power_unit(14)),
+                   1.0 / 16384.0);
+  EXPECT_DOUBLE_EQ(decode_rapl_energy_unit(encode_rapl_power_unit(0)), 1.0);
+}
+
+TEST(MsrCodec, RaplDeltaNoWrap) {
+  EXPECT_EQ(rapl_delta_units(100, 150), 50u);
+  EXPECT_EQ(rapl_delta_units(0, 0), 0u);
+}
+
+TEST(MsrCodec, RaplDeltaAcrossWrap) {
+  // Counter wrapped: previous near the top, current small.
+  EXPECT_EQ(rapl_delta_units(0xfffffff0u, 0x10u), 0x20u);
+  EXPECT_EQ(rapl_delta_units(0xffffffffu, 0x0u), 1u);
+}
+
+}  // namespace
+}  // namespace cuttlefish::hal

@@ -1,0 +1,97 @@
+// Wall-clock API test: the real daemon thread drives a time-coupled
+// simulated platform through cuttlefish::start()/stop(), the paper's
+// two-call usage pattern.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "core/api.hpp"
+#include "exp/calibrate.hpp"
+#include "hal/linux_msr.hpp"
+#include "exp/realtime.hpp"
+#include "sim/machine_config.hpp"
+#include "workloads/suite.hpp"
+
+namespace cuttlefish {
+namespace {
+
+TEST(Api, StartStopAgainstRealtimeSimPlatform) {
+  const sim::MachineConfig machine = sim::haswell_2650v3();
+  const auto& model = workloads::find_benchmark("Heat-irt");
+  sim::PhaseProgram program = exp::build_calibrated(model, machine, 1);
+  // Shrink to ~8 virtual seconds so the test stays fast.
+  program.scale_instructions(8.0 / model.default_time_s);
+
+  // 20x accelerated virtual time; Tinv scaled down to keep each tick
+  // covering 20 ms of virtual time.
+  exp::RealtimeSimPlatform platform(machine, program, 20.0);
+  platform.start();
+
+  Options options;
+  options.controller.tinv_s = 0.001;
+  options.controller.warmup_s = 0.100;  // 2 virtual seconds
+  options.daemon_cpu = -1;
+  ASSERT_TRUE(cuttlefish::start(platform, options));
+  EXPECT_TRUE(cuttlefish::active());
+  // Double-start must fail.
+  EXPECT_FALSE(cuttlefish::start(platform, options));
+
+  while (!platform.workload_done()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  const core::Controller* ctl = cuttlefish::session_controller();
+  ASSERT_NE(ctl, nullptr);
+  EXPECT_GE(ctl->list().size(), 1u);
+  EXPECT_GT(ctl->stats().ticks, 10u);
+
+  cuttlefish::stop();
+  EXPECT_FALSE(cuttlefish::active());
+  platform.stop();
+}
+
+TEST(Api, StopWithoutStartIsSafe) {
+  cuttlefish::stop();
+  EXPECT_FALSE(cuttlefish::active());
+  EXPECT_EQ(cuttlefish::session_controller(), nullptr);
+}
+
+TEST(Api, MsrStartFailsGracefullyWithoutDevices) {
+  if (hal::LinuxMsrPlatform::available()) {
+    GTEST_SKIP() << "real MSR devices present";
+  }
+  EXPECT_FALSE(cuttlefish::start());
+  EXPECT_FALSE(cuttlefish::active());
+}
+
+TEST(Api, DaemonDiscoversFrequenciesInAcceleratedTime) {
+  const sim::MachineConfig machine = sim::haswell_2650v3();
+  const auto& model = workloads::find_benchmark("SOR-irt");
+  sim::PhaseProgram program = exp::build_calibrated(model, machine, 2);
+  program.scale_instructions(12.0 / model.default_time_s);
+
+  exp::RealtimeSimPlatform platform(machine, program, 20.0);
+  platform.start();
+  Options options;
+  options.controller.tinv_s = 0.001;
+  options.controller.warmup_s = 0.100;
+  options.daemon_cpu = -1;
+  ASSERT_TRUE(cuttlefish::start(platform, options));
+  while (!platform.workload_done()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  const core::Controller* ctl = cuttlefish::session_controller();
+  ASSERT_NE(ctl, nullptr);
+  const core::TipiNode* node = ctl->list().find(6);  // SOR's slab
+  ASSERT_NE(node, nullptr);
+  // 12 virtual seconds is ample: CF exploration for a compute-bound slab
+  // needs ~0.5 s of virtual time.
+  EXPECT_TRUE(node->cf.complete());
+  EXPECT_EQ(ctl->config().policy, core::PolicyKind::kFull);
+  cuttlefish::stop();
+  platform.stop();
+}
+
+}  // namespace
+}  // namespace cuttlefish

@@ -1,0 +1,106 @@
+// Daemon lifecycle stress: the wall-clock wrapper must start, stop and
+// restart cleanly, stay responsive during the warm-up sleep, and never
+// leak the global session.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "core/api.hpp"
+#include "core/daemon.hpp"
+#include "exp/realtime.hpp"
+#include "sim/machine_config.hpp"
+
+namespace cuttlefish {
+namespace {
+
+sim::PhaseProgram endless_program() {
+  sim::PhaseProgram p;
+  p.add(1e15, 1.0, 0.05);
+  return p;
+}
+
+core::ControllerConfig fast_config() {
+  core::ControllerConfig cfg;
+  cfg.tinv_s = 0.001;
+  cfg.warmup_s = 0.010;
+  return cfg;
+}
+
+TEST(Daemon, StartStopIsIdempotent) {
+  const sim::MachineConfig machine = sim::haswell_2650v3();
+  const sim::PhaseProgram program = endless_program();
+  exp::RealtimeSimPlatform platform(machine, program, 5.0);
+  platform.start();
+  core::Daemon daemon(platform, fast_config(), /*pin_cpu=*/-1);
+  daemon.start();
+  daemon.start();  // second start is a no-op
+  EXPECT_TRUE(daemon.running());
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  daemon.stop();
+  daemon.stop();  // second stop is a no-op
+  EXPECT_FALSE(daemon.running());
+  EXPECT_GT(daemon.controller().stats().ticks, 5u);
+  platform.stop();
+}
+
+TEST(Daemon, StopDuringWarmupIsPrompt) {
+  const sim::MachineConfig machine = sim::haswell_2650v3();
+  const sim::PhaseProgram program = endless_program();
+  exp::RealtimeSimPlatform platform(machine, program, 5.0);
+  platform.start();
+  core::ControllerConfig cfg = fast_config();
+  cfg.warmup_s = 30.0;  // daemon would sleep half a minute
+  core::Daemon daemon(platform, cfg, -1);
+  daemon.start();
+  const auto t0 = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  daemon.stop();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  // The warm-up sleep is sliced at Tinv granularity, so stop() must
+  // return promptly, not after 30 s.
+  EXPECT_LT(elapsed, 1.0);
+  platform.stop();
+}
+
+TEST(Daemon, RepeatedSessionsThroughPublicApi) {
+  const sim::MachineConfig machine = sim::haswell_2650v3();
+  for (int round = 0; round < 3; ++round) {
+    const sim::PhaseProgram program = endless_program();
+    exp::RealtimeSimPlatform platform(machine, program, 5.0);
+    platform.start();
+    Options options;
+    options.controller = fast_config();
+    options.daemon_cpu = -1;
+    ASSERT_TRUE(cuttlefish::start(platform, options)) << "round " << round;
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    EXPECT_TRUE(cuttlefish::active());
+    cuttlefish::stop();
+    EXPECT_FALSE(cuttlefish::active());
+    platform.stop();
+  }
+}
+
+TEST(Daemon, EnvPolicyOverrideReachesController) {
+  setenv("CUTTLEFISH_POLICY", "core", 1);
+  const sim::MachineConfig machine = sim::haswell_2650v3();
+  const sim::PhaseProgram program = endless_program();
+  exp::RealtimeSimPlatform platform(machine, program, 5.0);
+  platform.start();
+  Options options;
+  options.controller = fast_config();
+  options.daemon_cpu = -1;
+  ASSERT_TRUE(cuttlefish::start(platform, options));
+  const core::Controller* ctl = cuttlefish::session_controller();
+  ASSERT_NE(ctl, nullptr);
+  EXPECT_EQ(ctl->config().policy, core::PolicyKind::kCoreOnly);
+  cuttlefish::stop();
+  platform.stop();
+  unsetenv("CUTTLEFISH_POLICY");
+}
+
+}  // namespace
+}  // namespace cuttlefish

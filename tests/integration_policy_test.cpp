@@ -1,0 +1,161 @@
+// End-to-end co-simulated runs: Cuttlefish policies vs Default on the
+// calibrated benchmark models, checked against the paper's acceptance
+// bands (DESIGN.md §4).
+
+#include <gtest/gtest.h>
+
+#include "exp/calibrate.hpp"
+#include "exp/driver.hpp"
+#include "exp/metrics.hpp"
+#include "sim/machine_config.hpp"
+#include "workloads/suite.hpp"
+
+namespace cuttlefish::exp {
+namespace {
+
+using workloads::find_benchmark;
+
+class PolicyIntegration : public ::testing::Test {
+ protected:
+  sim::MachineConfig machine = sim::haswell_2650v3();
+
+  Comparison run_pair(const std::string& bench, core::PolicyKind policy,
+                      uint64_t seed = 1) {
+    const auto& model = find_benchmark(bench);
+    sim::PhaseProgram program = build_calibrated(model, machine, seed);
+    RunOptions opt;
+    opt.seed = seed;
+    const RunResult base = run_default(machine, program, opt);
+    const RunResult pol = run_policy(machine, program, policy, opt);
+    return compare(pol, base);
+  }
+};
+
+TEST_F(PolicyIntegration, FullPolicySavesEnergyOnMemoryBoundHeat) {
+  const Comparison c = run_pair("Heat-irt", core::PolicyKind::kFull);
+  // Paper: 22-29% savings for the memory-bound group, slowdown <= 8.1%.
+  EXPECT_GT(c.energy_savings_pct, 15.0);
+  EXPECT_LT(c.energy_savings_pct, 40.0);
+  EXPECT_LT(c.slowdown_pct, 10.0);
+  EXPECT_GT(c.edp_savings_pct, 10.0);
+}
+
+TEST_F(PolicyIntegration, FullPolicySavesEnergyOnComputeBoundUts) {
+  const Comparison c = run_pair("UTS", core::PolicyKind::kFull);
+  // Paper: 8-10.1% savings for compute-bound, slowdown <= 1.6%.
+  EXPECT_GT(c.energy_savings_pct, 3.0);
+  EXPECT_LT(c.energy_savings_pct, 15.0);
+  EXPECT_LT(c.slowdown_pct, 4.0);
+}
+
+TEST_F(PolicyIntegration, CoreOnlyWastesEnergyOnComputeBound) {
+  // Paper §5.1: Cuttlefish-Core required MORE energy than Default on
+  // UTS/SOR because it pins the uncore at max while Default's firmware
+  // drops it to 2.2 GHz.
+  const Comparison c = run_pair("SOR-irt", core::PolicyKind::kCoreOnly);
+  EXPECT_LT(c.energy_savings_pct, 1.0);
+}
+
+TEST_F(PolicyIntegration, CoreAndUncoreCloseOnMemoryBound) {
+  // Paper §5.1: for memory-bound benchmarks the energy savings of
+  // Cuttlefish-Core and Cuttlefish-Uncore are within ~5%.
+  const Comparison core = run_pair("Heat-irt", core::PolicyKind::kCoreOnly);
+  const Comparison uncore =
+      run_pair("Heat-irt", core::PolicyKind::kUncoreOnly);
+  EXPECT_GT(core.energy_savings_pct, 5.0);
+  EXPECT_GT(uncore.energy_savings_pct, 5.0);
+  EXPECT_NEAR(core.energy_savings_pct, uncore.energy_savings_pct, 6.0);
+}
+
+TEST_F(PolicyIntegration, FullBeatsSingleKnobPoliciesOnHeat) {
+  const Comparison full = run_pair("Heat-irt", core::PolicyKind::kFull);
+  const Comparison core = run_pair("Heat-irt", core::PolicyKind::kCoreOnly);
+  const Comparison uncore =
+      run_pair("Heat-irt", core::PolicyKind::kUncoreOnly);
+  EXPECT_GT(full.energy_savings_pct, core.energy_savings_pct);
+  EXPECT_GT(full.energy_savings_pct, uncore.energy_savings_pct);
+}
+
+TEST_F(PolicyIntegration, GeomeanAcrossSuiteInAcceptanceBand) {
+  // The headline number: paper reports 19.4-19.6% geomean savings with
+  // 3.6% slowdown; acceptance band 12-30% savings, 0-10% slowdown.
+  std::vector<double> savings;
+  std::vector<double> slowdowns;
+  for (const auto& model : workloads::openmp_suite()) {
+    sim::PhaseProgram program = build_calibrated(model, machine, 7);
+    RunOptions opt;
+    opt.seed = 7;
+    const RunResult base = run_default(machine, program, opt);
+    const RunResult pol =
+        run_policy(machine, program, core::PolicyKind::kFull, opt);
+    const Comparison c = compare(pol, base);
+    savings.push_back(c.energy_savings_pct);
+    slowdowns.push_back(c.slowdown_pct);
+  }
+  const double geo_savings = geomean_savings_pct(savings);
+  const double geo_slowdown = geomean_slowdown_pct(slowdowns);
+  EXPECT_GT(geo_savings, 12.0);
+  EXPECT_LT(geo_savings, 30.0);
+  EXPECT_GT(geo_slowdown, -2.0);
+  EXPECT_LT(geo_slowdown, 10.0);
+}
+
+TEST_F(PolicyIntegration, HclibVariantsBehaveLikeOpenmp) {
+  // §5.2 / Fig. 11: programming-model obliviousness — the HClib ports
+  // must land in the same savings regime as their OpenMP counterparts.
+  const auto& hclib = workloads::hclib_suite();
+  for (const auto& model : hclib) {
+    if (model.name != "Heat-irt" && model.name != "SOR-irt") continue;
+    sim::PhaseProgram program = build_calibrated(model, machine, 5);
+    RunOptions opt;
+    opt.seed = 5;
+    const RunResult base = run_default(machine, program, opt);
+    const RunResult pol =
+        run_policy(machine, program, core::PolicyKind::kFull, opt);
+    const Comparison c = compare(pol, base);
+    if (model.memory_bound) {
+      EXPECT_GT(c.energy_savings_pct, 15.0) << model.name;
+    } else {
+      EXPECT_GT(c.energy_savings_pct, 3.0) << model.name;
+    }
+    EXPECT_LT(c.slowdown_pct, 10.0) << model.name;
+  }
+}
+
+TEST_F(PolicyIntegration, ResultsAreSeedReproducible) {
+  const Comparison a = run_pair("Heat-irt", core::PolicyKind::kFull, 11);
+  const Comparison b = run_pair("Heat-irt", core::PolicyKind::kFull, 11);
+  EXPECT_DOUBLE_EQ(a.energy_savings_pct, b.energy_savings_pct);
+  EXPECT_DOUBLE_EQ(a.slowdown_pct, b.slowdown_pct);
+}
+
+TEST_F(PolicyIntegration, NarrowingOptimizationsDoNotHurtSavings) {
+  const auto& model = find_benchmark("AMG");
+  sim::PhaseProgram program = build_calibrated(model, machine, 3);
+  RunOptions with;
+  with.seed = 3;
+  RunOptions without = with;
+  without.controller.insertion_narrowing = false;
+  without.controller.revalidation = false;
+  const RunResult base = run_default(machine, program, with);
+  const RunResult on =
+      run_policy(machine, program, core::PolicyKind::kFull, with);
+  const RunResult off =
+      run_policy(machine, program, core::PolicyKind::kFull, without);
+  const Comparison c_on = compare(on, base);
+  const Comparison c_off = compare(off, base);
+  // With 60 slabs, the §4.4/§4.5 optimizations should resolve at least as
+  // many nodes and not lose energy.
+  EXPECT_GE(c_on.energy_savings_pct, c_off.energy_savings_pct - 2.0);
+  size_t resolved_on = 0, resolved_off = 0;
+  for (const auto& n : on.nodes) {
+    if (n.cf_opt != kNoLevel) ++resolved_on;
+  }
+  for (const auto& n : off.nodes) {
+    if (n.cf_opt != kNoLevel) ++resolved_off;
+  }
+  EXPECT_GE(resolved_on, resolved_off);
+}
+
+}  // namespace
+}  // namespace cuttlefish::exp

@@ -1,0 +1,106 @@
+#include "runtime/deque.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace cuttlefish::runtime {
+namespace {
+
+TEST(ChaseLevDeque, LifoForOwner) {
+  ChaseLevDeque<int*> d;
+  int a = 1, b = 2, c = 3;
+  d.push(&a);
+  d.push(&b);
+  d.push(&c);
+  int* out = nullptr;
+  ASSERT_TRUE(d.pop(out));
+  EXPECT_EQ(out, &c);
+  ASSERT_TRUE(d.pop(out));
+  EXPECT_EQ(out, &b);
+  ASSERT_TRUE(d.pop(out));
+  EXPECT_EQ(out, &a);
+  EXPECT_FALSE(d.pop(out));
+}
+
+TEST(ChaseLevDeque, FifoForThieves) {
+  ChaseLevDeque<int*> d;
+  int a = 1, b = 2;
+  d.push(&a);
+  d.push(&b);
+  int* out = nullptr;
+  ASSERT_TRUE(d.steal(out));
+  EXPECT_EQ(out, &a);  // thieves take the oldest task
+  ASSERT_TRUE(d.steal(out));
+  EXPECT_EQ(out, &b);
+  EXPECT_FALSE(d.steal(out));
+}
+
+TEST(ChaseLevDeque, GrowsBeyondInitialCapacity) {
+  ChaseLevDeque<size_t*> d(8);
+  std::vector<size_t> storage(1000);
+  for (size_t i = 0; i < storage.size(); ++i) {
+    storage[i] = i;
+    d.push(&storage[i]);
+  }
+  EXPECT_EQ(d.size_estimate(), 1000);
+  size_t* out = nullptr;
+  for (size_t i = 0; i < storage.size(); ++i) {
+    ASSERT_TRUE(d.pop(out));
+  }
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(ChaseLevDeque, ConcurrentStealersReceiveEachItemOnce) {
+  // Property under contention: owner pushes N items and pops; 4 thieves
+  // steal concurrently; each item must be delivered exactly once.
+  constexpr int kItems = 20000;
+  constexpr int kThieves = 4;
+  ChaseLevDeque<int*> d(64);
+  std::vector<int> items(kItems, 0);
+  std::vector<std::atomic<int>> delivered(kItems);
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> thieves;
+  thieves.reserve(kThieves);
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      int* out = nullptr;
+      while (!done.load(std::memory_order_acquire) || !d.empty()) {
+        if (d.steal(out)) {
+          delivered[static_cast<size_t>(out - items.data())] += 1;
+        }
+      }
+    });
+  }
+
+  // Owner interleaves pushes and occasional pops.
+  int* out = nullptr;
+  for (int i = 0; i < kItems; ++i) {
+    d.push(&items[static_cast<size_t>(i)]);
+    if (i % 3 == 0 && d.pop(out)) {
+      delivered[static_cast<size_t>(out - items.data())] += 1;
+    }
+  }
+  while (d.pop(out)) {
+    delivered[static_cast<size_t>(out - items.data())] += 1;
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : thieves) t.join();
+
+  for (int i = 0; i < kItems; ++i) {
+    EXPECT_EQ(delivered[static_cast<size_t>(i)].load(), 1) << "item " << i;
+  }
+}
+
+TEST(ChaseLevDeque, EmptyStealFails) {
+  ChaseLevDeque<int*> d;
+  int* out = nullptr;
+  EXPECT_FALSE(d.steal(out));
+  EXPECT_TRUE(d.empty());
+}
+
+}  // namespace
+}  // namespace cuttlefish::runtime

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "runtime/parallel_for.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace cuttlefish::runtime {
+namespace {
+
+TEST(ThreadPool, RunsOnAllWorkers) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(4);
+  pool.run_on_all([&](int tid) { hits[static_cast<size_t>(tid)] += 1; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossRegions) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int region = 0; region < 50; ++region) {
+    pool.run_on_all([&](int) { total += 1; });
+  }
+  EXPECT_EQ(total.load(), 150);
+}
+
+TEST(ParallelFor, StaticCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, 0, 1000,
+               [&](int64_t i) { hits[static_cast<size_t>(i)] += 1; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, DynamicCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, 0, 1000,
+               [&](int64_t i) { hits[static_cast<size_t>(i)] += 1; },
+               Schedule::kDynamic, 7);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  parallel_for(pool, 5, 5, [&](int64_t) { count += 1; });
+  parallel_for(pool, 7, 3, [&](int64_t) { count += 1; });
+  EXPECT_EQ(count.load(), 0);
+}
+
+TEST(ParallelFor, RangeSmallerThanThreadCount) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  parallel_for(pool, 0, 3,
+               [&](int64_t i) { hits[static_cast<size_t>(i)] += 1; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForBlocked, BlocksPartitionTheRange) {
+  ThreadPool pool(4);
+  std::mutex m;
+  std::vector<std::pair<int64_t, int64_t>> blocks;
+  parallel_for_blocked(pool, 10, 110, [&](int64_t lo, int64_t hi) {
+    std::lock_guard<std::mutex> lock(m);
+    blocks.emplace_back(lo, hi);
+  });
+  int64_t covered = 0;
+  for (auto [lo, hi] : blocks) {
+    EXPECT_LT(lo, hi);
+    covered += hi - lo;
+  }
+  EXPECT_EQ(covered, 100);
+}
+
+TEST(ParallelReduce, MatchesSequentialSum) {
+  ThreadPool pool(4);
+  const double got = parallel_reduce(
+      pool, 1, 10001, [](int64_t i) { return static_cast<double>(i); });
+  EXPECT_DOUBLE_EQ(got, 10000.0 * 10001.0 / 2.0);
+}
+
+TEST(ParallelFor, SchedulesAgreeOnResults) {
+  ThreadPool pool(4);
+  std::vector<double> a(5000), b(5000);
+  parallel_for(pool, 0, 5000, [&](int64_t i) {
+    a[static_cast<size_t>(i)] = static_cast<double>(i * i);
+  });
+  parallel_for(pool, 0, 5000, [&](int64_t i) {
+    b[static_cast<size_t>(i)] = static_cast<double>(i * i);
+  }, Schedule::kDynamic);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace cuttlefish::runtime

@@ -1,0 +1,108 @@
+#include "runtime/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+namespace cuttlefish::runtime {
+namespace {
+
+TEST(TaskScheduler, FinishWaitsForRoot) {
+  TaskScheduler rt(4);
+  std::atomic<int> ran{0};
+  rt.finish([&] { ran += 1; });
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(TaskScheduler, FinishWaitsForNestedAsyncs) {
+  TaskScheduler rt(4);
+  std::atomic<int> ran{0};
+  rt.finish([&] {
+    for (int i = 0; i < 100; ++i) {
+      rt.async([&] {
+        for (int j = 0; j < 10; ++j) {
+          rt.async([&] { ran += 1; });
+        }
+      });
+    }
+  });
+  EXPECT_EQ(ran.load(), 1000);
+}
+
+TEST(TaskScheduler, DeepRecursiveSpawning) {
+  TaskScheduler rt(4);
+  std::atomic<int64_t> sum{0};
+  // Binary spawn tree over [0, 4096).
+  struct Rec {
+    static void go(TaskScheduler& s, std::atomic<int64_t>& acc, int64_t lo,
+                   int64_t hi) {
+      if (hi - lo == 1) {
+        acc += lo;
+        return;
+      }
+      const int64_t mid = lo + (hi - lo) / 2;
+      s.async([&s, &acc, lo, mid] { go(s, acc, lo, mid); });
+      s.async([&s, &acc, mid, hi] { go(s, acc, mid, hi); });
+    }
+  };
+  rt.finish([&] { Rec::go(rt, sum, 0, 4096); });
+  EXPECT_EQ(sum.load(), 4096 * 4095 / 2);
+}
+
+TEST(TaskScheduler, SequentialFinishScopes) {
+  TaskScheduler rt(2);
+  std::atomic<int> phase{0};
+  rt.finish([&] { rt.async([&] { phase = 1; }); });
+  EXPECT_EQ(phase.load(), 1);
+  rt.finish([&] { rt.async([&] { phase = 2; }); });
+  EXPECT_EQ(phase.load(), 2);
+}
+
+TEST(TaskScheduler, StatsCountExecutedTasks) {
+  TaskScheduler rt(4);
+  rt.finish([&] {
+    for (int i = 0; i < 500; ++i) rt.async([] {});
+  });
+  const auto stats = rt.stats();
+  EXPECT_EQ(stats.executed, 501u);  // 500 asyncs + the finish root
+}
+
+TEST(TaskScheduler, WorkIsDistributedAcrossWorkers) {
+  TaskScheduler rt(4);
+  std::atomic<int> touched[64] = {};
+  rt.finish([&] {
+    for (int i = 0; i < 5000; ++i) {
+      rt.async([&] {
+        const int w = TaskScheduler::current_worker();
+        ASSERT_GE(w, 0);
+        ASSERT_LT(w, 64);
+        touched[w] += 1;
+        // Burn a little time so stealing has a chance to engage.
+        volatile int x = 0;
+        for (int k = 0; k < 200; ++k) x = x + k;
+      });
+    }
+  });
+  int workers_used = 0;
+  for (const auto& t : touched) {
+    if (t.load() > 0) ++workers_used;
+  }
+  EXPECT_GE(workers_used, 2);
+}
+
+TEST(TaskScheduler, CurrentWorkerOutsidePoolIsMinusOne) {
+  TaskScheduler rt(2);
+  EXPECT_EQ(TaskScheduler::current_worker(), -1);
+}
+
+TEST(TaskScheduler, SingleWorkerStillCompletes) {
+  TaskScheduler rt(1);
+  std::atomic<int> ran{0};
+  rt.finish([&] {
+    for (int i = 0; i < 100; ++i) rt.async([&] { ran += 1; });
+  });
+  EXPECT_EQ(ran.load(), 100);
+}
+
+}  // namespace
+}  // namespace cuttlefish::runtime

@@ -1,0 +1,188 @@
+// Calibration tests: lock the analytic machine model to the shape facts
+// the paper measures on the real Haswell (Section 3 and Table 2). If any
+// of these fail after a model change, the headline experiments are no
+// longer meaningful reproductions.
+
+#include <gtest/gtest.h>
+
+#include "sim/machine_config.hpp"
+#include "sim/perf_model.hpp"
+#include "sim/power_model.hpp"
+
+namespace cuttlefish::sim {
+namespace {
+
+class CalibrationTest : public ::testing::Test {
+ protected:
+  MachineConfig cfg = haswell_2650v3();
+  PerfModel perf{cfg};
+  PowerModel power{cfg};
+
+  double jpi(FreqMHz cf, FreqMHz uf, const OperatingPoint& op) const {
+    const double ips = perf.instructions_per_second(cf, uf, op);
+    const double util = perf.utilization(cf, uf, op);
+    const double watts =
+        power.package_watts(cf, uf, util, ips * op.tipi);
+    return watts / ips;
+  }
+
+  Level argmin_cf(FreqMHz uf, const OperatingPoint& op) const {
+    Level best = 0;
+    double best_jpi = jpi(cfg.core_ladder.at(0), uf, op);
+    for (Level l = 1; l < cfg.core_ladder.levels(); ++l) {
+      const double j = jpi(cfg.core_ladder.at(l), uf, op);
+      if (j < best_jpi) {
+        best_jpi = j;
+        best = l;
+      }
+    }
+    return best;
+  }
+
+  Level argmin_uf(FreqMHz cf, const OperatingPoint& op) const {
+    Level best = 0;
+    double best_jpi = jpi(cf, cfg.uncore_ladder.at(0), op);
+    for (Level l = 1; l < cfg.uncore_ladder.levels(); ++l) {
+      const double j = jpi(cf, cfg.uncore_ladder.at(l), op);
+      if (j < best_jpi) {
+        best_jpi = j;
+        best = l;
+      }
+    }
+    return best;
+  }
+};
+
+// UTS-like operating point: TIPI ~ 0.002, high ILP.
+const OperatingPoint kComputeBound{0.70, 0.002};
+// SOR-like: moderate TIPI but low IPC -> still compute-bound.
+const OperatingPoint kSorLike{2.90, 0.026};
+// Heat-like: memory-bound.
+const OperatingPoint kMemoryBound{1.20, 0.066};
+// MiniFE/HPCCG/AMG-like: deeper memory-bound.
+const OperatingPoint kDeepMemoryBound{2.00, 0.120};
+
+TEST_F(CalibrationTest, ComputeBoundOptimalCoreIsMax) {
+  // Paper Table 2: UTS/SOR CFopt = 2.3 GHz (race-to-idle on package
+  // energy).
+  EXPECT_EQ(argmin_cf(cfg.uncore_ladder.max(), kComputeBound),
+            cfg.core_ladder.max_level());
+  EXPECT_EQ(argmin_cf(cfg.uncore_ladder.max(), kSorLike),
+            cfg.core_ladder.max_level());
+}
+
+TEST_F(CalibrationTest, ComputeBoundJpiMonotoneDecreasingInCf) {
+  // Fig. 3(a): for low-TIPI codes JPI strictly falls as CF rises.
+  for (Level l = 1; l < cfg.core_ladder.levels(); ++l) {
+    EXPECT_LT(jpi(cfg.core_ladder.at(l), cfg.uncore_ladder.max(),
+                  kComputeBound),
+              jpi(cfg.core_ladder.at(l - 1), cfg.uncore_ladder.max(),
+                  kComputeBound))
+        << "at level " << l;
+  }
+}
+
+TEST_F(CalibrationTest, MemoryBoundOptimalCoreIsMin) {
+  // Paper Table 2: Heat/MiniFE/HPCCG/AMG CFopt = 1.2-1.3 GHz.
+  const Level opt = argmin_cf(cfg.uncore_ladder.max(), kMemoryBound);
+  EXPECT_LE(opt, 1);
+  const Level opt2 = argmin_cf(cfg.uncore_ladder.max(), kDeepMemoryBound);
+  EXPECT_LE(opt2, 1);
+}
+
+TEST_F(CalibrationTest, MemoryBoundJpiIncreasesWithCf) {
+  // Fig. 3(a): memory-bound JPI at CF max exceeds JPI at CF min.
+  EXPECT_GT(jpi(cfg.core_ladder.max(), cfg.uncore_ladder.max(),
+                kMemoryBound),
+            jpi(cfg.core_ladder.min(), cfg.uncore_ladder.max(),
+                kMemoryBound));
+}
+
+TEST_F(CalibrationTest, ComputeBoundOptimalUncoreIsMin) {
+  // Paper Table 2: UTS/SOR UFopt = 1.2-1.3 GHz.
+  EXPECT_LE(argmin_uf(cfg.core_ladder.max(), kComputeBound), 2);
+  EXPECT_LE(argmin_uf(cfg.core_ladder.max(), kSorLike), 2);
+}
+
+TEST_F(CalibrationTest, MemoryBoundOptimalUncoreNearBandwidthKnee) {
+  // Paper Table 2: UFopt = 2.2 GHz for the memory-bound group — at the
+  // point where the uncore stops being the bandwidth bottleneck, NOT at
+  // 3.0 GHz ("max uncore frequency is not apt for their TIPI range",
+  // §3.2).
+  const Level opt = argmin_uf(cfg.core_ladder.min(), kMemoryBound);
+  const int mhz = cfg.uncore_ladder.at(opt).value;
+  EXPECT_GE(mhz, 2000);
+  EXPECT_LE(mhz, 2400);
+  EXPECT_LT(mhz, cfg.uncore_ladder.max().value);
+}
+
+TEST_F(CalibrationTest, MemoryBoundJpiAtMaxUncoreWorseThanKnee) {
+  EXPECT_GT(jpi(cfg.core_ladder.min(), cfg.uncore_ladder.max(),
+                kMemoryBound),
+            jpi(cfg.core_ladder.min(), FreqMHz{2200}, kMemoryBound));
+}
+
+TEST_F(CalibrationTest, ComputeBoundJpiIncreasesWithUncore) {
+  // Fig. 3(b): UTS/SOR JPI grows with UF.
+  EXPECT_GT(jpi(cfg.core_ladder.max(), cfg.uncore_ladder.max(),
+                kComputeBound),
+            jpi(cfg.core_ladder.max(), cfg.uncore_ladder.min(),
+                kComputeBound));
+}
+
+TEST_F(CalibrationTest, JpiIncreasesWithTipiAtFixedFrequencies) {
+  // Fig. 2: within a machine setting, higher TIPI means higher JPI.
+  double prev = 0.0;
+  for (double tipi : {0.002, 0.026, 0.066, 0.120, 0.300}) {
+    const double j = jpi(cfg.core_ladder.max(), cfg.uncore_ladder.max(),
+                         OperatingPoint{0.8, tipi});
+    EXPECT_GT(j, prev) << "tipi " << tipi;
+    prev = j;
+  }
+}
+
+TEST_F(CalibrationTest, SorHasHigherJpiThanHeatDespiteLowerTipi) {
+  // Fig. 2(a): SOR-irt's JPI exceeds Heat-irt's although its TIPI is
+  // lower — the correlation holds within, not across, applications.
+  EXPECT_GT(jpi(cfg.core_ladder.max(), cfg.uncore_ladder.max(), kSorLike),
+            jpi(cfg.core_ladder.max(), cfg.uncore_ladder.max(),
+                kMemoryBound));
+}
+
+TEST_F(CalibrationTest, MemoryBoundTimeInsensitiveToCore) {
+  // The basis of the paper's small slowdowns: dropping CF to min costs a
+  // memory-bound code only a few percent.
+  const double fast = perf.instructions_per_second(
+      cfg.core_ladder.max(), cfg.uncore_ladder.max(), kMemoryBound);
+  const double slow = perf.instructions_per_second(
+      cfg.core_ladder.min(), cfg.uncore_ladder.max(), kMemoryBound);
+  EXPECT_GT(slow / fast, 0.93);
+}
+
+TEST_F(CalibrationTest, UncoreKneeMatchesDramOverRingRatio) {
+  const double knee = cfg.dram_bw_gbs / cfg.uncore_bw_gbs_per_ghz;
+  EXPECT_GT(knee, 2.0);
+  EXPECT_LT(knee, 2.4);
+}
+
+TEST_F(CalibrationTest, PackagePowerInHaswellEnvelope) {
+  // Two E5-2650 v3 sockets: ~105 W TDP each. Full compute load at max
+  // frequencies should land in a plausible 150-230 W band.
+  const double watts = power.package_watts(
+      cfg.core_ladder.max(), cfg.uncore_ladder.max(), 1.0, 1e9);
+  EXPECT_GT(watts, 140.0);
+  EXPECT_LT(watts, 230.0);
+}
+
+TEST_F(CalibrationTest, UtilizationBetweenZeroAndOne) {
+  for (double tipi : {0.0, 0.01, 0.05, 0.15, 0.33}) {
+    const double u = perf.utilization(cfg.core_ladder.at(5),
+                                      cfg.uncore_ladder.at(7),
+                                      OperatingPoint{1.0, tipi});
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace cuttlefish::sim

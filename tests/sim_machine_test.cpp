@@ -1,0 +1,124 @@
+#include "sim/sim_machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hal/msr.hpp"
+#include "sim/machine_config.hpp"
+
+namespace cuttlefish::sim {
+namespace {
+
+MachineConfig quiet(MachineConfig cfg) {
+  cfg.power_noise_sigma = 0.0;
+  return cfg;
+}
+
+TEST(SimMachine, AdvancesExactlyRequestedTime) {
+  PhaseProgram p;
+  p.add(1e13, 1.0, 0.02);
+  SimMachine m(quiet(haswell_2650v3()), p);
+  const double elapsed = m.advance(1.0);
+  EXPECT_DOUBLE_EQ(elapsed, 1.0);
+  EXPECT_DOUBLE_EQ(m.now(), 1.0);
+}
+
+TEST(SimMachine, StopsAtWorkloadEnd) {
+  PhaseProgram p;
+  p.add(1e9, 1.0, 0.0);  // tiny program
+  SimMachine m(quiet(haswell_2650v3()), p);
+  const double elapsed = m.advance(100.0);
+  EXPECT_LT(elapsed, 100.0);
+  EXPECT_TRUE(m.workload_done());
+  EXPECT_NEAR(static_cast<double>(m.instructions_retired()), 1e9, 2.0);
+}
+
+TEST(SimMachine, EnergyEqualsPowerTimesTimeAtSteadyState) {
+  const MachineConfig cfg = quiet(haswell_2650v3());
+  PhaseProgram p;
+  p.add(1e14, 1.0, 0.0);
+  SimMachine m(cfg, p);
+  m.advance(2.0);
+  const PerfModel perf(cfg);
+  const PowerModel power(cfg);
+  const OperatingPoint op{1.0, 0.0};
+  const double util = perf.utilization(cfg.core_ladder.max(),
+                                       cfg.uncore_ladder.max(), op);
+  const double watts = power.package_watts(cfg.core_ladder.max(),
+                                           cfg.uncore_ladder.max(), util, 0.0);
+  EXPECT_NEAR(m.energy_joules(), watts * 2.0, 1e-6 * watts);
+}
+
+TEST(SimMachine, TorCounterTracksTipi) {
+  PhaseProgram p;
+  p.add(1e12, 1.0, 0.05);
+  SimMachine m(quiet(haswell_2650v3()), p);
+  m.advance(3.0);
+  const double measured =
+      static_cast<double>(m.tor_inserts()) /
+      static_cast<double>(m.instructions_retired());
+  EXPECT_NEAR(measured, 0.05, 1e-6);
+}
+
+TEST(SimMachine, SegmentBoundariesRespectInstructionBudgets) {
+  PhaseProgram p;
+  p.add(1e10, 1.0, 0.00);
+  p.add(1e10, 1.0, 0.10);
+  SimMachine m(quiet(haswell_2650v3()), p);
+  while (!m.workload_done()) m.advance(0.02);
+  EXPECT_NEAR(static_cast<double>(m.instructions_retired()), 2e10, 4.0);
+  // Total TOR inserts: only the second segment contributes.
+  EXPECT_NEAR(static_cast<double>(m.tor_inserts()), 1e10 * 0.10, 1e4);
+}
+
+TEST(SimMachine, LowerCoreFrequencySlowsComputeBoundWork) {
+  const MachineConfig cfg = quiet(haswell_2650v3());
+  PhaseProgram p1;
+  p1.add(1e11, 1.0, 0.0);
+  PhaseProgram p2 = p1;
+  SimMachine fast(cfg, p1);
+  SimMachine slow(cfg, p2);
+  slow.set_core_frequency(cfg.core_ladder.min());
+  while (!fast.workload_done()) fast.advance(0.1);
+  while (!slow.workload_done()) slow.advance(0.1);
+  // Compute-bound: time scales ~ inversely with core frequency.
+  EXPECT_NEAR(slow.now() / fast.now(), 2.3 / 1.2, 0.02);
+}
+
+TEST(SimMachine, LowerUncoreFrequencySlowsMemoryBoundWork) {
+  const MachineConfig cfg = quiet(haswell_2650v3());
+  PhaseProgram p1;
+  p1.add(1e11, 0.8, 0.10);
+  PhaseProgram p2 = p1;
+  SimMachine fast(cfg, p1);
+  SimMachine slow(cfg, p2);
+  slow.set_uncore_frequency(cfg.uncore_ladder.min());
+  while (!fast.workload_done()) fast.advance(0.1);
+  while (!slow.workload_done()) slow.advance(0.1);
+  EXPECT_GT(slow.now(), fast.now() * 1.3);
+}
+
+TEST(SimMachine, RejectsOffLadderFrequencyWrites) {
+  PhaseProgram p;
+  p.add(1e12, 1.0, 0.0);
+  SimMachine m(quiet(haswell_2650v3()), p);
+  EXPECT_FALSE(m.write(hal::msr::kIa32PerfCtl, 99ULL << 8));
+  uint64_t value = 0;
+  EXPECT_FALSE(m.read(0xdead, value));
+}
+
+TEST(SimMachine, NoiseIsSeedDeterministic) {
+  const MachineConfig cfg = haswell_2650v3();  // noise on
+  PhaseProgram p1;
+  p1.add(1e12, 1.0, 0.05);
+  PhaseProgram p2 = p1;
+  SimMachine a(cfg, p1, 42);
+  SimMachine b(cfg, p2, 42);
+  for (int i = 0; i < 100; ++i) {
+    a.advance(0.02);
+    b.advance(0.02);
+  }
+  EXPECT_DOUBLE_EQ(a.energy_joules(), b.energy_joules());
+}
+
+}  // namespace
+}  // namespace cuttlefish::sim

@@ -1,0 +1,146 @@
+// Direct unit tests of the performance and power models' algebra and
+// edge cases (the calibration tests in sim_calibration_test.cpp cover
+// the paper-shape facts; these cover the component contracts).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/machine_config.hpp"
+#include "sim/perf_model.hpp"
+#include "sim/power_model.hpp"
+
+namespace cuttlefish::sim {
+namespace {
+
+class ModelTest : public ::testing::Test {
+ protected:
+  MachineConfig cfg = haswell_2650v3();
+  PerfModel perf{cfg};
+  PowerModel power{cfg};
+};
+
+TEST_F(ModelTest, ZeroTipiIsPureComputeRoofline) {
+  const OperatingPoint op{1.0, 0.0};
+  const double ips = perf.instructions_per_second(
+      cfg.core_ladder.max(), cfg.uncore_ladder.min(), op);
+  EXPECT_DOUBLE_EQ(ips, cfg.cores * 2.3e9);
+  EXPECT_DOUBLE_EQ(perf.utilization(cfg.core_ladder.max(),
+                                    cfg.uncore_ladder.min(), op),
+                   1.0);
+}
+
+TEST_F(ModelTest, ThroughputScalesInverselyWithCpi) {
+  const OperatingPoint fast{0.5, 0.0};
+  const OperatingPoint slow{2.0, 0.0};
+  const double f = perf.instructions_per_second(cfg.core_ladder.max(),
+                                                cfg.uncore_ladder.max(), fast);
+  const double s = perf.instructions_per_second(cfg.core_ladder.max(),
+                                                cfg.uncore_ladder.max(), slow);
+  EXPECT_NEAR(f / s, 4.0, 1e-9);
+}
+
+TEST_F(ModelTest, SupplyBandwidthCapsAtDram) {
+  // Below the knee supply scales with UF; above it DRAM is the cap.
+  const double low = perf.supply_bandwidth(FreqMHz{1200});
+  EXPECT_NEAR(low, cfg.uncore_bw_gbs_per_ghz * 1.2e9, 1.0);
+  const double high = perf.supply_bandwidth(FreqMHz{3000});
+  EXPECT_NEAR(high, cfg.dram_bw_gbs * 1e9, 1.0);
+  EXPECT_LT(perf.supply_bandwidth(FreqMHz{2500}), high + 1.0);
+}
+
+TEST_F(ModelTest, DemandBandwidthFormula) {
+  const OperatingPoint op{1.0, 0.05};
+  EXPECT_DOUBLE_EQ(perf.demand_bandwidth(1e9, op), 1e9 * 0.05 * 64.0);
+}
+
+TEST_F(ModelTest, ThroughputNeverExceedsEitherRoofline) {
+  for (double tipi : {0.01, 0.05, 0.10, 0.30}) {
+    for (Level cl : {0, 5, 11}) {
+      for (Level ul : {0, 9, 18}) {
+        const OperatingPoint op{0.9, tipi};
+        const FreqMHz cf = cfg.core_ladder.at(cl);
+        const FreqMHz uf = cfg.uncore_ladder.at(ul);
+        const double ips = perf.instructions_per_second(cf, uf, op);
+        EXPECT_LE(ips, cfg.cores * cf.ghz() * 1e9 / op.cpi0 + 1.0);
+        EXPECT_LE(ips * op.tipi * 64.0, perf.supply_bandwidth(uf) + 1.0);
+      }
+    }
+  }
+}
+
+TEST_F(ModelTest, ThroughputMonotoneInBothFrequencies) {
+  const OperatingPoint op{1.0, 0.06};
+  double prev = 0.0;
+  for (Level l = 0; l < cfg.core_ladder.levels(); ++l) {
+    const double ips = perf.instructions_per_second(
+        cfg.core_ladder.at(l), cfg.uncore_ladder.at(9), op);
+    EXPECT_GE(ips, prev);
+    prev = ips;
+  }
+  prev = 0.0;
+  for (Level l = 0; l < cfg.uncore_ladder.levels(); ++l) {
+    const double ips = perf.instructions_per_second(
+        cfg.core_ladder.at(6), cfg.uncore_ladder.at(l), op);
+    EXPECT_GE(ips, prev);
+    prev = ips;
+  }
+}
+
+TEST_F(ModelTest, VoltageCurveEndpointsAndClamp) {
+  EXPECT_DOUBLE_EQ(cfg.core_voltage(cfg.core_ladder.min()), cfg.v_at_fmin);
+  EXPECT_DOUBLE_EQ(cfg.core_voltage(cfg.core_ladder.max()), cfg.v_at_fmax);
+  EXPECT_DOUBLE_EQ(cfg.core_voltage(FreqMHz{100}), cfg.v_at_fmin);
+  EXPECT_DOUBLE_EQ(cfg.core_voltage(FreqMHz{9000}), cfg.v_at_fmax);
+}
+
+TEST_F(ModelTest, PowerComponentsSumToPackage) {
+  const double util = 0.6;
+  const double misses = 5e8;
+  const double total = power.package_watts(cfg.core_ladder.at(8),
+                                           cfg.uncore_ladder.at(10), util,
+                                           misses);
+  const double sum = cfg.static_power_w +
+                     power.core_watts(cfg.core_ladder.at(8), util) +
+                     power.uncore_watts(cfg.uncore_ladder.at(10)) +
+                     power.traffic_watts(misses);
+  EXPECT_NEAR(total, sum, 1e-12);
+}
+
+TEST_F(ModelTest, StalledCoresDrawPartialPower) {
+  const double active = power.core_watts(cfg.core_ladder.max(), 1.0);
+  const double stalled = power.core_watts(cfg.core_ladder.max(), 0.0);
+  EXPECT_NEAR(stalled, cfg.stall_power_frac * active, 1e-9);
+  const double half = power.core_watts(cfg.core_ladder.max(), 0.5);
+  EXPECT_GT(half, stalled);
+  EXPECT_LT(half, active);
+}
+
+TEST_F(ModelTest, UncorePowerIsCubic) {
+  const double p1 = power.uncore_watts(FreqMHz{1500});
+  const double p2 = power.uncore_watts(FreqMHz{3000});
+  EXPECT_NEAR(p2 / p1, 8.0, 1e-9);
+}
+
+TEST_F(ModelTest, CorePowerGrowsSuperlinearlyWithFrequency) {
+  // V rises with f, so power grows faster than f alone.
+  const double p_lo = power.core_watts(cfg.core_ladder.min(), 1.0);
+  const double p_hi = power.core_watts(cfg.core_ladder.max(), 1.0);
+  EXPECT_GT(p_hi / p_lo, 2.3 / 1.2);
+}
+
+TEST_F(ModelTest, HypotheticalMachineModelsAreUsable) {
+  const MachineConfig hyp = hypothetical_machine();
+  const PerfModel hperf(hyp);
+  const PowerModel hpower(hyp);
+  const OperatingPoint op{1.0, 0.03};
+  const double ips = hperf.instructions_per_second(
+      hyp.core_ladder.max(), hyp.uncore_ladder.max(), op);
+  EXPECT_GT(ips, 0.0);
+  EXPECT_GT(hpower.package_watts(hyp.core_ladder.max(),
+                                 hyp.uncore_ladder.max(), 0.5, 1e8),
+            hyp.static_power_w);
+}
+
+}  // namespace
+}  // namespace cuttlefish::sim

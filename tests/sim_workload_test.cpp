@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "sim/phase_workload.hpp"
+
+namespace cuttlefish::sim {
+namespace {
+
+TEST(PhaseProgram, BuilderAccumulatesSegments) {
+  PhaseProgram p;
+  p.add(100.0, 1.0, 0.01).add(200.0, 2.0, 0.02);
+  EXPECT_EQ(p.segments().size(), 2u);
+  EXPECT_DOUBLE_EQ(p.total_instructions(), 300.0);
+}
+
+TEST(PhaseProgram, RepeatAppendsBlocks) {
+  PhaseProgram p;
+  std::vector<Segment> block{{10.0, OperatingPoint{1.0, 0.0}},
+                             {20.0, OperatingPoint{1.0, 0.1}}};
+  p.repeat(3, block);
+  EXPECT_EQ(p.segments().size(), 6u);
+  EXPECT_DOUBLE_EQ(p.total_instructions(), 90.0);
+}
+
+TEST(PhaseProgram, ScaleInstructions) {
+  PhaseProgram p;
+  p.add(100.0, 1.0, 0.01);
+  p.scale_instructions(2.5);
+  EXPECT_DOUBLE_EQ(p.total_instructions(), 250.0);
+}
+
+TEST(WorkloadCursor, ConsumesAcrossSegments) {
+  PhaseProgram p;
+  p.add(10.0, 1.0, 0.01).add(5.0, 1.0, 0.02);
+  WorkloadCursor c(&p);
+  EXPECT_FALSE(c.done());
+  EXPECT_DOUBLE_EQ(c.op().tipi, 0.01);
+  c.consume(10.0);
+  EXPECT_FALSE(c.done());
+  EXPECT_DOUBLE_EQ(c.op().tipi, 0.02);
+  c.consume(5.0);
+  EXPECT_TRUE(c.done());
+}
+
+TEST(WorkloadCursor, SkipsEmptySegments) {
+  PhaseProgram p;
+  p.add(0.0, 1.0, 0.01).add(5.0, 1.0, 0.02).add(0.0, 1.0, 0.03);
+  WorkloadCursor c(&p);
+  EXPECT_DOUBLE_EQ(c.op().tipi, 0.02);
+  c.consume(5.0);
+  EXPECT_TRUE(c.done());
+}
+
+TEST(WorkloadCursor, EmptyProgramIsDone) {
+  PhaseProgram p;
+  WorkloadCursor c(&p);
+  EXPECT_TRUE(c.done());
+}
+
+TEST(WorkloadCursor, PartialConsumption) {
+  PhaseProgram p;
+  p.add(10.0, 1.0, 0.01);
+  WorkloadCursor c(&p);
+  c.consume(4.0);
+  EXPECT_DOUBLE_EQ(c.remaining_in_segment(), 6.0);
+  EXPECT_FALSE(c.done());
+}
+
+}  // namespace
+}  // namespace cuttlefish::sim

@@ -1,0 +1,88 @@
+#include "workloads/model_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/tipi.hpp"
+
+namespace cuttlefish::workloads {
+namespace {
+
+TEST(ModelBuilder, SegmentsStayInsideTheirSlab) {
+  const TipiSlabber slabber;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    ModelBuilder b(1.0, seed);
+    for (int64_t slab = 0; slab < 40; ++slab) b.seg(slab, 1.0);
+    const sim::PhaseProgram p = b.take();
+    ASSERT_EQ(p.segments().size(), 40u);
+    for (int64_t slab = 0; slab < 40; ++slab) {
+      const double tipi = p.segments()[static_cast<size_t>(slab)].op.tipi;
+      EXPECT_EQ(slabber.slab_of(tipi), slab) << "seed " << seed;
+      // 20% edge margin keeps tick-quantised mixtures in range.
+      EXPECT_GE(tipi, slabber.lower_bound(slab) + 0.1 * slabber.width());
+      EXPECT_LE(tipi, slabber.upper_bound(slab) - 0.1 * slabber.width());
+    }
+  }
+}
+
+TEST(ModelBuilder, StaircaseWalksEveryIntermediateSlab) {
+  const TipiSlabber slabber;
+  ModelBuilder b(1.0, 3);
+  b.staircase(10, 4, 1.0);
+  const sim::PhaseProgram p = b.take();
+  ASSERT_EQ(p.segments().size(), 7u);
+  for (size_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(slabber.slab_of(p.segments()[i].op.tipi),
+              10 - static_cast<int64_t>(i));
+  }
+}
+
+TEST(ModelBuilder, StaircaseAscending) {
+  const TipiSlabber slabber;
+  ModelBuilder b(1.0, 3);
+  b.staircase(2, 5, 0.5);
+  const sim::PhaseProgram p = b.take();
+  ASSERT_EQ(p.segments().size(), 4u);
+  EXPECT_EQ(slabber.slab_of(p.segments().front().op.tipi), 2);
+  EXPECT_EQ(slabber.slab_of(p.segments().back().op.tipi), 5);
+}
+
+TEST(ModelBuilder, SingleStepStaircase) {
+  ModelBuilder b(1.0, 3);
+  b.staircase(7, 7, 1.0);
+  EXPECT_EQ(b.take().segments().size(), 1u);
+}
+
+TEST(ModelBuilder, ColdPhaseStaysInRequestedBand) {
+  const TipiSlabber slabber;
+  ModelBuilder b(1.0, 9);
+  b.cold_phase(13, 18, 10.0, 50);
+  const sim::PhaseProgram p = b.take();
+  ASSERT_EQ(p.segments().size(), 50u);
+  double total = 0.0;
+  for (const auto& seg : p.segments()) {
+    const int64_t slab = slabber.slab_of(seg.op.tipi);
+    EXPECT_GE(slab, 13);
+    EXPECT_LE(slab, 18);
+    total += seg.instructions;
+  }
+  EXPECT_NEAR(total, 10.0, 1e-9);
+}
+
+TEST(ModelBuilder, CpiOverrideAppliesPerSegment) {
+  ModelBuilder b(1.0, 1);
+  b.seg(3, 1.0).seg_cpi(3, 1.0, 2.5);
+  const sim::PhaseProgram p = b.take();
+  EXPECT_DOUBLE_EQ(p.segments()[0].op.cpi0, 1.0);
+  EXPECT_DOUBLE_EQ(p.segments()[1].op.cpi0, 2.5);
+}
+
+TEST(ModelBuilder, ExplicitTipiSegment) {
+  ModelBuilder b(1.0, 1);
+  b.seg_tipi(0.1234, 2.0);
+  const sim::PhaseProgram p = b.take();
+  EXPECT_DOUBLE_EQ(p.segments()[0].op.tipi, 0.1234);
+  EXPECT_DOUBLE_EQ(p.segments()[0].instructions, 2.0);
+}
+
+}  // namespace
+}  // namespace cuttlefish::workloads

@@ -1,0 +1,121 @@
+#include "workloads/suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/tipi.hpp"
+#include "exp/calibrate.hpp"
+#include "exp/driver.hpp"
+#include "sim/machine_config.hpp"
+
+namespace cuttlefish::workloads {
+namespace {
+
+TEST(Suite, HasTheTenPaperBenchmarks) {
+  const auto& suite = openmp_suite();
+  ASSERT_EQ(suite.size(), 10u);
+  const std::vector<std::string> expected{
+      "UTS", "SOR-irt", "SOR-rt", "SOR-ws", "Heat-irt",
+      "Heat-rt", "Heat-ws", "MiniFE", "HPCCG", "AMG"};
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(suite[i].name, expected[i]);
+  }
+}
+
+TEST(Suite, HclibSuiteIsTheSixSorHeatVariants) {
+  const auto& suite = hclib_suite();
+  ASSERT_EQ(suite.size(), 6u);
+  for (const auto& m : suite) {
+    EXPECT_TRUE(m.name.rfind("SOR", 0) == 0 || m.name.rfind("Heat", 0) == 0);
+  }
+}
+
+TEST(Suite, ProgramsBuildNonEmpty) {
+  for (const auto& m : openmp_suite()) {
+    const sim::PhaseProgram p = m.build_program(1);
+    EXPECT_FALSE(p.empty()) << m.name;
+    EXPECT_GT(p.total_instructions(), 0.0) << m.name;
+  }
+}
+
+TEST(Suite, SeedsChangeJitterNotStructure) {
+  const auto& m = find_benchmark("Heat-irt");
+  const sim::PhaseProgram a = m.build_program(1);
+  const sim::PhaseProgram b = m.build_program(2);
+  ASSERT_EQ(a.segments().size(), b.segments().size());
+  bool any_difference = false;
+  for (size_t i = 0; i < a.segments().size(); ++i) {
+    if (a.segments()[i].op.tipi != b.segments()[i].op.tipi) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Suite, CalibrationHitsTableOneTimes) {
+  const sim::MachineConfig machine = sim::haswell_2650v3();
+  for (const auto& m : openmp_suite()) {
+    sim::PhaseProgram p = exp::build_calibrated(m, machine, 1);
+    exp::RunOptions opt;
+    const exp::RunResult r = exp::run_default(machine, p, opt);
+    EXPECT_NEAR(r.time_s, m.default_time_s, 0.01 * m.default_time_s)
+        << m.name;
+  }
+}
+
+TEST(Suite, SteadySlabSetsMatchTableOne) {
+  // Count distinct slabs in the post-warm-up portion of each program's
+  // segment list (the construction-level ground truth for Table 1).
+  const TipiSlabber slabber;
+  const std::map<std::string, int> expected{
+      {"UTS", 1},     {"SOR-irt", 1}, {"SOR-rt", 1}, {"SOR-ws", 3},
+      {"Heat-irt", 4}, {"Heat-rt", 3}, {"Heat-ws", 11}, {"MiniFE", 16},
+      {"HPCCG", 17},   {"AMG", 60}};
+  for (const auto& m : openmp_suite()) {
+    const sim::PhaseProgram p = m.build_program(1);
+    // Skip the cold-start share of instructions (roughly the warm-up).
+    const double total = p.total_instructions();
+    double consumed = 0.0;
+    std::set<int64_t> slabs;
+    for (const auto& seg : p.segments()) {
+      consumed += seg.instructions;
+      if (consumed < total * 0.030) continue;  // inside warm-up
+      slabs.insert(slabber.slab_of(seg.op.tipi));
+    }
+    EXPECT_EQ(static_cast<int>(slabs.size()), expected.at(m.name)) << m.name;
+  }
+}
+
+TEST(Suite, MemoryBoundFlagConsistentWithTipi) {
+  const TipiSlabber slabber;
+  for (const auto& m : openmp_suite()) {
+    const sim::PhaseProgram p = m.build_program(3);
+    // Dominant slab by instruction share.
+    std::map<int64_t, double> share;
+    for (const auto& seg : p.segments()) {
+      share[slabber.slab_of(seg.op.tipi)] += seg.instructions;
+    }
+    int64_t dominant = 0;
+    double best = -1.0;
+    for (const auto& [slab, units] : share) {
+      if (units > best) {
+        best = units;
+        dominant = slab;
+      }
+    }
+    if (m.memory_bound) {
+      EXPECT_GE(dominant, 14) << m.name;
+    } else {
+      EXPECT_LE(dominant, 6) << m.name;
+    }
+  }
+}
+
+TEST(Suite, FindBenchmarkReturnsNamedModel) {
+  EXPECT_EQ(find_benchmark("AMG").name, "AMG");
+  EXPECT_DOUBLE_EQ(find_benchmark("HPCCG").default_time_s, 60.0);
+}
+
+}  // namespace
+}  // namespace cuttlefish::workloads
