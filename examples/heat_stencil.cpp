@@ -85,8 +85,24 @@ int main() {
         workloads::heat_step_tasks(tasks, in, out,
                                    runtime::DagShape::kIrregular);
       });
+  // Loop decomposition on the *task* runtime: lazy binary splitting only
+  // sheds stealable halves while thieves are starving, so balanced steps
+  // spawn O(workers) tasks rather than one per 16-row block.
+  const double lbs = run_variant(
+      "Heat-lbs (task loop)",
+      [&](const workloads::Grid2D& in, workloads::Grid2D& out) {
+        workloads::heat_step_lbs(tasks, in, out);
+      });
   std::printf("  decompositions agree: %s\n",
-              (ws == rt && rt == irt) ? "yes" : "NO (bug!)");
+              (ws == rt && rt == irt && irt == lbs) ? "yes" : "NO (bug!)");
+  const auto rt_stats = tasks.stats();
+  std::printf("  task runtime: %llu tasks, %llu steals, %llu parks, "
+              "%llu slab blocks, %llu heap fallbacks\n",
+              static_cast<unsigned long long>(rt_stats.executed),
+              static_cast<unsigned long long>(rt_stats.steals),
+              static_cast<unsigned long long>(rt_stats.parks),
+              static_cast<unsigned long long>(rt_stats.slab_blocks),
+              static_cast<unsigned long long>(rt_stats.heap_fallbacks));
 
   // Give the daemon time to finish its exploration of the profile.
   for (int i = 0; i < 300 && !platform.workload_done(); ++i) {

@@ -37,8 +37,13 @@ class ChaseLevDeque {
       buf = grow(buf, t, b);
     }
     buf->put(b, item);
-    std::atomic_thread_fence(std::memory_order_release);
-    bottom_.store(b + 1, std::memory_order_relaxed);
+    // Release store on bottom_ (Lê et al., "Correct and Efficient
+    // Work-Stealing for Weak Memory Models", PPoPP'13, Fig. 1): publishes
+    // the cell write to thieves that acquire-load bottom_ in steal().
+    // The seed used a release fence + relaxed store, which is equivalent
+    // under the C++ model but invisible to TSAN's fence-blind race
+    // detector; the store-release form is both correct and TSAN-clean.
+    bottom_.store(b + 1, std::memory_order_release);
   }
 
   /// Owner only. Returns false when empty; `out` is written only on
@@ -75,7 +80,11 @@ class ChaseLevDeque {
     std::atomic_thread_fence(std::memory_order_seq_cst);
     const int64_t b = bottom_.load(std::memory_order_acquire);
     if (t >= b) return false;
-    Buffer* buf = buffer_.load(std::memory_order_consume);
+    // Lê et al. load the buffer with memory_order_consume to order the
+    // subsequent cell read after grow()'s release store of buffer_.
+    // consume is deprecated (P0371R1) and implemented as acquire by every
+    // mainstream compiler anyway, so we say acquire outright.
+    Buffer* buf = buffer_.load(std::memory_order_acquire);
     const T candidate = buf->get(t);
     if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                       std::memory_order_relaxed)) {

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace cuttlefish::runtime {
+
+/// Eventcount: the sleep half of the scheduler's spin -> yield -> park idle
+/// protocol. Producers pay one uncontended atomic add plus one load per
+/// notify when nobody is parked — no mutex, no syscall — which is what
+/// makes signalling on *every* spawn affordable (the seed runtime paid a
+/// futex wake per spawn via an unconditional condition_variable notify).
+///
+/// Waiter protocol (the usual eventcount three-step):
+///   1. ticket = prepare_wait()        — announce intent to sleep
+///   2. re-check all work sources      — the final recheck
+///   3. commit_wait(ticket)            — sleep, or cancel_wait() if work
+///      appeared in step 2
+///
+/// Correctness argument (why no wakeup is lost): notify() bumps the epoch
+/// *after* the producer has published work, and waiters read their ticket
+/// *before* the final recheck; both epoch and waiter count are seq_cst. If
+/// the waiter's recheck missed the new work, the producer's epoch bump must
+/// be ordered after the waiter's ticket read, so either commit_wait sees a
+/// changed epoch and returns immediately, or the producer saw the waiter
+/// count and takes the slow notify path under the mutex.
+class EventCount {
+ public:
+  uint64_t prepare_wait() {
+    waiters_.fetch_add(1, std::memory_order_seq_cst);
+    return epoch_.load(std::memory_order_seq_cst);
+  }
+
+  void cancel_wait() { waiters_.fetch_sub(1, std::memory_order_seq_cst); }
+
+  void commit_wait(uint64_t ticket) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] {
+      return epoch_.load(std::memory_order_seq_cst) != ticket;
+    });
+    waiters_.fetch_sub(1, std::memory_order_seq_cst);
+  }
+
+  void notify_one() { notify(false); }
+  void notify_all() { notify(true); }
+
+ private:
+  void notify(bool all) {
+    epoch_.fetch_add(1, std::memory_order_seq_cst);
+    if (waiters_.load(std::memory_order_seq_cst) == 0) return;  // fast path
+    {
+      // Taking the mutex orders the notify against a waiter that has
+      // passed its predicate check but not yet blocked.
+      std::lock_guard<std::mutex> lock(mutex_);
+    }
+    if (all) {
+      cv_.notify_all();
+    } else {
+      cv_.notify_one();
+    }
+  }
+
+  std::atomic<uint64_t> epoch_{0};
+  std::atomic<uint64_t> waiters_{0};
+  std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+}  // namespace cuttlefish::runtime

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <atomic>
+
+#include "runtime/task_node.hpp"
+
+namespace cuttlefish::runtime {
+
+/// Lock-free multi-producer injection queue for tasks spawned by threads
+/// outside the worker pool (the finish root, daemon threads, tests). The
+/// seed runtime serialised these through a mutex-protected vector that
+/// every idle worker also polled under the same mutex; this replaces both
+/// sides with intrusive atomic ops on the TaskNode's own link field.
+///
+/// Shape: a Treiber stack pushed by producers, detached wholesale by
+/// whichever worker drains it. Push is an ABA-safe CAS (the head only
+/// ever swings to a *new* node on push, and consumers never pop nodes
+/// individually — they exchange the entire chain with nullptr), so node
+/// recycling through the slab cannot corrupt the list. The drainer
+/// re-pushes the (LIFO) chain into its own deque back-to-front to restore
+/// submission order.
+class InjectQueue {
+ public:
+  /// Any thread. Wait-free except for CAS retries under contention.
+  void push(TaskNode* node) {
+    TaskNode* head = head_.load(std::memory_order_relaxed);
+    do {
+      node->next = head;
+    } while (!head_.compare_exchange_weak(head, node,
+                                          std::memory_order_release,
+                                          std::memory_order_relaxed));
+  }
+
+  /// Any thread. Detaches and returns the whole chain (newest first), or
+  /// nullptr when empty. One atomic exchange regardless of chain length.
+  TaskNode* drain() {
+    if (head_.load(std::memory_order_relaxed) == nullptr) return nullptr;
+    return head_.exchange(nullptr, std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<TaskNode*> head_{nullptr};
+};
+
+}  // namespace cuttlefish::runtime

@@ -79,4 +79,90 @@ double parallel_reduce(ThreadPool& pool, int64_t begin, int64_t end,
   return total;
 }
 
+// ---- task-runtime loops (lazy binary splitting) ----------------------------
+
+namespace {
+
+// Shared by every task of one loop; lives on the calling thread's stack,
+// which outlives all tasks because the caller blocks in finish().
+struct LoopCtx {
+  TaskScheduler* rt;
+  const std::function<void(int64_t, int64_t)>* body;
+  int64_t grain;
+};
+
+// The lambda spawned per split captures {ctx, mid, hi}: 24 bytes, well
+// inside TaskNode's 48-byte inline storage — loop spawning is
+// allocation-free like every other hot path.
+void lbs_span(const LoopCtx* ctx, int64_t lo, int64_t hi) {
+  while (lo < hi) {
+    if (hi - lo <= ctx->grain) {
+      (*ctx->body)(lo, hi);
+      return;
+    }
+    if (ctx->rt->want_more_work()) {
+      // Thieves would find our deque empty: shed the upper half.
+      const int64_t mid = lo + (hi - lo) / 2;
+      ctx->rt->async([ctx, mid, hi] { lbs_span(ctx, mid, hi); });
+      hi = mid;
+    } else {
+      // Plenty queued already: just chew one grain and re-evaluate.
+      (*ctx->body)(lo, std::min(lo + ctx->grain, hi));
+      lo += ctx->grain;
+    }
+  }
+}
+
+}  // namespace
+
+void parallel_for_blocked(TaskScheduler& rt, int64_t begin, int64_t end,
+                          const std::function<void(int64_t, int64_t)>& body,
+                          int64_t grain) {
+  if (begin >= end) return;
+  CF_ASSERT(TaskScheduler::current_worker() == -1,
+            "task-runtime parallel_for must be called from outside the pool");
+  const int64_t n = end - begin;
+  const int64_t g =
+      grain > 0 ? grain
+                : std::max<int64_t>(1, n / (16 * static_cast<int64_t>(
+                                                    rt.size())));
+  LoopCtx ctx{&rt, &body, g};
+  rt.finish([&ctx, begin, end] { lbs_span(&ctx, begin, end); });
+}
+
+void parallel_for(TaskScheduler& rt, int64_t begin, int64_t end,
+                  const std::function<void(int64_t)>& body, int64_t grain) {
+  parallel_for_blocked(
+      rt, begin, end,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) body(i);
+      },
+      grain);
+}
+
+double parallel_reduce(TaskScheduler& rt, int64_t begin, int64_t end,
+                       const std::function<double(int64_t)>& term,
+                       int64_t grain) {
+  if (begin >= end) return 0.0;
+  // One padded accumulator per worker; leaf blocks accumulate locally and
+  // flush once, so there is no atomic traffic in the inner loop.
+  struct alignas(64) Slot {
+    double value = 0.0;
+  };
+  std::vector<Slot> partial(static_cast<size_t>(rt.size()));
+  parallel_for_blocked(
+      rt, begin, end,
+      [&](int64_t lo, int64_t hi) {
+        double acc = 0.0;
+        for (int64_t i = lo; i < hi; ++i) acc += term(i);
+        const int w = TaskScheduler::current_worker();
+        CF_ASSERT(w >= 0, "reduce leaf ran outside the pool");
+        partial[static_cast<size_t>(w)].value += acc;
+      },
+      grain);
+  double total = 0.0;
+  for (const Slot& p : partial) total += p.value;
+  return total;
+}
+
 }  // namespace cuttlefish::runtime

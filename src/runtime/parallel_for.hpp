@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "runtime/scheduler.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace cuttlefish::runtime {
@@ -28,5 +29,31 @@ void parallel_for_blocked(ThreadPool& pool, int64_t begin, int64_t end,
 /// Parallel sum reduction over [begin, end) of term(i).
 double parallel_reduce(ThreadPool& pool, int64_t begin, int64_t end,
                        const std::function<double(int64_t)>& term);
+
+// ---- task-runtime loops (lazy binary splitting) ----------------------------
+//
+// The same loop API on the async-finish TaskScheduler, so DAG workloads and
+// loop workloads share one runtime (and one set of Cuttlefish-visible
+// worker threads). Ranges are split by *lazy binary splitting* (Tzannes et
+// al., PPoPP'10): a worker executing a range splits off its upper half as a
+// stealable task only while its own deque is empty — i.e. only when thieves
+// are actually starving — and otherwise consumes the range grain by grain.
+// Balanced loops therefore spawn O(workers) tasks instead of O(n/grain),
+// while skewed loops still shed parallelism on demand.
+//
+// Must be called from outside the pool (each call opens its own finish
+// scope); `grain` 0 picks n / (16 * workers), clamped to at least 1.
+
+void parallel_for_blocked(TaskScheduler& rt, int64_t begin, int64_t end,
+                          const std::function<void(int64_t, int64_t)>& body,
+                          int64_t grain = 0);
+
+void parallel_for(TaskScheduler& rt, int64_t begin, int64_t end,
+                  const std::function<void(int64_t)>& body,
+                  int64_t grain = 0);
+
+double parallel_reduce(TaskScheduler& rt, int64_t begin, int64_t end,
+                       const std::function<double(int64_t)>& term,
+                       int64_t grain = 0);
 
 }  // namespace cuttlefish::runtime

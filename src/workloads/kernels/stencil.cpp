@@ -85,6 +85,13 @@ void heat_step_tasks(runtime::TaskScheduler& rt, const Grid2D& in,
   });
 }
 
+void heat_step_lbs(runtime::TaskScheduler& rt, const Grid2D& in, Grid2D& out,
+                   int64_t grain) {
+  runtime::parallel_for_blocked(
+      rt, 1, in.rows() - 1,
+      [&](int64_t r0, int64_t r1) { heat_rows(in, out, r0, r1); }, grain);
+}
+
 void sor_sweep_seq(Grid2D& grid, double omega) {
   sor_rows(grid, omega, 0, 1, grid.rows() - 1);
   sor_rows(grid, omega, 1, 1, grid.rows() - 1);
@@ -110,6 +117,18 @@ void sor_sweep_tasks(runtime::TaskScheduler& rt, Grid2D& grid, double omega,
                                   sor_rows(grid, omega, colour, r0, r1);
                                 });
     });
+  }
+}
+
+void sor_sweep_lbs(runtime::TaskScheduler& rt, Grid2D& grid, double omega,
+                   int64_t grain) {
+  for (int colour = 0; colour < 2; ++colour) {
+    runtime::parallel_for_blocked(
+        rt, 1, grid.rows() - 1,
+        [&grid, omega, colour](int64_t r0, int64_t r1) {
+          sor_rows(grid, omega, colour, r0, r1);
+        },
+        grain);
   }
 }
 

@@ -42,6 +42,11 @@ void heat_step_ws(runtime::ThreadPool& pool, const Grid2D& in, Grid2D& out);
 void heat_step_tasks(runtime::TaskScheduler& rt, const Grid2D& in,
                      Grid2D& out, runtime::DagShape shape,
                      int64_t grain = 16);
+/// Loop variant on the task runtime (lazy binary splitting): the same
+/// iteration space as heat_step_ws but scheduled on TaskScheduler, so loop
+/// and DAG phases of one application share a single pool of workers.
+void heat_step_lbs(runtime::TaskScheduler& rt, const Grid2D& in, Grid2D& out,
+                   int64_t grain = 16);
 
 /// One red-black successive-over-relaxation sweep (the paper's SOR
 /// benchmark [7]) with relaxation factor omega; updates in place.
@@ -49,5 +54,7 @@ void sor_sweep_seq(Grid2D& grid, double omega);
 void sor_sweep_ws(runtime::ThreadPool& pool, Grid2D& grid, double omega);
 void sor_sweep_tasks(runtime::TaskScheduler& rt, Grid2D& grid, double omega,
                      runtime::DagShape shape, int64_t grain = 16);
+void sor_sweep_lbs(runtime::TaskScheduler& rt, Grid2D& grid, double omega,
+                   int64_t grain = 16);
 
 }  // namespace cuttlefish::workloads

@@ -77,9 +77,11 @@ TEST(TaskScheduler, WorkIsDistributedAcrossWorkers) {
         ASSERT_GE(w, 0);
         ASSERT_LT(w, 64);
         touched[w] += 1;
-        // Burn a little time so stealing has a chance to engage.
+        // Burn enough time that the batch spans several OS timeslices:
+        // on a single-CPU host the victim must be preempted before any
+        // other worker can run at all, let alone steal.
         volatile int x = 0;
-        for (int k = 0; k < 200; ++k) x = x + k;
+        for (int k = 0; k < 20000; ++k) x = x + k;
       });
     }
   });
