@@ -3,6 +3,9 @@
 // how many nodes get resolved, how much exploration the controller
 // performs, and what it costs in energy/slowdown when each optimization
 // is disabled.
+//
+// Grid: one shared Default baseline point plus one policy point per
+// ablation variant, paired by seed; --workers N fans the runs out.
 
 #include "bench_util.hpp"
 
@@ -19,7 +22,8 @@ struct Variant {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int runs = benchharness::parse_runs(argc, argv, 5);
+  const auto args = benchharness::parse_args(argc, argv, 5);
+  const uint64_t seed0 = benchharness::seed_base(args, 5000);
   const sim::MachineConfig machine = sim::haswell_2650v3();
   const auto& model = workloads::find_benchmark("AMG");
 
@@ -30,30 +34,44 @@ int main(int argc, char** argv) {
       {"both off", false, false},
   };
 
+  // The Default baseline does not depend on the controller switches, so
+  // all four variants share one baseline point.
+  exp::SweepGrid grid(machine);
+  const int base = grid.add_default("AMG/Default", model, exp::RunOptions{},
+                                    args.runs, seed0);
+  std::vector<int> points;
+  for (const Variant& v : variants) {
+    exp::RunOptions opt;
+    opt.controller.insertion_narrowing = v.insertion;
+    opt.controller.revalidation = v.revalidation;
+    points.push_back(grid.add_policy(std::string("AMG/") + v.label, model,
+                                     core::PolicyKind::kFull, opt, args.runs,
+                                     seed0, base));
+  }
+  const std::vector<exp::RunResult> results =
+      exp::run_sweep(grid, args.workers);
+  const std::vector<exp::PointSummary> summary = exp::summarize(grid, results);
+
   CsvWriter csv("ablation_narrowing.csv",
                 {"variant", "cf_resolved_pct", "uf_resolved_pct",
                  "samples_recorded", "energy_savings_pct", "slowdown_pct"});
 
   std::printf("Ablation: §4.4/§4.5 window optimizations on AMG "
-              "(60 TIPI ranges, %d runs)\n", runs);
+              "(60 TIPI ranges, %d runs)\n", args.runs);
   benchharness::print_rule(104);
   std::printf("%-26s %12s %12s %16s %16s %12s\n", "Variant", "CF res%",
               "UF res%", "JPI samples", "Energy sav%", "Slowdown%");
   benchharness::print_rule(104);
 
-  for (const Variant& v : variants) {
-    std::vector<double> cf_pct, uf_pct, samples, savings, slowdown;
-    for (int s = 0; s < runs; ++s) {
-      const auto seed = 5000 + static_cast<uint64_t>(s);
-      sim::PhaseProgram program = exp::build_calibrated(model, machine, seed);
-      exp::RunOptions opt;
-      opt.seed = seed;
-      opt.controller.insertion_narrowing = v.insertion;
-      opt.controller.revalidation = v.revalidation;
-      const exp::RunResult base = exp::run_default(machine, program, opt);
-      const exp::RunResult pol =
-          exp::run_policy(machine, program, core::PolicyKind::kFull, opt);
-      const exp::Comparison c = exp::compare(pol, base);
+  benchharness::JsonWriter json;
+  for (size_t vi = 0; vi < variants.size(); ++vi) {
+    const Variant& v = variants[vi];
+    const int point = points[vi];
+    const exp::PointSummary& agg = summary[static_cast<size_t>(point)];
+    std::vector<double> cf_pct, uf_pct, samples;
+    for (int s = 0; s < args.runs; ++s) {
+      const exp::RunResult& pol =
+          results[static_cast<size_t>(grid.spec_index(point, s))];
       size_t cf_resolved = 0, uf_resolved = 0;
       for (const auto& n : pol.nodes) {
         if (n.cf_opt != kNoLevel) ++cf_resolved;
@@ -64,24 +82,29 @@ int main(int argc, char** argv) {
       uf_pct.push_back(100.0 * static_cast<double>(uf_resolved) /
                        static_cast<double>(pol.nodes.size()));
       samples.push_back(static_cast<double>(pol.stats.samples_recorded));
-      savings.push_back(c.energy_savings_pct);
-      slowdown.push_back(c.slowdown_pct);
     }
     const auto a_cf = exp::aggregate(cf_pct);
     const auto a_uf = exp::aggregate(uf_pct);
     const auto a_sm = exp::aggregate(samples);
-    const auto a_sv = exp::aggregate(savings);
-    const auto a_sd = exp::aggregate(slowdown);
     std::printf("%-26s %11.0f%% %11.0f%% %16.0f %15.1f%% %11.1f%%\n",
-                v.label, a_cf.mean, a_uf.mean, a_sm.mean, a_sv.mean,
-                a_sd.mean);
+                v.label, a_cf.mean, a_uf.mean, a_sm.mean,
+                agg.energy_savings_pct.mean, agg.slowdown_pct.mean);
     csv.row({v.label, CsvWriter::num(a_cf.mean), CsvWriter::num(a_uf.mean),
-             CsvWriter::num(a_sm.mean), CsvWriter::num(a_sv.mean),
-             CsvWriter::num(a_sd.mean)});
+             CsvWriter::num(a_sm.mean),
+             CsvWriter::num(agg.energy_savings_pct.mean),
+             CsvWriter::num(agg.slowdown_pct.mean)});
+    benchharness::JsonWriter row;
+    row.field("cf_resolved_pct", a_cf.mean, 4);
+    row.field("uf_resolved_pct", a_uf.mean, 4);
+    row.field("samples_recorded", a_sm.mean, 1);
+    row.field("energy_savings_pct", agg.energy_savings_pct.mean, 4);
+    row.field("slowdown_pct", agg.slowdown_pct.mean, 4);
+    json.raw(v.label, row.compact());
   }
   benchharness::print_rule(104);
   std::printf("Paper context (Table 2): AMG resolves CFopt for 68%% and "
               "UFopt for 3%% of ranges with both optimizations on.\n");
   std::printf("CSV written to ablation_narrowing.csv\n");
+  if (!args.json_out.empty()) json.write(args.json_out);
   return 0;
 }

@@ -3,6 +3,11 @@
 // argues against. For every possible optimum position on both Haswell
 // ladders we count (a) the number of distinct frequencies that must
 // accumulate a 10-sample JPI average and (b) the landing error.
+//
+// The per-valley searches are independent, so each strategy's sweep over
+// optimum positions runs through exp::sweep_ordered (--workers N fans it
+// out; results are keyed by valley index, so the table is identical at
+// any worker count).
 
 #include <cmath>
 #include <memory>
@@ -80,7 +85,9 @@ SearchOutcome run_binary(const FreqLadder& ladder, Level valley) {
   return SearchOutcome{static_cast<int>(measured.size()), landed};
 }
 
-void evaluate(const char* name, const FreqLadder& ladder, CsvWriter& csv) {
+void evaluate(const char* name, const FreqLadder& ladder, CsvWriter& csv,
+              benchharness::JsonWriter& json,
+              runtime::TaskScheduler* scheduler) {
   std::printf("\n%s ladder (%d levels)\n", name, ladder.levels());
   benchharness::print_rule(86);
   std::printf("%-22s %16s %16s %14s\n", "Strategy", "avg measured",
@@ -102,11 +109,20 @@ void evaluate(const char* name, const FreqLadder& ladder, CsvWriter& csv) {
       {"modified binary", &run_binary},
   };
   for (const auto& s : strategies) {
+    std::vector<SearchOutcome> outcomes(
+        static_cast<size_t>(ladder.levels()));
+    exp::sweep_ordered(
+        ladder.levels(),
+        [&](int64_t valley) {
+          outcomes[static_cast<size_t>(valley)] =
+              s.run(ladder, static_cast<Level>(valley));
+        },
+        scheduler);
     double total = 0.0;
     int worst = 0;
     int max_err = 0;
     for (Level valley = 0; valley <= ladder.max_level(); ++valley) {
-      const SearchOutcome out = s.run(ladder, valley);
+      const SearchOutcome& out = outcomes[static_cast<size_t>(valley)];
       total += out.measured_levels;
       worst = std::max(worst, out.measured_levels);
       max_err = std::max(max_err,
@@ -116,12 +132,25 @@ void evaluate(const char* name, const FreqLadder& ladder, CsvWriter& csv) {
     std::printf("%-22s %16.1f %16d %14d\n", s.label, avg, worst, max_err);
     csv.row({name, s.label, CsvWriter::num(avg), std::to_string(worst),
              std::to_string(max_err)});
+    benchharness::JsonWriter row;
+    row.field("avg_measured", avg, 4);
+    row.field("worst_measured", worst);
+    row.field("max_error", max_err);
+    json.raw(std::string(name) + "/" + s.label, row.compact());
   }
 }
 
 }  // namespace
 
-int main(int, char**) {
+int main(int argc, char** argv) {
+  // No seeded replicates: the sweep is exhaustive over every optimum
+  // position, so --runs/--seeds are rejected rather than ignored.
+  const auto args =
+      benchharness::parse_args(argc, argv, 1, /*has_reps=*/false);
+  std::unique_ptr<runtime::TaskScheduler> pool;
+  if (args.workers > 1) {
+    pool = std::make_unique<runtime::TaskScheduler>(args.workers);
+  }
   std::printf("Ablation: frequency-search strategy cost "
               "(10-sample JPI averages per measured level)\n");
   std::printf("Paper claim (§4.3): worst case 6 measured settings for "
@@ -130,8 +159,10 @@ int main(int, char**) {
   CsvWriter csv("ablation_search.csv",
                 {"ladder", "strategy", "avg_measured", "worst_measured",
                  "max_error"});
-  evaluate("core", haswell_core_ladder(), csv);
-  evaluate("uncore", haswell_uncore_ladder(), csv);
+  benchharness::JsonWriter json;
+  evaluate("core", haswell_core_ladder(), csv, json, pool.get());
+  evaluate("uncore", haswell_uncore_ladder(), csv, json, pool.get());
   std::printf("\nCSV written to ablation_search.csv\n");
+  if (!args.json_out.empty()) json.write(args.json_out);
   return 0;
 }

@@ -3,10 +3,23 @@
 // Shared helpers for the table/figure regeneration binaries. Every binary
 // prints a human-readable table to stdout (mirroring the paper's rows)
 // and writes a machine-readable CSV under ./ (filename printed at exit).
+//
+// Common CLI, replacing the per-bench ad-hoc parsing:
+//   --runs N       replicates per sweep point (legacy positional N works)
+//   --seeds B      override the bench's default seed base
+//   --workers N    sweep fan-out width (co-simulations run on N workers;
+//                  results are bit-identical to --workers 1 by the sweep
+//                  engine's determinism contract)
+//   --json-out F   write a machine-readable JSON summary to F
 
+#include <cinttypes>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/csv.hpp"
@@ -14,20 +27,186 @@
 #include "exp/calibrate.hpp"
 #include "exp/driver.hpp"
 #include "exp/metrics.hpp"
+#include "exp/sweep.hpp"
 #include "sim/machine_config.hpp"
 #include "workloads/suite.hpp"
 
 namespace cuttlefish::benchharness {
 
-/// Seed count for repeated runs (paper: ten executions per point).
-/// Overridable with argv[1] to trade precision for speed.
-inline int parse_runs(int argc, char** argv, int fallback = 10) {
-  if (argc > 1) {
-    const int n = std::atoi(argv[1]);
-    if (n > 0) return n;
-  }
-  return fallback;
+struct BenchArgs {
+  int runs = 1;            // seed replicates per sweep point
+  uint64_t seed_base = 0;  // 0 = use the bench's historical base
+  int workers = 1;         // sweep fan-out width
+  std::string json_out;    // empty = no JSON summary
+};
+
+/// Seed base helper: the paper benches keep their historical bases (so
+/// tables stay reproducible) unless --seeds overrides them.
+inline uint64_t seed_base(const BenchArgs& args, uint64_t fallback) {
+  return args.seed_base != 0 ? args.seed_base : fallback;
 }
+
+[[noreturn]] inline void usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s [N | --runs N] [--seeds B (nonzero)] "
+               "[--workers N] [--json-out FILE]\n",
+               prog);
+  std::exit(2);
+}
+
+/// Strict positive-integer parse: trailing garbage ("1O", "4x") must fail
+/// loudly, not silently truncate into a wrong-but-plausible count.
+inline int parse_positive_int(const char* prog, const char* text) {
+  char* end = nullptr;
+  const long n = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || n <= 0 || n > 1000000) usage(prog);
+  return static_cast<int>(n);
+}
+
+/// Parse the common bench flags. argv[1] as a bare positive integer is
+/// still accepted as the run count (the historical calling convention).
+/// Benches without seeded replicates (exhaustive/analytic sweeps) pass
+/// has_reps = false, which rejects --runs/--seeds loudly instead of
+/// accepting a flag that would silently do nothing.
+inline BenchArgs parse_args(int argc, char** argv, int default_runs,
+                            bool has_reps = true) {
+  BenchArgs args;
+  args.runs = default_runs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    const auto reps_only = [&]() {
+      if (has_reps) return;
+      std::fprintf(stderr,
+                   "%s: %s not applicable — this bench sweeps its whole "
+                   "parameter space and has no seeded replicates\n",
+                   argv[0], arg.c_str());
+      std::exit(2);
+    };
+    if (arg == "--runs") {
+      reps_only();
+      args.runs = parse_positive_int(argv[0], value());
+    } else if (arg == "--seeds") {
+      reps_only();
+      const char* v = value();
+      char* end = nullptr;
+      args.seed_base = std::strtoull(v, &end, 10);
+      // 0 is the "use the bench's historical base" sentinel, so a typo'd
+      // or zero base must fail loudly rather than silently rerunning the
+      // published tables.
+      if (end == v || *end != '\0' || args.seed_base == 0) usage(argv[0]);
+    } else if (arg == "--workers") {
+      args.workers = parse_positive_int(argv[0], value());
+    } else if (arg == "--json-out") {
+      args.json_out = value();
+    } else if (i == 1 && arg[0] >= '0' && arg[0] <= '9') {
+      reps_only();
+      args.runs = parse_positive_int(argv[0], arg.c_str());
+    } else {
+      usage(argv[0]);
+    }
+  }
+  return args;
+}
+
+/// Escape a string for embedding in a JSON string literal.
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Minimal flat JSON-object emitter for the BENCH_*.json artifacts (same
+/// shape micro_runtime hand-rolls): insertion-ordered fields, `raw` for
+/// nested arrays/objects rendered by the caller.
+class JsonWriter {
+ public:
+  void field(const std::string& name, double v, int precision = 6) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    fields_.emplace_back(name, buf);
+  }
+  void field(const std::string& name, int64_t v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+    fields_.emplace_back(name, buf);
+  }
+  void field(const std::string& name, int v) {
+    field(name, static_cast<int64_t>(v));
+  }
+  void field(const std::string& name, bool v) {
+    fields_.emplace_back(name, v ? "true" : "false");
+  }
+  void field(const std::string& name, const std::string& v) {
+    fields_.emplace_back(name, "\"" + json_escape(v) + "\"");
+  }
+  /// Pre-rendered JSON value (array / nested object).
+  void raw(const std::string& name, std::string json) {
+    fields_.emplace_back(name, std::move(json));
+  }
+
+  /// One-line rendering, for nesting one writer's object inside another
+  /// via raw() — keys and string values go through json_escape like the
+  /// top level.
+  std::string compact() const {
+    std::string out = "{";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "\"" + json_escape(fields_[i].first) +
+             "\": " + fields_[i].second;
+    }
+    out += "}";
+    return out;
+  }
+
+  std::string str(int indent = 2) const {
+    std::string out = "{\n";
+    const std::string pad(static_cast<size_t>(indent), ' ');
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      out += pad + "\"" + json_escape(fields_[i].first) +
+             "\": " + fields_[i].second;
+      if (i + 1 < fields_.size()) out += ",";
+      out += "\n";
+    }
+    out += "}\n";
+    return out;
+  }
+
+  bool write(const std::string& path) const {
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    const std::string body = str();
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+    std::printf("JSON written to %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
 
 inline void print_rule(int width = 100) {
   for (int i = 0; i < width; ++i) std::putchar('-');
@@ -39,6 +218,95 @@ inline std::string pm(double mean, double ci, int precision = 1) {
   std::snprintf(buf, sizeof(buf), "%.*f (+-%.*f)", precision, mean,
                 precision, ci);
   return buf;
+}
+
+/// Shared driver for the policy-evaluation figures (Fig. 10 OpenMP /
+/// Fig. 11 HClib, which differ only in suite, seed base and captions):
+/// builds the (models x (Default + 3 policies) x seeds) sweep grid with a
+/// per-model Default baseline point, runs it on --workers workers, prints
+/// the per-benchmark table + geomeans, writes the CSV, and emits the
+/// geomeans as JSON when --json-out is given.
+inline void run_policy_eval_figure(
+    const std::vector<workloads::BenchmarkModel>& suite,
+    const BenchArgs& args, uint64_t seed0, const char* title,
+    const char* geomean_note, const char* csv_path) {
+  const sim::MachineConfig machine = sim::haswell_2650v3();
+  const std::vector<std::pair<core::PolicyKind, const char*>> policies{
+      {core::PolicyKind::kFull, "Cuttlefish"},
+      {core::PolicyKind::kCoreOnly, "Cuttlefish-Core"},
+      {core::PolicyKind::kUncoreOnly, "Cuttlefish-Uncore"},
+  };
+
+  exp::SweepGrid grid(machine);
+  struct Cell {
+    const workloads::BenchmarkModel* model;
+    const char* pname;
+    int point;
+  };
+  std::vector<Cell> cells;
+  const exp::RunOptions opt;
+  for (const auto& model : suite) {
+    const int base = grid.add_default(model.name + "/Default", model, opt,
+                                      args.runs, seed0);
+    for (const auto& [policy, pname] : policies) {
+      cells.push_back({&model, pname,
+                       grid.add_policy(model.name + "/" + pname, model,
+                                       policy, opt, args.runs, seed0, base)});
+    }
+  }
+  const std::vector<exp::RunResult> results =
+      exp::run_sweep(grid, args.workers);
+  const std::vector<exp::PointSummary> summary = exp::summarize(grid, results);
+
+  CsvWriter csv(csv_path,
+                {"benchmark", "policy", "energy_savings_pct",
+                 "energy_savings_ci", "slowdown_pct", "slowdown_ci",
+                 "edp_savings_pct", "edp_savings_ci"});
+
+  std::printf("%s (%d runs per point)\n", title, args.runs);
+  print_rule(110);
+  std::printf("%-10s %-18s %22s %22s %22s\n", "Benchmark", "Policy",
+              "Energy savings %", "Slowdown %", "EDP savings %");
+  print_rule(110);
+
+  std::map<std::string, std::vector<double>> geo_savings, geo_slowdown,
+      geo_edp;
+  for (const Cell& cell : cells) {
+    const exp::PointSummary& s = summary[static_cast<size_t>(cell.point)];
+    std::printf(
+        "%-10s %-18s %22s %22s %22s\n", cell.model->name.c_str(), cell.pname,
+        pm(s.energy_savings_pct.mean, s.energy_savings_pct.ci95).c_str(),
+        pm(s.slowdown_pct.mean, s.slowdown_pct.ci95).c_str(),
+        pm(s.edp_savings_pct.mean, s.edp_savings_pct.ci95).c_str());
+    csv.row({cell.model->name, cell.pname,
+             CsvWriter::num(s.energy_savings_pct.mean),
+             CsvWriter::num(s.energy_savings_pct.ci95),
+             CsvWriter::num(s.slowdown_pct.mean),
+             CsvWriter::num(s.slowdown_pct.ci95),
+             CsvWriter::num(s.edp_savings_pct.mean),
+             CsvWriter::num(s.edp_savings_pct.ci95)});
+    geo_savings[cell.pname].push_back(s.energy_savings_pct.mean);
+    geo_slowdown[cell.pname].push_back(s.slowdown_pct.mean);
+    geo_edp[cell.pname].push_back(s.edp_savings_pct.mean);
+  }
+
+  print_rule(110);
+  std::printf("%s\n", geomean_note);
+  JsonWriter json;
+  for (const auto& [policy, pname] : policies) {
+    const double e = exp::geomean_savings_pct(geo_savings[pname]);
+    const double d = exp::geomean_slowdown_pct(geo_slowdown[pname]);
+    const double p = exp::geomean_savings_pct(geo_edp[pname]);
+    std::printf("%-18s energy %6.1f%%   slowdown %5.1f%%   EDP %6.1f%%\n",
+                pname, e, d, p);
+    JsonWriter row;
+    row.field("energy_savings_pct", e, 4);
+    row.field("slowdown_pct", d, 4);
+    row.field("edp_savings_pct", p, 4);
+    json.raw(pname, row.compact());
+  }
+  std::printf("CSV written to %s\n", csv_path);
+  if (!args.json_out.empty()) json.write(args.json_out);
 }
 
 }  // namespace cuttlefish::benchharness

@@ -2,78 +2,22 @@
 // the SOR and Heat variants under the three Cuttlefish policies vs
 // Default. Comparable numbers to Fig. 10 demonstrate the library's
 // programming-model obliviousness (§5.2).
+//
+// Same sweep-grid structure as fig10 (shared in bench_util.hpp): 6 models
+// x (Default + 3 policies) x N seeds through exp::run_sweep; --workers N
+// fans it out.
 
 #include "bench_util.hpp"
 
 using namespace cuttlefish;
 
 int main(int argc, char** argv) {
-  const int runs = benchharness::parse_runs(argc, argv, 10);
-  const sim::MachineConfig machine = sim::haswell_2650v3();
-  const std::vector<std::pair<core::PolicyKind, const char*>> policies{
-      {core::PolicyKind::kFull, "Cuttlefish"},
-      {core::PolicyKind::kCoreOnly, "Cuttlefish-Core"},
-      {core::PolicyKind::kUncoreOnly, "Cuttlefish-Uncore"},
-  };
-
-  CsvWriter csv("fig11_hclib_eval.csv",
-                {"benchmark", "policy", "energy_savings_pct",
-                 "energy_savings_ci", "slowdown_pct", "slowdown_ci",
-                 "edp_savings_pct", "edp_savings_ci"});
-
-  std::printf(
-      "Figure 11: HClib evaluation vs Default (%d runs per point)\n", runs);
-  benchharness::print_rule(110);
-  std::printf("%-10s %-18s %22s %22s %22s\n", "Benchmark", "Policy",
-              "Energy savings %", "Slowdown %", "EDP savings %");
-  benchharness::print_rule(110);
-
-  std::map<std::string, std::vector<double>> geo_savings, geo_slowdown,
-      geo_edp;
-  for (const auto& model : workloads::hclib_suite()) {
-    for (const auto& [policy, pname] : policies) {
-      std::vector<double> savings, slowdown, edp;
-      for (int s = 0; s < runs; ++s) {
-        const auto seed = 2000 + static_cast<uint64_t>(s);
-        sim::PhaseProgram program =
-            exp::build_calibrated(model, machine, seed);
-        exp::RunOptions opt;
-        opt.seed = seed;
-        const exp::RunResult base = exp::run_default(machine, program, opt);
-        const exp::RunResult pol =
-            exp::run_policy(machine, program, policy, opt);
-        const exp::Comparison c = exp::compare(pol, base);
-        savings.push_back(c.energy_savings_pct);
-        slowdown.push_back(c.slowdown_pct);
-        edp.push_back(c.edp_savings_pct);
-      }
-      const exp::Aggregate s = exp::aggregate(savings);
-      const exp::Aggregate d = exp::aggregate(slowdown);
-      const exp::Aggregate e = exp::aggregate(edp);
-      std::printf("%-10s %-18s %22s %22s %22s\n", model.name.c_str(), pname,
-                  benchharness::pm(s.mean, s.ci95).c_str(),
-                  benchharness::pm(d.mean, d.ci95).c_str(),
-                  benchharness::pm(e.mean, e.ci95).c_str());
-      csv.row({model.name, pname, CsvWriter::num(s.mean),
-               CsvWriter::num(s.ci95), CsvWriter::num(d.mean),
-               CsvWriter::num(d.ci95), CsvWriter::num(e.mean),
-               CsvWriter::num(e.ci95)});
-      geo_savings[pname].push_back(s.mean);
-      geo_slowdown[pname].push_back(d.mean);
-      geo_edp[pname].push_back(e.mean);
-    }
-  }
-
-  benchharness::print_rule(110);
-  std::printf(
+  const auto args = benchharness::parse_args(argc, argv, 10);
+  benchharness::run_policy_eval_figure(
+      workloads::hclib_suite(), args, benchharness::seed_base(args, 2000),
+      "Figure 11: HClib evaluation vs Default",
       "Geometric means over the six HClib ports (paper: comparable to the "
-      "OpenMP results of Fig. 10)\n");
-  for (const auto& [policy, pname] : policies) {
-    std::printf("%-18s energy %6.1f%%   slowdown %5.1f%%   EDP %6.1f%%\n",
-                pname, exp::geomean_savings_pct(geo_savings[pname]),
-                exp::geomean_slowdown_pct(geo_slowdown[pname]),
-                exp::geomean_savings_pct(geo_edp[pname]));
-  }
-  std::printf("CSV written to fig11_hclib_eval.csv\n");
+      "OpenMP results of Fig. 10)",
+      "fig11_hclib_eval.csv");
   return 0;
 }

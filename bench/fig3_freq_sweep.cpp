@@ -4,6 +4,11 @@
 // paper's motivating analysis: compute-bound JPI falls with CF and rises
 // with UF; memory-bound behaves the opposite way, and max uncore is not
 // optimal even for memory-bound codes.
+//
+// The 2 panels x 6 benchmarks x 3 settings of fixed-frequency
+// co-simulations form one sweep grid; --workers N fans it out, --runs N
+// averages each cell's frequent-slab JPI over N seed replicates (the
+// paper plots a single run; that stays the default).
 
 #include <map>
 
@@ -20,14 +25,8 @@ struct Setting {
   FreqMHz uf;
 };
 
-/// Average JPI per frequent slab for one fixed-frequency run.
-std::map<int64_t, double> frequent_slab_jpi(const sim::MachineConfig& machine,
-                                            const sim::PhaseProgram& program,
-                                            FreqMHz cf, FreqMHz uf) {
-  exp::RunOptions opt;
-  opt.seed = 42;
-  opt.capture_timeline = true;
-  const exp::RunResult r = exp::run_fixed(machine, program, cf, uf, opt);
+/// Average JPI per frequent slab from one fixed-frequency run's timeline.
+std::map<int64_t, double> frequent_slab_jpi(const exp::RunResult& r) {
   const TipiSlabber slabber;
   std::map<int64_t, std::pair<double, uint64_t>> acc;
   uint64_t samples = 0;
@@ -50,7 +49,9 @@ std::map<int64_t, double> frequent_slab_jpi(const sim::MachineConfig& machine,
 
 }  // namespace
 
-int main(int, char**) {
+int main(int argc, char** argv) {
+  const auto args = benchharness::parse_args(argc, argv, 1);
+  const uint64_t seed = benchharness::seed_base(args, 42);
   const sim::MachineConfig machine = sim::haswell_2650v3();
   const std::vector<std::string> figure_benchmarks{
       "UTS", "SOR-irt", "Heat-irt", "MiniFE", "HPCCG", "AMG"};
@@ -66,13 +67,53 @@ int main(int, char**) {
       {"CFmax/UFmid", FreqMHz{2300}, FreqMHz{2100}},
       {"CFmax/UFmax", FreqMHz{2300}, FreqMHz{3000}},
   };
+  const std::vector<std::pair<const char*, const std::vector<Setting>*>>
+      panels{{"a_core_sweep", &cf_sweep}, {"b_uncore_sweep", &uf_sweep}};
+
+  // Grid: every (panel, benchmark, setting) is a point of N
+  // timeline-capturing fixed-frequency runs; points index back into this
+  // loop order.
+  exp::SweepGrid grid(machine);
+  exp::RunOptions opt;
+  opt.capture_timeline = true;
+  std::map<std::tuple<std::string, std::string, std::string>, int> point_of;
+  for (const auto& [panel, sweep] : panels) {
+    for (const auto& name : figure_benchmarks) {
+      const auto& model = workloads::find_benchmark(name);
+      for (const Setting& s : *sweep) {
+        point_of[{panel, name, s.label}] = grid.add_fixed(
+            std::string(panel) + "/" + name + "/" + s.label, model, s.cf,
+            s.uf, opt, args.runs, seed);
+      }
+    }
+  }
+  const std::vector<exp::RunResult> results =
+      exp::run_sweep(grid, args.workers);
+
+  // Per-slab JPI of one point, averaged over the replicates in which the
+  // slab was frequent (with one replicate this is that run's map).
+  const auto point_slab_jpi = [&](int point) {
+    std::map<int64_t, std::pair<double, int>> acc;
+    for (int rep = 0; rep < args.runs; ++rep) {
+      const auto rep_map = frequent_slab_jpi(
+          results[static_cast<size_t>(grid.spec_index(point, rep))]);
+      for (const auto& [slab, jpi] : rep_map) {
+        acc[slab].first += jpi;
+        acc[slab].second += 1;
+      }
+    }
+    std::map<int64_t, double> out;
+    for (const auto& [slab, cell] : acc) {
+      out[slab] = cell.first / static_cast<double>(cell.second);
+    }
+    return out;
+  };
 
   CsvWriter csv("fig3_freq_sweep.csv",
                 {"panel", "benchmark", "tipi_range", "setting", "jpi_nj"});
+  std::string json_rows;
 
-  for (const auto& [panel, sweep] :
-       std::vector<std::pair<const char*, const std::vector<Setting>*>>{
-           {"a_core_sweep", &cf_sweep}, {"b_uncore_sweep", &uf_sweep}}) {
+  for (const auto& [panel, sweep] : panels) {
     std::printf("\nFigure 3(%s): JPI (nJ) per frequent TIPI range\n",
                 panel[0] == 'a' ? "a) vary core, uncore=max"
                                 : "b) vary uncore, core=max");
@@ -82,14 +123,12 @@ int main(int, char**) {
     std::printf("\n");
     benchharness::print_rule(96);
     for (const auto& name : figure_benchmarks) {
-      const auto& model = workloads::find_benchmark(name);
-      sim::PhaseProgram program = exp::build_calibrated(model, machine, 42);
       // Collect per-setting maps, then print rows per frequent slab.
       std::vector<std::map<int64_t, double>> per_setting;
       per_setting.reserve(sweep->size());
       for (const Setting& s : *sweep) {
         per_setting.push_back(
-            frequent_slab_jpi(machine, program, s.cf, s.uf));
+            point_slab_jpi(point_of.at({panel, name, s.label})));
       }
       for (const auto& [slab, jpi0] : per_setting[0]) {
         std::printf("%-10s %-14s", name.c_str(),
@@ -100,6 +139,14 @@ int main(int, char**) {
           std::printf(" %14.2f", jpi * 1e9);
           csv.row({panel, name, slabber.range_label(slab),
                    (*sweep)[i].label, CsvWriter::num(jpi * 1e9, 6)});
+          benchharness::JsonWriter row;
+          row.field("panel", std::string(panel));
+          row.field("benchmark", name);
+          row.field("tipi_range", slabber.range_label(slab));
+          row.field("setting", std::string((*sweep)[i].label));
+          row.field("jpi_nj", jpi * 1e9, 6);
+          if (!json_rows.empty()) json_rows += ", ";
+          json_rows += row.compact();
         }
         std::printf("\n");
       }
@@ -110,5 +157,11 @@ int main(int, char**) {
       "Expected shape (paper): UTS/SOR JPI falls with CF and rises with "
       "UF;\nHeat/MiniFE/HPCCG/AMG JPI rises with CF and falls with UF "
       "(with the\nminimum below UFmax). Full data in fig3_freq_sweep.csv\n");
+  if (!args.json_out.empty()) {
+    benchharness::JsonWriter json;
+    json.field("runs", args.runs);
+    json.raw("rows", "[" + json_rows + "]");
+    json.write(args.json_out);
+  }
   return 0;
 }

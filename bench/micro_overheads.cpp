@@ -79,8 +79,22 @@ void BM_TipiListFind(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(list.find(i++ % 60));
   }
+  state.SetLabel("cycling keys: every lookup misses the MRU cache");
 }
 BENCHMARK(BM_TipiListFind);
+
+void BM_TipiListFindRepeated(benchmark::State& state) {
+  // The controller's actual access pattern: consecutive Tinv intervals
+  // overwhelmingly look up the same slab (Table 1's frequent ranges), so
+  // the MRU last-hit cache answers with one compare.
+  core::SortedTipiList list;
+  for (int64_t s = 0; s < 60; ++s) list.insert(s);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(list.find(42));
+  }
+  state.SetLabel("repeated key: MRU last-hit cache path");
+}
+BENCHMARK(BM_TipiListFindRepeated);
 
 // --- explorer --------------------------------------------------------------
 

@@ -22,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "runtime/deque.hpp"
 #include "runtime/scheduler.hpp"
@@ -324,33 +325,33 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(heap_fallbacks));
 
   const std::string out = argc > 1 ? argv[1] : "BENCH_runtime.json";
-  if (FILE* f = std::fopen(out.c_str(), "w")) {
-    std::fprintf(
-        f,
-        "{\n"
-        "  \"threads\": %d,\n"
-        "  \"smoke\": %s,\n"
-        "  \"baseline\": {\"spawn_tasks_per_s\": %.0f, "
-        "\"tree_tasks_per_s\": %.0f, \"quiesce_us\": %.3f},\n"
-        "  \"optimized\": {\"spawn_tasks_per_s\": %.0f, "
-        "\"tree_tasks_per_s\": %.0f, \"quiesce_us\": %.3f,\n"
-        "    \"steals\": %llu, \"steal_attempts\": %llu, \"parks\": %llu,\n"
-        "    \"slab_blocks\": %llu, \"heap_fallbacks\": %llu},\n"
-        "  \"speedup\": {\"spawn\": %.3f, \"tree\": %.3f}\n"
-        "}\n",
-        threads, smoke ? "true" : "false", legacy.spawn_per_s,
-        legacy.tree_per_s, legacy.quiesce_us, opt.spawn_per_s,
-        opt.tree_per_s, opt.quiesce_us,
-        static_cast<unsigned long long>(steals),
-        static_cast<unsigned long long>(steal_attempts),
-        static_cast<unsigned long long>(parks),
-        static_cast<unsigned long long>(slab_blocks),
-        static_cast<unsigned long long>(heap_fallbacks), spawn_x, tree_x);
-    std::fclose(f);
-    std::printf("  wrote %s\n", out.c_str());
-  } else {
-    std::fprintf(stderr, "micro_runtime: cannot write %s\n", out.c_str());
-    return 1;
+  cuttlefish::benchharness::JsonWriter json;
+  json.field("threads", threads);
+  json.field("smoke", smoke);
+  {
+    cuttlefish::benchharness::JsonWriter b;
+    b.field("spawn_tasks_per_s", legacy.spawn_per_s, 0);
+    b.field("tree_tasks_per_s", legacy.tree_per_s, 0);
+    b.field("quiesce_us", legacy.quiesce_us, 3);
+    json.raw("baseline", b.compact());
   }
-  return 0;
+  {
+    cuttlefish::benchharness::JsonWriter o;
+    o.field("spawn_tasks_per_s", opt.spawn_per_s, 0);
+    o.field("tree_tasks_per_s", opt.tree_per_s, 0);
+    o.field("quiesce_us", opt.quiesce_us, 3);
+    o.field("steals", static_cast<int64_t>(steals));
+    o.field("steal_attempts", static_cast<int64_t>(steal_attempts));
+    o.field("parks", static_cast<int64_t>(parks));
+    o.field("slab_blocks", static_cast<int64_t>(slab_blocks));
+    o.field("heap_fallbacks", static_cast<int64_t>(heap_fallbacks));
+    json.raw("optimized", o.compact());
+  }
+  {
+    cuttlefish::benchharness::JsonWriter s;
+    s.field("spawn", spawn_x, 3);
+    s.field("tree", tree_x, 3);
+    json.raw("speedup", s.compact());
+  }
+  return json.write(out) ? 0 : 1;
 }

@@ -1,0 +1,167 @@
+// Sweep-engine microbenchmark: wall-clock throughput of the batched
+// experiment engine on the Fig. 10 sweep grid (10 OpenMP models x
+// (Default + 3 policies) x N seeds), serial vs fanned out over the task
+// runtime at increasing worker counts. Reports virtual seconds
+// co-simulated per wall-second and verifies the engine's determinism
+// contract: the aggregated result table must be bit-identical to the
+// serial run at every worker count.
+//
+// Results go to BENCH_sweep.json. CF_BENCH_SMOKE=1 shrinks the grid for
+// CI smoke runs; note that wall-clock speedup tracks the *hardware*
+// parallelism available — on a single-core container every worker count
+// measures ~1x while the determinism check still runs in full.
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "bench_util.hpp"
+
+using namespace cuttlefish;
+
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+exp::SweepGrid build_fig10_grid(const sim::MachineConfig& machine, int runs,
+                                uint64_t seed0) {
+  exp::SweepGrid grid(machine);
+  const exp::RunOptions opt;
+  for (const auto& model : workloads::openmp_suite()) {
+    const int base =
+        grid.add_default(model.name + "/Default", model, opt, runs, seed0);
+    for (const auto policy :
+         {core::PolicyKind::kFull, core::PolicyKind::kCoreOnly,
+          core::PolicyKind::kUncoreOnly}) {
+      grid.add_policy(model.name + "/" + core::to_string(policy), model,
+                      policy, opt, runs, seed0, base);
+    }
+  }
+  return grid;
+}
+
+/// Virtual time co-simulated across all runs of the sweep.
+double virtual_seconds(const std::vector<exp::RunResult>& results) {
+  double total = 0.0;
+  for (const auto& r : results) total += r.time_s;
+  return total;
+}
+
+/// FNV-1a over the raw bits of every run's scalar results and every
+/// aggregated summary value: any reordering- or race-induced drift in any
+/// bit of any double shows up as a digest mismatch.
+uint64_t digest(const exp::SweepGrid& grid,
+                const std::vector<exp::RunResult>& results) {
+  uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](const void* p, size_t n) {
+    const auto* bytes = static_cast<const unsigned char*>(p);
+    for (size_t i = 0; i < n; ++i) {
+      h ^= bytes[i];
+      h *= 1099511628211ULL;
+    }
+  };
+  const auto mix_d = [&mix](double v) { mix(&v, sizeof(v)); };
+  for (const auto& r : results) {
+    mix_d(r.time_s);
+    mix_d(r.energy_j);
+    mix(&r.instructions, sizeof(r.instructions));
+  }
+  for (const auto& s : exp::summarize(grid, results)) {
+    for (const exp::ValueAggregate* a :
+         {&s.time_s, &s.energy_j, &s.edp, &s.energy_savings_pct,
+          &s.slowdown_pct, &s.edp_savings_pct}) {
+      mix_d(a->mean);
+      mix_d(a->ci95);
+      mix_d(a->min);
+      mix_d(a->max);
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = std::getenv("CF_BENCH_SMOKE") != nullptr;
+  auto args = benchharness::parse_args(argc, argv, smoke ? 2 : 10);
+  if (args.json_out.empty()) args.json_out = "BENCH_sweep.json";
+  const uint64_t seed0 = benchharness::seed_base(args, 1000);
+  const sim::MachineConfig machine = sim::haswell_2650v3();
+  const exp::SweepGrid grid = build_fig10_grid(machine, args.runs, seed0);
+
+  std::printf("micro_sweep: Fig. 10 grid, %zu points / %zu co-simulations "
+              "(%d seeds per point, %s mode)\n",
+              grid.points().size(), grid.size(), args.runs,
+              smoke ? "smoke" : "full");
+
+  // Serial reference.
+  const double t0 = now_s();
+  const std::vector<exp::RunResult> serial = exp::run_sweep(grid, nullptr);
+  const double serial_wall = now_s() - t0;
+  const double virt = virtual_seconds(serial);
+  const uint64_t serial_digest = digest(grid, serial);
+  std::printf("  serial:     %7.3fs wall, %8.1f virtual s/s\n", serial_wall,
+              virt / serial_wall);
+
+  // Parallel at growing worker counts (always including the acceptance
+  // point of 4 workers and the requested --workers).
+  std::vector<int> worker_counts{2, 4};
+  if (args.workers > 1 &&
+      std::find(worker_counts.begin(), worker_counts.end(), args.workers) ==
+          worker_counts.end()) {
+    worker_counts.push_back(args.workers);
+  }
+
+  benchharness::JsonWriter json;
+  json.field("grid_points", static_cast<int64_t>(grid.points().size()));
+  json.field("co_simulations", static_cast<int64_t>(grid.size()));
+  json.field("seeds_per_point", args.runs);
+  json.field("smoke", smoke);
+  json.field("hardware_threads",
+             static_cast<int64_t>(std::thread::hardware_concurrency()));
+  json.field("virtual_seconds", virt, 3);
+  {
+    benchharness::JsonWriter row;
+    row.field("wall_s", serial_wall, 4);
+    row.field("virtual_s_per_wall_s", virt / serial_wall, 2);
+    json.raw("serial", row.compact());
+  }
+
+  std::string rows;
+  bool all_identical = true;
+  for (const int workers : worker_counts) {
+    const double p0 = now_s();
+    const std::vector<exp::RunResult> parallel =
+        exp::run_sweep(grid, workers);
+    const double wall = now_s() - p0;
+    const bool identical = digest(grid, parallel) == serial_digest;
+    all_identical = all_identical && identical;
+    const double speedup = serial_wall / wall;
+    std::printf("  %d workers:  %7.3fs wall, %8.1f virtual s/s, %.2fx, "
+                "results %s\n",
+                workers, wall, virt / wall, speedup,
+                identical ? "bit-identical" : "MISMATCH");
+    benchharness::JsonWriter row;
+    row.field("workers", workers);
+    row.field("wall_s", wall, 4);
+    row.field("virtual_s_per_wall_s", virt / wall, 2);
+    row.field("speedup", speedup, 3);
+    row.field("identical_to_serial", identical);
+    if (!rows.empty()) rows += ", ";
+    rows += row.compact();
+  }
+  json.raw("parallel", "[" + rows + "]");
+  json.field("all_identical_to_serial", all_identical);
+  json.write(args.json_out);
+
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "micro_sweep: parallel results diverged from serial\n");
+    return 1;
+  }
+  return 0;
+}

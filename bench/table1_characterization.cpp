@@ -1,6 +1,10 @@
 // Regenerates Table 1: per-benchmark characterisation under the Default
 // configuration — execution time, observed TIPI range, number of distinct
 // TIPI slabs and number of frequent (>10% of samples) slabs.
+//
+// One sweep point per benchmark (timeline-capturing Default runs x N
+// seeds) through exp::run_sweep; the slab statistics are computed from
+// the ordered per-run timelines. --workers N fans the runs out.
 
 #include <algorithm>
 #include <map>
@@ -40,13 +44,27 @@ const std::map<std::string, PaperRow> kPaper{
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int runs = benchharness::parse_runs(argc, argv, 3);
+  const auto args = benchharness::parse_args(argc, argv, 3);
+  const uint64_t seed0 = benchharness::seed_base(args, 100);
   const sim::MachineConfig machine = sim::haswell_2650v3();
   const TipiSlabber slabber;
   const double warmup_s = 2.0;
 
-  std::vector<Row> rows;
+  exp::SweepGrid grid(machine);
+  exp::RunOptions opt;
+  opt.capture_timeline = true;
+  std::vector<int> points;
   for (const auto& model : workloads::openmp_suite()) {
+    points.push_back(
+        grid.add_default(model.name, model, opt, args.runs, seed0));
+  }
+  const std::vector<exp::RunResult> results =
+      exp::run_sweep(grid, args.workers);
+
+  std::vector<Row> rows;
+  size_t model_idx = 0;
+  for (const auto& model : workloads::openmp_suite()) {
+    const int point = points[model_idx++];
     Row row;
     row.name = model.name;
     row.style = model.parallelism;
@@ -55,13 +73,9 @@ int main(int argc, char** argv) {
     uint64_t samples = 0;
     double lo = 1e9, hi = 0.0;
     RunningStats time_stats;
-    for (int s = 0; s < runs; ++s) {
-      sim::PhaseProgram program =
-          exp::build_calibrated(model, machine, 100 + static_cast<uint64_t>(s));
-      exp::RunOptions opt;
-      opt.seed = 100 + static_cast<uint64_t>(s);
-      opt.capture_timeline = true;
-      const exp::RunResult r = exp::run_default(machine, program, opt);
+    for (int s = 0; s < args.runs; ++s) {
+      const exp::RunResult& r =
+          results[static_cast<size_t>(grid.spec_index(point, s))];
       time_stats.add(r.time_s);
       for (const auto& pt : r.timeline) {
         if (pt.t < warmup_s) continue;  // paper skips the cold start
@@ -108,6 +122,21 @@ int main(int argc, char** argv) {
              std::to_string(p.frequent)});
   }
   benchharness::print_rule(108);
-  std::printf("CSV written to table1.csv (%d run(s) per benchmark)\n", runs);
+  std::printf("CSV written to table1.csv (%d run(s) per benchmark)\n",
+              args.runs);
+  if (!args.json_out.empty()) {
+    benchharness::JsonWriter json;
+    json.field("runs", args.runs);
+    for (const Row& r : rows) {
+      benchharness::JsonWriter row;
+      row.field("time_s", r.time_s, 4);
+      row.field("tipi_lo", r.tipi_lo, 6);
+      row.field("tipi_hi", r.tipi_hi, 6);
+      row.field("slabs", r.slabs);
+      row.field("frequent", r.frequent);
+      json.raw(r.name, row.compact());
+    }
+    json.write(args.json_out);
+  }
   return 0;
 }

@@ -2,6 +2,10 @@
 // ranges whose CFopt/UFopt were resolved, and the CFopt/UFopt Cuttlefish
 // chose for the frequent (>10% of samples) ranges, against the Default
 // settings (CF 2.3 fixed; firmware uncore 2.2/3.0).
+//
+// One sweep point per benchmark (full-policy runs x N seeds) through
+// exp::run_sweep; node summaries come from the ordered results.
+// --workers N fans the runs out.
 
 #include <map>
 
@@ -43,9 +47,21 @@ std::string ghz(int mhz) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int runs = benchharness::parse_runs(argc, argv, 5);
+  const auto args = benchharness::parse_args(argc, argv, 5);
+  const uint64_t seed0 = benchharness::seed_base(args, 3000);
   const sim::MachineConfig machine = sim::haswell_2650v3();
   const TipiSlabber slabber;
+
+  exp::SweepGrid grid(machine);
+  const exp::RunOptions opt;
+  std::vector<int> points;
+  for (const auto& model : workloads::openmp_suite()) {
+    points.push_back(grid.add_policy(model.name, model,
+                                     core::PolicyKind::kFull, opt, args.runs,
+                                     seed0));
+  }
+  const std::vector<exp::RunResult> results =
+      exp::run_sweep(grid, args.workers);
 
   CsvWriter csv("table2_frequencies.csv",
                 {"benchmark", "pct_cf_resolved", "pct_uf_resolved",
@@ -53,26 +69,25 @@ int main(int argc, char** argv) {
                  "paper_cf_ghz", "paper_uf_ghz"});
 
   std::printf("Table 2: CFopt / UFopt per frequent TIPI range "
-              "(%d runs; mode across runs)\n", runs);
+              "(%d runs; mode across runs)\n", args.runs);
   benchharness::print_rule(118);
   std::printf("%-10s %8s %8s   %-12s %7s %9s %9s %10s %10s %11s\n",
               "Benchmark", "CF res%", "UF res%", "TIPI range", "share%",
               "CFopt", "UFopt", "paper CF", "paper UF", "Default UF");
   benchharness::print_rule(118);
 
+  benchharness::JsonWriter json;
+  size_t model_idx = 0;
   for (const auto& model : workloads::openmp_suite()) {
+    const int point = points[model_idx++];
     // Aggregate across seeds: resolution percentages and per-slab modal
     // optima for frequent slabs.
     std::vector<double> cf_pct, uf_pct;
     std::map<int64_t, std::map<int, int>> cf_votes, uf_votes;
     std::map<int64_t, double> share_acc;
-    for (int s = 0; s < runs; ++s) {
-      const auto seed = 3000 + static_cast<uint64_t>(s);
-      sim::PhaseProgram program = exp::build_calibrated(model, machine, seed);
-      exp::RunOptions opt;
-      opt.seed = seed;
-      const exp::RunResult r =
-          exp::run_policy(machine, program, core::PolicyKind::kFull, opt);
+    for (int s = 0; s < args.runs; ++s) {
+      const exp::RunResult& r =
+          results[static_cast<size_t>(grid.spec_index(point, s))];
       uint64_t total = 0;
       size_t cf_resolved = 0, uf_resolved = 0;
       for (const auto& n : r.nodes) {
@@ -88,7 +103,7 @@ int main(int argc, char** argv) {
         const double share =
             static_cast<double>(n.ticks) / static_cast<double>(total);
         if (share <= 0.10) continue;
-        share_acc[n.slab] += share / runs;
+        share_acc[n.slab] += share / args.runs;
         const int cf_mhz = n.cf_opt == kNoLevel
                                ? -1
                                : machine.core_ladder.at(n.cf_opt).value;
@@ -101,6 +116,13 @@ int main(int argc, char** argv) {
     }
     const exp::Aggregate cfp = exp::aggregate(cf_pct);
     const exp::Aggregate ufp = exp::aggregate(uf_pct);
+    {
+      benchharness::JsonWriter row;
+      row.field("pct_cf_resolved", cfp.mean, 4);
+      row.field("pct_uf_resolved", ufp.mean, 4);
+      row.field("frequent_slabs", static_cast<int64_t>(share_acc.size()));
+      json.raw(model.name, row.compact());
+    }
 
     bool first_row = true;
     for (const auto& [slab, share] : share_acc) {
@@ -145,5 +167,6 @@ int main(int argc, char** argv) {
   }
   benchharness::print_rule(118);
   std::printf("CSV written to table2_frequencies.csv\n");
+  if (!args.json_out.empty()) json.write(args.json_out);
   return 0;
 }

@@ -1,49 +1,61 @@
 // Regenerates Table 3: geomean energy savings and slowdown of the full
 // Cuttlefish policy across the OpenMP suite at Tinv = 10/20/40/60 ms.
+//
+// One sweep grid covering all four Tinv settings (4 x 10 models x
+// (Default + policy) x N seeds); --workers N fans it out.
 
 #include "bench_util.hpp"
 
 using namespace cuttlefish;
 
 int main(int argc, char** argv) {
-  const int runs = benchharness::parse_runs(argc, argv, 5);
+  const auto args = benchharness::parse_args(argc, argv, 5);
+  const uint64_t seed0 = benchharness::seed_base(args, 4000);
   const sim::MachineConfig machine = sim::haswell_2650v3();
   const std::vector<double> tinvs{0.010, 0.020, 0.040, 0.060};
   // Paper values for side-by-side printing.
   const std::vector<std::pair<double, double>> paper{
       {19.5, 4.1}, {19.4, 3.6}, {18.8, 2.9}, {17.8, 2.9}};
 
+  // The Default baseline depends on Tinv too (it sets the sampling
+  // quantum), so each Tinv setting carries its own baseline points.
+  exp::SweepGrid grid(machine);
+  std::vector<std::vector<int>> policy_points(tinvs.size());
+  for (size_t t = 0; t < tinvs.size(); ++t) {
+    exp::RunOptions opt;
+    opt.controller.tinv_s = tinvs[t];
+    for (const auto& model : workloads::openmp_suite()) {
+      const int base = grid.add_default(model.name + "/Default", model, opt,
+                                        args.runs, seed0);
+      policy_points[t].push_back(grid.add_policy(model.name + "/Cuttlefish",
+                                                 model,
+                                                 core::PolicyKind::kFull, opt,
+                                                 args.runs, seed0, base));
+    }
+  }
+  const std::vector<exp::RunResult> results =
+      exp::run_sweep(grid, args.workers);
+  const std::vector<exp::PointSummary> summary = exp::summarize(grid, results);
+
   CsvWriter csv("table3_tinv.csv",
                 {"tinv_ms", "geomean_energy_savings_pct",
                  "geomean_slowdown_pct", "paper_savings_pct",
                  "paper_slowdown_pct"});
 
-  std::printf("Table 3: Tinv sensitivity (%d runs per benchmark)\n", runs);
+  std::printf("Table 3: Tinv sensitivity (%d runs per benchmark)\n",
+              args.runs);
   benchharness::print_rule(86);
   std::printf("%8s %18s %16s %16s %16s\n", "Tinv", "Energy savings",
               "Slowdown", "paper savings", "paper slowdown");
   benchharness::print_rule(86);
 
+  benchharness::JsonWriter json;
   for (size_t t = 0; t < tinvs.size(); ++t) {
     std::vector<double> savings, slowdowns;
-    for (const auto& model : workloads::openmp_suite()) {
-      std::vector<double> s_runs, d_runs;
-      for (int s = 0; s < runs; ++s) {
-        const auto seed = 4000 + static_cast<uint64_t>(s);
-        sim::PhaseProgram program =
-            exp::build_calibrated(model, machine, seed);
-        exp::RunOptions opt;
-        opt.seed = seed;
-        opt.controller.tinv_s = tinvs[t];
-        const exp::RunResult base = exp::run_default(machine, program, opt);
-        const exp::RunResult pol = exp::run_policy(
-            machine, program, core::PolicyKind::kFull, opt);
-        const exp::Comparison c = exp::compare(pol, base);
-        s_runs.push_back(c.energy_savings_pct);
-        d_runs.push_back(c.slowdown_pct);
-      }
-      savings.push_back(exp::aggregate(s_runs).mean);
-      slowdowns.push_back(exp::aggregate(d_runs).mean);
+    for (const int point : policy_points[t]) {
+      const exp::PointSummary& s = summary[static_cast<size_t>(point)];
+      savings.push_back(s.energy_savings_pct.mean);
+      slowdowns.push_back(s.slowdown_pct.mean);
     }
     const double geo_s = exp::geomean_savings_pct(savings);
     const double geo_d = exp::geomean_slowdown_pct(slowdowns);
@@ -53,8 +65,15 @@ int main(int argc, char** argv) {
     csv.row({CsvWriter::num(tinvs[t] * 1000.0), CsvWriter::num(geo_s),
              CsvWriter::num(geo_d), CsvWriter::num(paper[t].first),
              CsvWriter::num(paper[t].second)});
+    char key[32];
+    std::snprintf(key, sizeof(key), "tinv_%.0fms", tinvs[t] * 1000.0);
+    benchharness::JsonWriter row;
+    row.field("energy_savings_pct", geo_s, 4);
+    row.field("slowdown_pct", geo_d, 4);
+    json.raw(key, row.compact());
   }
   benchharness::print_rule(86);
   std::printf("CSV written to table3_tinv.csv\n");
+  if (!args.json_out.empty()) json.write(args.json_out);
   return 0;
 }

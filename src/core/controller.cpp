@@ -180,7 +180,12 @@ void Controller::tick() {
   const double jpi = d_energy / static_cast<double>(d_instr);
   const int64_t slab = slabber_.slab_of(tipi);
 
-  TipiNode* node = list_.find(slab);
+  // Hot-path short circuit: consecutive Tinv intervals overwhelmingly
+  // stay in the previous tick's TIPI range, so one compare against the
+  // last node skips even the list's MRU/binary-search lookup.
+  TipiNode* node = prev_node_ != nullptr && prev_node_->slab == slab
+                       ? prev_node_
+                       : list_.find(slab);
   bool transition;
   if (node == nullptr) {
     // Algorithm 1 lines 8-12: new TIPI range.

@@ -1,55 +1,94 @@
 #include "core/tipi_list.hpp"
 
+#include <algorithm>
+#include <new>
+
 #include "common/assert.hpp"
 
 namespace cuttlefish::core {
 
-TipiNode* SortedTipiList::find(int64_t slab) {
-  auto it = nodes_.find(slab);
-  return it == nodes_.end() ? nullptr : it->second.get();
+SortedTipiList::~SortedTipiList() {
+  // Nodes are placement-constructed into the chunks in allocation order
+  // and never individually removed, so the first index_.size() slots
+  // across the chunks are exactly the live nodes.
+  size_t remaining = index_.size();
+  for (TipiNode* chunk : chunks_) {
+    const size_t live = std::min(remaining, kChunkNodes);
+    for (size_t i = 0; i < live; ++i) chunk[i].~TipiNode();
+    remaining -= live;
+    ::operator delete(static_cast<void*>(chunk));
+  }
+}
+
+std::vector<SortedTipiList::Entry>::const_iterator
+SortedTipiList::lower_bound(int64_t slab) const {
+  return std::lower_bound(
+      index_.begin(), index_.end(), slab,
+      [](const Entry& e, int64_t s) { return e.slab < s; });
 }
 
 const TipiNode* SortedTipiList::find(int64_t slab) const {
-  auto it = nodes_.find(slab);
-  return it == nodes_.end() ? nullptr : it->second.get();
+  // Consecutive Tinv intervals overwhelmingly stay in one TIPI range
+  // (Table 1: every benchmark has a >10%-share "frequent" slab), so the
+  // last hit resolves most lookups with a single compare.
+  if (mru_ != nullptr && mru_->slab == slab) return mru_;
+  const auto it = lower_bound(slab);
+  if (it == index_.end() || it->slab != slab) return nullptr;
+  mru_ = it->node;
+  return it->node;
+}
+
+TipiNode* SortedTipiList::allocate_node(int64_t slab) {
+  if (chunks_.empty() || used_in_last_chunk_ == kChunkNodes) {
+    chunks_.push_back(static_cast<TipiNode*>(
+        ::operator new(kChunkNodes * sizeof(TipiNode))));
+    used_in_last_chunk_ = 0;
+  }
+  TipiNode* node = chunks_.back() + used_in_last_chunk_;
+  ++used_in_last_chunk_;
+  return new (node) TipiNode(slab);
 }
 
 TipiNode* SortedTipiList::insert(int64_t slab) {
-  CF_ASSERT(nodes_.find(slab) == nodes_.end(), "slab already present");
-  auto [it, inserted] = nodes_.emplace(slab, std::make_unique<TipiNode>(slab));
-  CF_ASSERT(inserted, "map insertion failed");
-  TipiNode* node = it->second.get();
+  const auto pos = lower_bound(slab);
+  CF_ASSERT(pos == index_.end() || pos->slab != slab, "slab already present");
+  TipiNode* node = allocate_node(slab);
 
-  // Link into the doubly linked list using the map's sorted neighbours.
-  TipiNode* left = nullptr;
-  if (it != nodes_.begin()) left = std::prev(it)->second.get();
-  TipiNode* right = nullptr;
-  if (auto nx = std::next(it); nx != nodes_.end()) right = nx->second.get();
-
+  // Link into the doubly linked list using the index's sorted neighbours.
+  TipiNode* left = pos == index_.begin() ? nullptr : std::prev(pos)->node;
+  TipiNode* right = pos == index_.end() ? nullptr : pos->node;
   node->prev = left;
   node->next = right;
-  if (left) left->next = node; else head_ = node;
-  if (right) right->prev = node; else tail_ = node;
+  if (left != nullptr) left->next = node; else head_ = node;
+  if (right != nullptr) right->prev = node; else tail_ = node;
+
+  index_.insert(pos, Entry{slab, node});
+  mru_ = node;
   return node;
 }
 
 bool SortedTipiList::check_invariants() const {
-  if (nodes_.empty()) return head_ == nullptr && tail_ == nullptr;
+  if (index_.empty()) {
+    return head_ == nullptr && tail_ == nullptr && mru_ == nullptr;
+  }
   const TipiNode* walk = head_;
   const TipiNode* last = nullptr;
+  bool mru_present = mru_ == nullptr;
   size_t count = 0;
-  auto it = nodes_.begin();
+  auto it = index_.begin();
   while (walk != nullptr) {
-    if (it == nodes_.end()) return false;
-    if (walk != it->second.get()) return false;
+    if (it == index_.end()) return false;
+    if (walk != it->node || walk->slab != it->slab) return false;
     if (walk->prev != last) return false;
-    if (last && last->slab >= walk->slab) return false;
+    if (last != nullptr && last->slab >= walk->slab) return false;
+    if (walk == mru_) mru_present = true;
     last = walk;
     walk = walk->next;
     ++it;
     ++count;
   }
-  return count == nodes_.size() && last == tail_ && it == nodes_.end();
+  return count == index_.size() && last == tail_ && it == index_.end() &&
+         mru_present;
 }
 
 }  // namespace cuttlefish::core

@@ -1,0 +1,187 @@
+#include "exp/sweep.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "exp/calibrate.hpp"
+#include "runtime/parallel_for.hpp"
+
+namespace cuttlefish::exp {
+
+int SweepGrid::add_point(std::string label,
+                         const workloads::BenchmarkModel& model, RunKind kind,
+                         core::PolicyKind policy, FreqMHz cf, FreqMHz uf,
+                         const RunOptions& options, int reps, uint64_t seed0,
+                         int baseline_point) {
+  CF_ASSERT(reps > 0, "a sweep point needs at least one replicate");
+  const int point = static_cast<int>(points_.size());
+  CF_ASSERT(baseline_point < point, "baseline must be an earlier point");
+  if (baseline_point >= 0) {
+    CF_ASSERT(points_[static_cast<size_t>(baseline_point)].reps == reps,
+              "baseline point must have the same replicate count");
+  }
+  SweepPoint p;
+  p.label = std::move(label);
+  p.first_spec = static_cast<int>(specs_.size());
+  p.reps = reps;
+  p.baseline_point = baseline_point;
+  points_.push_back(std::move(p));
+
+  for (int rep = 0; rep < reps; ++rep) {
+    RunSpec spec;
+    spec.model = &model;
+    spec.machine = machine_;
+    spec.kind = kind;
+    spec.policy = policy;
+    spec.cf = cf;
+    spec.uf = uf;
+    // Seeds are a pure function of the point's seed base and the
+    // replicate index — never of execution order.
+    spec.seed = seed0 + static_cast<uint64_t>(rep);
+    spec.options = options;
+    spec.point = point;
+    spec.rep = rep;
+    spec.baseline_point = baseline_point;
+    specs_.push_back(std::move(spec));
+  }
+  return point;
+}
+
+int SweepGrid::add_default(std::string label,
+                           const workloads::BenchmarkModel& model,
+                           const RunOptions& options, int reps,
+                           uint64_t seed0) {
+  return add_point(std::move(label), model, RunKind::kDefault,
+                   core::PolicyKind::kFull, FreqMHz{0}, FreqMHz{0}, options,
+                   reps, seed0, -1);
+}
+
+int SweepGrid::add_fixed(std::string label,
+                         const workloads::BenchmarkModel& model, FreqMHz cf,
+                         FreqMHz uf, const RunOptions& options, int reps,
+                         uint64_t seed0) {
+  return add_point(std::move(label), model, RunKind::kFixed,
+                   core::PolicyKind::kFull, cf, uf, options, reps, seed0, -1);
+}
+
+int SweepGrid::add_policy(std::string label,
+                          const workloads::BenchmarkModel& model,
+                          core::PolicyKind policy, const RunOptions& options,
+                          int reps, uint64_t seed0, int baseline_point) {
+  return add_point(std::move(label), model, RunKind::kPolicy, policy,
+                   FreqMHz{0}, FreqMHz{0}, options, reps, seed0,
+                   baseline_point);
+}
+
+int SweepGrid::spec_index(int point, int rep) const {
+  const SweepPoint& p = points_[static_cast<size_t>(point)];
+  CF_ASSERT(rep >= 0 && rep < p.reps, "replicate out of range");
+  return p.first_spec + rep;
+}
+
+RunResult run_spec(const RunSpec& spec) {
+  CF_ASSERT(spec.model != nullptr && spec.machine != nullptr,
+            "spec missing model or machine");
+  // Each run owns its program: build_calibrated is deterministic in
+  // (model, machine, seed), so rebuilding per spec keeps tasks isolated
+  // without changing any result.
+  const sim::PhaseProgram program =
+      build_calibrated(*spec.model, *spec.machine, spec.seed);
+  RunOptions options = spec.options;
+  options.seed = spec.seed;
+  switch (spec.kind) {
+    case RunKind::kDefault:
+      return run_default(*spec.machine, program, options);
+    case RunKind::kFixed:
+      return run_fixed(*spec.machine, program, spec.cf, spec.uf, options);
+    case RunKind::kPolicy:
+      return run_policy(*spec.machine, program, spec.policy, options);
+  }
+  CF_ASSERT(false, "unreachable run kind");
+  return RunResult{};
+}
+
+void sweep_ordered(int64_t n, const std::function<void(int64_t)>& fn,
+                   runtime::TaskScheduler* scheduler) {
+  if (n <= 0) return;
+  if (scheduler == nullptr || scheduler->size() <= 1 || n == 1) {
+    for (int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Grain 1: each index is a whole co-simulation (or comparable unit),
+  // far heavier than a task spawn.
+  runtime::parallel_for(*scheduler, 0, n, fn, /*grain=*/1);
+}
+
+std::vector<RunResult> run_sweep(const SweepGrid& grid,
+                                 runtime::TaskScheduler* scheduler) {
+  const std::vector<RunSpec>& specs = grid.specs();
+  std::vector<RunResult> results(specs.size());
+  sweep_ordered(
+      static_cast<int64_t>(specs.size()),
+      [&](int64_t i) {
+        results[static_cast<size_t>(i)] =
+            run_spec(specs[static_cast<size_t>(i)]);
+      },
+      scheduler);
+  return results;
+}
+
+std::vector<RunResult> run_sweep(const SweepGrid& grid, int workers) {
+  if (workers <= 1) return run_sweep(grid, nullptr);
+  runtime::TaskScheduler scheduler(workers);
+  return run_sweep(grid, &scheduler);
+}
+
+ValueAggregate aggregate_values(const std::vector<double>& values) {
+  ValueAggregate out;
+  const Aggregate a = aggregate(values);
+  out.mean = a.mean;
+  out.ci95 = a.ci95;
+  if (!values.empty()) {
+    const auto [lo, hi] = std::minmax_element(values.begin(), values.end());
+    out.min = *lo;
+    out.max = *hi;
+  }
+  return out;
+}
+
+std::vector<PointSummary> summarize(const SweepGrid& grid,
+                                    const std::vector<RunResult>& results) {
+  CF_ASSERT(results.size() == grid.size(), "results do not match the grid");
+  std::vector<PointSummary> summaries;
+  summaries.reserve(grid.points().size());
+  for (const SweepPoint& point : grid.points()) {
+    PointSummary s;
+    std::vector<double> time_s, energy_j, edp;
+    std::vector<double> savings, slowdown, edp_savings;
+    for (int rep = 0; rep < point.reps; ++rep) {
+      const RunResult& r =
+          results[static_cast<size_t>(point.first_spec + rep)];
+      time_s.push_back(r.time_s);
+      energy_j.push_back(r.energy_j);
+      edp.push_back(r.edp());
+      if (point.baseline_point >= 0) {
+        const RunResult& base = results[static_cast<size_t>(
+            grid.spec_index(point.baseline_point, rep))];
+        const Comparison c = compare(r, base);
+        savings.push_back(c.energy_savings_pct);
+        slowdown.push_back(c.slowdown_pct);
+        edp_savings.push_back(c.edp_savings_pct);
+      }
+    }
+    s.time_s = aggregate_values(time_s);
+    s.energy_j = aggregate_values(energy_j);
+    s.edp = aggregate_values(edp);
+    if (point.baseline_point >= 0) {
+      s.has_baseline = true;
+      s.energy_savings_pct = aggregate_values(savings);
+      s.slowdown_pct = aggregate_values(slowdown);
+      s.edp_savings_pct = aggregate_values(edp_savings);
+    }
+    summaries.push_back(std::move(s));
+  }
+  return summaries;
+}
+
+}  // namespace cuttlefish::exp

@@ -41,12 +41,13 @@ class SimMachine final : public hal::MsrDevice {
   uint64_t instructions_retired() const {
     return static_cast<uint64_t>(instr_);
   }
-  uint64_t tor_inserts() const {
-    return tor_inserts_local() + tor_inserts_remote();
-  }
+  uint64_t tor_inserts() const { return static_cast<uint64_t>(tor_); }
   /// NUMA split (MISS_LOCAL / MISS_REMOTE umasks of the paper's §3.1).
+  /// Only the remote share is truncated independently; the local share is
+  /// the remainder, so local + remote always equals tor_inserts() —
+  /// counter conservation under the round-once-at-the-register rule.
   uint64_t tor_inserts_local() const {
-    return static_cast<uint64_t>(tor_ * (1.0 - cfg_.remote_miss_fraction));
+    return tor_inserts() - tor_inserts_remote();
   }
   uint64_t tor_inserts_remote() const {
     return static_cast<uint64_t>(tor_ * cfg_.remote_miss_fraction);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -74,6 +75,68 @@ TEST(SortedTipiList, RandomInsertionKeepsSortedOrder) {
       EXPECT_EQ(n->slab, slabs[i]);
     }
     EXPECT_EQ(i, slabs.size());
+  }
+}
+
+TEST(SortedTipiList, FuzzAgainstMapOracle) {
+  // Randomized insert/find interleaving — including repeated finds of the
+  // same slab, which exercises the MRU last-hit cache between structural
+  // mutations — checked against a std::map oracle after every operation.
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    SortedTipiList list;
+    std::map<int64_t, const TipiNode*> oracle;
+    SplitMix64 rng(seed);
+    const TipiNode* hot = nullptr;  // most recently found node
+    for (int op = 0; op < 600; ++op) {
+      const auto slab = static_cast<int64_t>(rng.next_below(96));
+      switch (rng.next_below(4)) {
+        case 0: {  // insert if new, else find
+          if (oracle.find(slab) == oracle.end()) {
+            const TipiNode* node = list.insert(slab);
+            ASSERT_NE(node, nullptr);
+            EXPECT_EQ(node->slab, slab);
+            oracle.emplace(slab, node);
+          } else {
+            EXPECT_EQ(list.find(slab), oracle.at(slab));
+          }
+          break;
+        }
+        case 1: {  // find (hit or miss must agree with the oracle)
+          const TipiNode* found = list.find(slab);
+          const auto it = oracle.find(slab);
+          EXPECT_EQ(found, it == oracle.end() ? nullptr : it->second);
+          if (found != nullptr) hot = found;
+          break;
+        }
+        case 2: {  // hammer the MRU: repeat the last successful find
+          if (hot != nullptr) {
+            EXPECT_EQ(list.find(hot->slab), hot);
+            EXPECT_EQ(list.find(hot->slab), hot);
+          }
+          break;
+        }
+        default: {  // miss probe outside the key range
+          EXPECT_EQ(list.find(slab + 1000), nullptr);
+          break;
+        }
+      }
+      ASSERT_TRUE(list.check_invariants()) << "seed " << seed;
+      ASSERT_EQ(list.size(), oracle.size());
+    }
+    // Head -> tail traversal matches the oracle's sorted iteration, node
+    // for node (addresses must be stable across all the insertions).
+    auto it = oracle.begin();
+    const TipiNode* last = nullptr;
+    for (const TipiNode* n = list.head(); n != nullptr; n = n->next) {
+      ASSERT_NE(it, oracle.end());
+      EXPECT_EQ(n, it->second);
+      EXPECT_EQ(n->slab, it->first);
+      EXPECT_EQ(n->prev, last);
+      last = n;
+      ++it;
+    }
+    EXPECT_EQ(it, oracle.end());
+    EXPECT_EQ(list.tail(), last);
   }
 }
 
