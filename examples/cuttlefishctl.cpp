@@ -1,17 +1,19 @@
-// cuttlefishctl — operator tool for probing platforms and demonstrating
+// cuttlefishctl — operator tool for probing backends and demonstrating
 // the Cuttlefish policies.
 //
-//   cuttlefishctl probe                      platform capabilities
+//   cuttlefishctl backends                   registry: probe + capabilities
+//   cuttlefishctl probe                      host + simulator summary
 //   cuttlefishctl demo  <benchmark> [policy] co-simulated run + results
 //   cuttlefishctl trace <benchmark> [lines]  decision log of a run
 //   cuttlefishctl list                       available benchmarks
 //
-// policy: full (default) | core | uncore
+// policy: full (default) | core | uncore | monitor
 
 #include <cstdio>
 #include <cstring>
 #include <string>
 
+#include "core/api.hpp"
 #include "core/controller.hpp"
 #include "core/env_config.hpp"
 #include "core/trace.hpp"
@@ -29,6 +31,24 @@ using namespace cuttlefish;
 
 namespace {
 
+int cmd_backends() {
+  std::printf("%-9s %4s %-10s %-44s %s\n", "backend", "pri", "available",
+              "capabilities", "detail");
+  for (const BackendStatus& b : list_backends()) {
+    std::printf("%-9s %4d %-10s %-44s %s\n", b.name.c_str(), b.priority,
+                b.available ? (b.auto_selected ? "yes (auto)" : "yes")
+                            : "no",
+                b.capabilities.c_str(), b.detail.c_str());
+  }
+  std::printf(
+      "\nauto-probe order: descending priority; negative priorities are\n"
+      "explicit-only. Force one with CUTTLEFISH_BACKEND=<name> or\n"
+      "Options::backend; CUTTLEFISH_MSR_ROOT / CUTTLEFISH_POWERCAP_ROOT /\n"
+      "CUTTLEFISH_CPUFREQ_ROOT relocate the probed device trees (tests,\n"
+      "containers).\n");
+  return 0;
+}
+
 int cmd_probe() {
   std::printf("MSR access (/dev/cpu/*/msr):    %s\n",
               hal::LinuxMsrPlatform::available() ? "available"
@@ -37,6 +57,13 @@ int cmd_probe() {
   std::printf("cpufreq sysfs:                  %s (%d cpus)\n",
               cpufreq.available() ? "available" : "not available",
               cpufreq.cpu_count());
+  std::string auto_backend = "?";
+  for (const BackendStatus& b : list_backends()) {
+    if (b.auto_selected) auto_backend = b.name;
+  }
+  std::printf("start() would auto-select:      %s  (see `cuttlefishctl "
+              "backends`)\n",
+              auto_backend.c_str());
   const sim::MachineConfig hw = sim::haswell_2650v3();
   std::printf("simulator (always available):   20-core Haswell model\n");
   std::printf("  core ladder:   %s\n", hw.core_ladder.to_string().c_str());
@@ -45,7 +72,7 @@ int cmd_probe() {
   std::printf("  bandwidth knee: %.2f GHz uncore\n",
               hw.dram_bw_gbs / hw.uncore_bw_gbs_per_ghz);
   std::printf("\nenvironment overrides honoured by cuttlefish::start():\n"
-              "  CUTTLEFISH_POLICY, CUTTLEFISH_TINV_MS, "
+              "  CUTTLEFISH_BACKEND, CUTTLEFISH_POLICY, CUTTLEFISH_TINV_MS, "
               "CUTTLEFISH_WARMUP_S,\n"
               "  CUTTLEFISH_JPI_SAMPLES, CUTTLEFISH_SLAB_WIDTH, "
               "CUTTLEFISH_NARROWING,\n  CUTTLEFISH_REVALIDATION\n");
@@ -153,8 +180,9 @@ int cmd_trace(const char* bench, const char* lines_arg) {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: cuttlefishctl probe | list | demo <benchmark> "
-               "[full|core|uncore] | trace <benchmark> [lines]\n");
+               "usage: cuttlefishctl backends | probe | list | demo "
+               "<benchmark> [full|core|uncore|monitor] | trace <benchmark> "
+               "[lines]\n");
 }
 
 }  // namespace
@@ -165,6 +193,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string cmd = argv[1];
+  if (cmd == "backends") return cmd_backends();
   if (cmd == "probe") return cmd_probe();
   if (cmd == "list") return cmd_list();
   if (cmd == "demo" && argc >= 3) {

@@ -79,7 +79,7 @@ int main() {
               100.0 * resolved_uf / total);
   std::printf("(paper, AMG: 68%% and 3%%)\n");
   std::printf("controller stats: %llu ticks, %llu transitions, %llu JPI "
-              "samples, %llu MSR writes\n",
+              "samples, %llu actuator writes\n",
               static_cast<unsigned long long>(controller.stats().ticks),
               static_cast<unsigned long long>(
                   controller.stats().transitions),

@@ -1,11 +1,14 @@
 #pragma once
 
+#include <string>
+#include <vector>
+
 #include "core/controller.hpp"
 #include "hal/platform.hpp"
 
 /// The two-call public API of the paper (§1): bracket the region of the
 /// application that should run energy-efficiently with
-/// cuttlefish::start() / cuttlefish::stop(). Everything else — platform
+/// cuttlefish::start() / cuttlefish::stop(). Everything else — backend
 /// probing, the daemon thread, TIPI discovery, DVFS/UFS exploration — is
 /// internal.
 namespace cuttlefish {
@@ -15,19 +18,40 @@ struct Options {
   core::ControllerConfig controller;
   /// CPU the daemon thread is pinned to (-1: unpinned).
   int daemon_cpu = 0;
+  /// Backend for the no-platform start(): a registry name ("msr",
+  /// "powercap", "sim", "none"); empty auto-probes best-first. The
+  /// CUTTLEFISH_BACKEND environment variable overrides this field, like
+  /// every other CUTTLEFISH_* knob wins over compiled-in options.
+  std::string backend;
 };
 
+/// One row of the pluggable-backend listing (`cuttlefishctl backends`).
+struct BackendStatus {
+  std::string name;
+  std::string description;
+  int priority = 0;          // probe order; negative = explicit-only
+  bool available = false;
+  std::string capabilities;  // e.g. "energy+core-dvfs", "none"
+  std::string detail;        // probe diagnostics
+  bool auto_selected = false;  // what start() would pick right now
+};
+
+/// Probe every registered backend (without constructing any platform).
+std::vector<BackendStatus> list_backends();
+
 /// Start the Cuttlefish daemon against an explicit platform (the form
-/// examples and tests use; works with sim::SimPlatform or a
-/// hal::LinuxMsrPlatform the caller constructed). Returns false if a
-/// session is already active.
+/// examples and tests use; works with sim::SimPlatform or any backend the
+/// caller constructed). Returns false if a session is already active.
 bool start(hal::PlatformInterface& platform, const Options& options = {});
 
-/// Start against real MSRs (/dev/cpu/*/msr, Haswell-or-later ladders).
-/// Returns false — with a warning, not an error — when MSR access is
-/// unavailable, so instrumented applications degrade gracefully on
-/// machines without msr/msr-safe, exactly like the paper's library being
-/// compiled out.
+/// Start against the best available backend stack. The registry probes in
+/// priority order — msr, then powercap/cpufreq, then the warn-and-degrade
+/// "none" fallback — and the controller narrows its policy to the
+/// selected backend's capabilities (core-only without uncore control,
+/// single-slab without TOR counters, monitor-only without JPI sensors).
+/// Returns false only when a session is already active: on hosts with no
+/// usable hardware access the session still starts, degraded to an inert
+/// monitor, exactly like the paper's library being compiled out.
 bool start(const Options& options = {});
 
 /// Stop the daemon and restore maximum frequencies. Safe to call without
@@ -40,5 +64,9 @@ bool active();
 /// The running session's controller (nullptr when inactive); exposed for
 /// introspection (examples print discovered TIPI ranges and optima).
 const core::Controller* session_controller();
+
+/// Registry name of the backend driving the active session ("explicit"
+/// when the caller supplied the platform; "" when inactive).
+std::string session_backend();
 
 }  // namespace cuttlefish

@@ -10,6 +10,7 @@ const char* to_string(PolicyKind kind) {
     case PolicyKind::kFull: return "Cuttlefish";
     case PolicyKind::kCoreOnly: return "Cuttlefish-Core";
     case PolicyKind::kUncoreOnly: return "Cuttlefish-Uncore";
+    case PolicyKind::kMonitor: return "Cuttlefish-Monitor";
   }
   return "?";
 }
@@ -17,6 +18,8 @@ const char* to_string(PolicyKind kind) {
 Controller::Controller(hal::PlatformInterface& platform, ControllerConfig cfg)
     : platform_(&platform),
       cfg_(cfg),
+      caps_(platform.capabilities()),
+      effective_(cfg.policy),
       slabber_(cfg.tipi_slab_width),
       cf_ladder_(platform.core_ladder()),
       uf_ladder_(platform.uncore_ladder()),
@@ -26,9 +29,83 @@ Controller::Controller(hal::PlatformInterface& platform, ControllerConfig cfg)
       uf_propagator_(Domain::kUncore, cfg.revalidation) {
   CF_ASSERT(cfg.tinv_s > 0.0, "Tinv must be positive");
   CF_ASSERT(cfg.jpi_samples > 0, "jpi_samples must be positive");
+  apply_capabilities();
+}
+
+void Controller::note_degradation(Domain domain, hal::CapabilitySet lost) {
+  degradations_.push_back({0, TraceEvent::kCapabilityDegraded, -1, domain,
+                           kNoLevel, kNoLevel, kNoLevel, lost.bits()});
+}
+
+/// Narrow the configured policy to what the backend advertises instead of
+/// refusing to start — the paper's premise is that start()/stop() works
+/// wherever the program runs. Full-capability backends pass through
+/// untouched, so simulator-backed decision traces are unchanged by this.
+void Controller::apply_capabilities() {
+  using hal::Capability;
+  can_set_cf_ = caps_.has(Capability::kCoreDvfs);
+  can_set_uf_ = caps_.has(Capability::kUncoreUfs);
+  const bool jpi_ok = caps_.has(Capability::kEnergySensor) &&
+                      caps_.has(Capability::kInstructionSensor);
+  if (!jpi_ok && effective_ != PolicyKind::kMonitor) {
+    hal::CapabilitySet lost;
+    if (!caps_.has(Capability::kEnergySensor)) {
+      lost = lost.with(Capability::kEnergySensor);
+    }
+    if (!caps_.has(Capability::kInstructionSensor)) {
+      lost = lost.with(Capability::kInstructionSensor);
+    }
+    note_degradation(Domain::kCore, lost);
+    effective_ = PolicyKind::kMonitor;
+  }
+  // A full request keeps whichever domain is still actuatable; an
+  // explicit -Core/-Uncore request never switches to the *other* domain
+  // (the user asked for that one to stay pinned at max) — it drops
+  // straight to monitor instead.
+  if (effective_ == PolicyKind::kFull) {
+    if (!can_set_uf_) {
+      note_degradation(Domain::kUncore,
+                       hal::CapabilitySet{}.with(Capability::kUncoreUfs));
+    }
+    if (!can_set_cf_) {
+      note_degradation(Domain::kCore,
+                       hal::CapabilitySet{}.with(Capability::kCoreDvfs));
+    }
+    if (!can_set_cf_ && !can_set_uf_) {
+      effective_ = PolicyKind::kMonitor;
+    } else if (!can_set_uf_) {
+      effective_ = PolicyKind::kCoreOnly;
+    } else if (!can_set_cf_) {
+      effective_ = PolicyKind::kUncoreOnly;
+    }
+  } else if (effective_ == PolicyKind::kCoreOnly && !can_set_cf_) {
+    note_degradation(Domain::kCore,
+                     hal::CapabilitySet{}.with(Capability::kCoreDvfs));
+    effective_ = PolicyKind::kMonitor;
+  } else if (effective_ == PolicyKind::kUncoreOnly && !can_set_uf_) {
+    note_degradation(Domain::kUncore,
+                     hal::CapabilitySet{}.with(Capability::kUncoreUfs));
+    effective_ = PolicyKind::kMonitor;
+  }
+  if (!caps_.has(Capability::kTorSensor)) {
+    // TIPI's numerator reads zero: every tick lands in one slab and the
+    // controller runs a single-node list rather than failing.
+    note_degradation(Domain::kCore,
+                     hal::CapabilitySet{}.with(Capability::kTorSensor));
+  }
+  if (effective_ != cfg_.policy) {
+    CF_LOG_WARN("policy %s degraded to %s (backend capabilities: %s)",
+                to_string(cfg_.policy), to_string(effective_),
+                caps_.to_string().c_str());
+  }
 }
 
 void Controller::begin() {
+  // Make any construction-time capability degradation auditable before
+  // the first decision lands in the trace.
+  if (trace_ != nullptr) {
+    for (const TraceRecord& rec : degradations_) trace_->record(rec);
+  }
   // Algorithm 1 lines 1-2: start at the maximum frequencies.
   set_cf_ = kNoLevel;
   set_uf_ = kNoLevel;
@@ -40,7 +117,9 @@ void Controller::begin() {
 }
 
 void Controller::set_frequencies(Level cf, Level uf) {
-  if (cf != set_cf_) {
+  // Domains without an actuator capability are skipped entirely: no
+  // write, no freq_writes accounting, no trace noise.
+  if (can_set_cf_ && cf != set_cf_) {
     platform_->set_core_frequency(cf_ladder_.at(cf));
     set_cf_ = cf;
     stats_.freq_writes += 1;
@@ -49,7 +128,7 @@ void Controller::set_frequencies(Level cf, Level uf) {
                       Domain::kCore, kNoLevel, kNoLevel, cf});
     }
   }
-  if (uf != set_uf_) {
+  if (can_set_uf_ && uf != set_uf_) {
     platform_->set_uncore_frequency(uf_ladder_.at(uf));
     set_uf_ = uf;
     stats_.freq_writes += 1;
@@ -196,14 +275,14 @@ void Controller::tick() {
       trace_->record({stats_.ticks, TraceEvent::kNodeInserted, slab,
                       Domain::kCore, kNoLevel, kNoLevel, kNoLevel});
     }
-    if (cfg_.policy == PolicyKind::kUncoreOnly) {
+    if (effective_ == PolicyKind::kUncoreOnly) {
       init_uf_window(*node, cf_ladder_, uf_ladder_, cfg_.jpi_samples,
                      std::nullopt, cfg_.insertion_narrowing);
       trace_window(TraceEvent::kUfWindowInit, *node, Domain::kUncore);
       if (node->uf.complete()) {
         uf_propagator_.on_opt_found(*node, node->uf.opt);
       }
-    } else {
+    } else if (effective_ != PolicyKind::kMonitor) {
       init_cf_window(*node, cf_ladder_, cfg_.jpi_samples,
                      cfg_.insertion_narrowing);
       trace_window(TraceEvent::kCfWindowInit, *node, Domain::kCore);
@@ -220,7 +299,7 @@ void Controller::tick() {
   Level cf_next = cf_ladder_.max_level();
   Level uf_next = uf_ladder_.max_level();
   const bool record = !transition;
-  switch (cfg_.policy) {
+  switch (effective_) {
     case PolicyKind::kFull:
       run_full_policy(*node, jpi, record, cf_next, uf_next);
       break;
@@ -229,6 +308,10 @@ void Controller::tick() {
       break;
     case PolicyKind::kUncoreOnly:
       run_uncore_only(*node, jpi, record, cf_next, uf_next);
+      break;
+    case PolicyKind::kMonitor:
+      // Profile only: the TIPI list and telemetry fill in, but no windows
+      // open and both domains stay at their (unactuated) maxima.
       break;
   }
 

@@ -15,8 +15,11 @@ namespace cuttlefish::core {
 
 /// Which frequency domains the controller adapts (paper §5): the full
 /// library adapts both; the -Core and -Uncore build variants pin the other
-/// domain at its maximum.
-enum class PolicyKind { kFull, kCoreOnly, kUncoreOnly };
+/// domain at its maximum. kMonitor profiles TIPI/JPI without exploring or
+/// actuating — the terminal degradation when the backend lacks the
+/// sensors or actuators a policy needs (it can also be requested
+/// explicitly for pure profiling sessions).
+enum class PolicyKind { kFull, kCoreOnly, kUncoreOnly, kMonitor };
 
 const char* to_string(PolicyKind kind);
 
@@ -44,7 +47,7 @@ struct ControllerStats {
   uint64_t idle_ticks = 0;       // intervals with no retired instructions
   uint64_t transitions = 0;      // TIPI-range changes (samples discarded)
   uint64_t samples_recorded = 0; // JPI readings that entered a table
-  uint64_t freq_writes = 0;      // MSR writes actually issued
+  uint64_t freq_writes = 0;      // actuator writes actually issued
   uint64_t nodes_inserted = 0;
 };
 
@@ -78,6 +81,18 @@ class Controller {
   const ControllerStats& stats() const { return stats_; }
   const TipiSlabber& slabber() const { return slabber_; }
 
+  /// The backend's capability set, read once at construction.
+  hal::CapabilitySet capabilities() const { return caps_; }
+  /// The policy actually run: config().policy narrowed to what the
+  /// backend can support (kFull degrades to kCoreOnly without uncore
+  /// control, any policy degrades to kMonitor without JPI sensors or the
+  /// needed actuator). Equal to config().policy on full-capability
+  /// backends.
+  PolicyKind effective_policy() const { return effective_; }
+  /// True when effective_policy() differs from the request or a sensor
+  /// loss (e.g. TOR -> single-slab TIPI) was recorded.
+  bool degraded() const { return !degradations_.empty(); }
+
   /// Optional per-tick capture (Fig. 2 timelines, tests). Not owned.
   void set_telemetry(std::vector<TickTelemetry>* sink) { telemetry_ = sink; }
 
@@ -86,6 +101,8 @@ class Controller {
   void set_trace(DecisionTrace* trace) { trace_ = trace; }
 
  private:
+  void apply_capabilities();
+  void note_degradation(Domain domain, hal::CapabilitySet lost);
   void run_full_policy(TipiNode& node, double jpi, bool record,
                        Level& cf_next, Level& uf_next);
   void run_core_only(TipiNode& node, double jpi, bool record,
@@ -100,6 +117,13 @@ class Controller {
 
   hal::PlatformInterface* platform_;
   ControllerConfig cfg_;
+  hal::CapabilitySet caps_;
+  PolicyKind effective_;
+  bool can_set_cf_ = false;
+  bool can_set_uf_ = false;
+  /// Capability losses found at construction, replayed into the trace by
+  /// begin() (the trace sink is usually attached after construction).
+  std::vector<TraceRecord> degradations_;
   TipiSlabber slabber_;
   FreqLadder cf_ladder_;
   FreqLadder uf_ladder_;

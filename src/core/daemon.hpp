@@ -8,9 +8,10 @@
 namespace cuttlefish::core {
 
 /// Wall-clock wrapper around the tick engine: the paper's daemon thread.
-/// Spawned by cuttlefish::start(), it pins both domains to max, sleeps
-/// through the two-second warm-up, then runs the Algorithm-1 loop every
-/// Tinv until cuttlefish::stop().
+/// Spawned by cuttlefish::start(), it pins every actuatable domain to
+/// max (capability-degraded backends may have none), sleeps through the
+/// two-second warm-up, then runs the Algorithm-1 loop every Tinv until
+/// cuttlefish::stop().
 ///
 /// The thread is pinned to one core (the paper pins it to a fixed CPU so
 /// its own activity perturbs at most one worker).

@@ -12,13 +12,18 @@ namespace cuttlefish::core {
 /// wants the same switches without rebuilding, so cuttlefish::start()
 /// applies these on top of the caller-provided Options:
 ///
-///   CUTTLEFISH_POLICY        full | core | uncore
+///   CUTTLEFISH_POLICY        full | core | uncore | monitor
 ///   CUTTLEFISH_TINV_MS       profiling interval in milliseconds (> 0)
 ///   CUTTLEFISH_WARMUP_S      warm-up duration in seconds (>= 0)
 ///   CUTTLEFISH_JPI_SAMPLES   readings per frequency (> 0)
 ///   CUTTLEFISH_SLAB_WIDTH    TIPI slab width (> 0)
 ///   CUTTLEFISH_NARROWING     0/1: §4.4 insertion narrowing
 ///   CUTTLEFISH_REVALIDATION  0/1: §4.5 revalidation propagation
+///
+/// Backend selection (CUTTLEFISH_BACKEND, plus the probe-root overrides
+/// CUTTLEFISH_MSR_ROOT / CUTTLEFISH_POWERCAP_ROOT /
+/// CUTTLEFISH_CPUFREQ_ROOT) is handled where the platform is chosen:
+/// cuttlefish::start() and hal/registry.cpp.
 ///
 /// Malformed values are rejected with a warning and the previous value is
 /// kept — a bad environment must never break the host application.

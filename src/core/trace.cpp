@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/assert.hpp"
+#include "hal/capability.hpp"
 
 namespace cuttlefish::core {
 
@@ -14,6 +15,7 @@ const char* to_string(TraceEvent event) {
     case TraceEvent::kBoundTightened: return "bound-tightened";
     case TraceEvent::kOptFound: return "opt-found";
     case TraceEvent::kFrequencySet: return "frequency-set";
+    case TraceEvent::kCapabilityDegraded: return "capability-degraded";
   }
   return "?";
 }
@@ -48,6 +50,10 @@ std::string DecisionTrace::to_text(const FreqLadder& cf_ladder,
     os << "tick " << r.tick << "  " << to_string(r.event);
     if (r.slab >= 0) os << "  slab " << r.slab;
     os << "  " << to_string(r.domain);
+    if (r.event == TraceEvent::kCapabilityDegraded) {
+      os << "  lost " << hal::CapabilitySet{r.lost_caps}.to_string() << '\n';
+      continue;
+    }
     if (r.lb != kNoLevel && r.rb != kNoLevel) {
       os << "  window [" << ladder.at(r.lb).value << ","
          << ladder.at(r.rb).value << "]";

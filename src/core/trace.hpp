@@ -17,7 +17,12 @@ enum class TraceEvent {
   kUfWindowInit,    // UF window set (Alg. 3 + §4.4)
   kBoundTightened,  // LB raised / RB lowered (Alg. 2 / §4.5)
   kOptFound,        // FQopt resolved (Alg. 2 lines 20-22, Fig. 5)
-  kFrequencySet,    // MSR write issued
+  kFrequencySet,    // actuator write issued
+  /// Backend lacks a capability the configured policy needs; recorded at
+  /// begin() once per lost aspect. domain names the affected actuator
+  /// domain (kCore also stands in for sensor losses: TOR -> single-slab
+  /// TIPI, energy/instructions -> monitor-only).
+  kCapabilityDegraded,
 };
 
 const char* to_string(TraceEvent event);
@@ -30,6 +35,8 @@ struct TraceRecord {
   Level lb = kNoLevel;        // window state after the event
   Level rb = kNoLevel;
   Level level = kNoLevel;     // opt / target level where applicable
+  /// kCapabilityDegraded only: hal::CapabilitySet bits that were lost.
+  uint32_t lost_caps = 0;
 };
 
 /// Bounded in-memory decision log. The controller appends through a raw

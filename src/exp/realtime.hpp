@@ -46,6 +46,9 @@ class RealtimeSimPlatform final : public hal::PlatformInterface {
   Snapshot snapshot() const;
 
   // hal::PlatformInterface (thread-safe).
+  hal::CapabilitySet capabilities() const override {
+    return platform_.capabilities();
+  }
   const FreqLadder& core_ladder() const override;
   const FreqLadder& uncore_ladder() const override;
   void set_core_frequency(FreqMHz f) override;

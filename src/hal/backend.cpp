@@ -1,0 +1,123 @@
+#include "hal/backend.hpp"
+
+namespace cuttlefish::hal {
+
+const char* to_string(Capability capability) {
+  switch (capability) {
+    case Capability::kEnergySensor: return "energy";
+    case Capability::kInstructionSensor: return "instructions";
+    case Capability::kTorSensor: return "tor";
+    case Capability::kCoreDvfs: return "core-dvfs";
+    case Capability::kUncoreUfs: return "uncore-ufs";
+  }
+  return "?";
+}
+
+std::string CapabilitySet::to_string() const {
+  if (empty()) return "none";
+  static constexpr Capability kAll[] = {
+      Capability::kEnergySensor, Capability::kInstructionSensor,
+      Capability::kTorSensor, Capability::kCoreDvfs, Capability::kUncoreUfs};
+  std::string out;
+  for (Capability c : kAll) {
+    if (!has(c)) continue;
+    if (!out.empty()) out += '+';
+    out += hal::to_string(c);
+  }
+  return out;
+}
+
+ComposedPlatform::ComposedPlatform(std::unique_ptr<SensorStack> sensors,
+                                   std::unique_ptr<FrequencyActuator> core,
+                                   std::unique_ptr<FrequencyActuator> uncore,
+                                   FreqLadder fallback_core,
+                                   FreqLadder fallback_uncore)
+    : sensors_(std::move(sensors)),
+      core_(std::move(core)),
+      uncore_(std::move(uncore)),
+      fallback_core_(fallback_core),
+      fallback_uncore_(fallback_uncore) {}
+
+CapabilitySet ComposedPlatform::capabilities() const {
+  CapabilitySet caps;
+  if (sensors_) caps = caps | sensors_->capabilities();
+  if (core_) caps = caps.with(Capability::kCoreDvfs);
+  if (uncore_) caps = caps.with(Capability::kUncoreUfs);
+  return caps;
+}
+
+const FreqLadder& ComposedPlatform::core_ladder() const {
+  return core_ ? core_->ladder() : fallback_core_;
+}
+
+const FreqLadder& ComposedPlatform::uncore_ladder() const {
+  return uncore_ ? uncore_->ladder() : fallback_uncore_;
+}
+
+void ComposedPlatform::set_core_frequency(FreqMHz f) {
+  if (core_) core_->set(f);
+}
+
+void ComposedPlatform::set_uncore_frequency(FreqMHz f) {
+  if (uncore_) uncore_->set(f);
+}
+
+FreqMHz ComposedPlatform::core_frequency() const {
+  return core_ ? core_->current() : fallback_core_.max();
+}
+
+FreqMHz ComposedPlatform::uncore_frequency() const {
+  return uncore_ ? uncore_->current() : fallback_uncore_.max();
+}
+
+SensorTotals ComposedPlatform::read_sensors() {
+  return sensors_ ? sensors_->read() : SensorTotals{};
+}
+
+std::unique_ptr<ComposedPlatform> make_null_platform() {
+  return std::make_unique<ComposedPlatform>(nullptr, nullptr, nullptr,
+                                            haswell_core_ladder(),
+                                            haswell_uncore_ladder());
+}
+
+CapabilityFilter::CapabilityFilter(PlatformInterface& inner,
+                                   CapabilitySet allowed)
+    : inner_(&inner), allowed_(allowed) {}
+
+CapabilitySet CapabilityFilter::capabilities() const {
+  return inner_->capabilities() & allowed_;
+}
+
+const FreqLadder& CapabilityFilter::core_ladder() const {
+  return inner_->core_ladder();
+}
+
+const FreqLadder& CapabilityFilter::uncore_ladder() const {
+  return inner_->uncore_ladder();
+}
+
+void CapabilityFilter::set_core_frequency(FreqMHz f) {
+  if (allowed_.has(Capability::kCoreDvfs)) inner_->set_core_frequency(f);
+}
+
+void CapabilityFilter::set_uncore_frequency(FreqMHz f) {
+  if (allowed_.has(Capability::kUncoreUfs)) inner_->set_uncore_frequency(f);
+}
+
+FreqMHz CapabilityFilter::core_frequency() const {
+  return inner_->core_frequency();
+}
+
+FreqMHz CapabilityFilter::uncore_frequency() const {
+  return inner_->uncore_frequency();
+}
+
+SensorTotals CapabilityFilter::read_sensors() {
+  SensorTotals totals = inner_->read_sensors();
+  if (!allowed_.has(Capability::kEnergySensor)) totals.energy_joules = 0.0;
+  if (!allowed_.has(Capability::kInstructionSensor)) totals.instructions = 0;
+  if (!allowed_.has(Capability::kTorSensor)) totals.tor_inserts = 0;
+  return totals;
+}
+
+}  // namespace cuttlefish::hal

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cuttlefish::hal {
+
+/// One atomic piece of the hardware contract. The controller consumes
+/// three sensors (the counters behind JPI and TIPI) and two actuators
+/// (the frequency domains of §2); a backend advertises whichever subset
+/// its host actually provides and the controller degrades to match
+/// (see core::Controller's capability handling).
+enum class Capability : uint32_t {
+  kEnergySensor = 1u << 0,       // package energy (RAPL MSR or powercap)
+  kInstructionSensor = 1u << 1,  // retired instructions, package-wide
+  kTorSensor = 1u << 2,          // TOR_INSERT misses — the TIPI numerator
+  kCoreDvfs = 1u << 3,           // per-core DVFS (IA32_PERF_CTL / cpufreq)
+  kUncoreUfs = 1u << 4,          // uncore ratio limits (MSR 0x620)
+};
+
+const char* to_string(Capability capability);
+
+/// A set of Capability bits. Value type; cheap to copy and compare.
+class CapabilitySet {
+ public:
+  constexpr CapabilitySet() = default;
+  constexpr explicit CapabilitySet(uint32_t bits) : bits_(bits) {}
+
+  static constexpr CapabilitySet none() { return CapabilitySet{}; }
+  static constexpr CapabilitySet all() {
+    return CapabilitySet{(1u << 5) - 1};
+  }
+  /// Everything a sensor stack can advertise (no actuators).
+  static constexpr CapabilitySet all_sensors() {
+    return CapabilitySet{static_cast<uint32_t>(Capability::kEnergySensor) |
+                         static_cast<uint32_t>(Capability::kInstructionSensor) |
+                         static_cast<uint32_t>(Capability::kTorSensor)};
+  }
+
+  constexpr bool has(Capability c) const {
+    return (bits_ & static_cast<uint32_t>(c)) != 0;
+  }
+  constexpr bool has_all(CapabilitySet s) const {
+    return (bits_ & s.bits_) == s.bits_;
+  }
+  constexpr bool empty() const { return bits_ == 0; }
+  constexpr uint32_t bits() const { return bits_; }
+
+  constexpr CapabilitySet with(Capability c) const {
+    return CapabilitySet{bits_ | static_cast<uint32_t>(c)};
+  }
+  constexpr CapabilitySet without(Capability c) const {
+    return CapabilitySet{bits_ & ~static_cast<uint32_t>(c)};
+  }
+
+  constexpr CapabilitySet operator|(CapabilitySet o) const {
+    return CapabilitySet{bits_ | o.bits_};
+  }
+  constexpr CapabilitySet operator&(CapabilitySet o) const {
+    return CapabilitySet{bits_ & o.bits_};
+  }
+  constexpr bool operator==(const CapabilitySet&) const = default;
+
+  /// "energy+instructions+tor+core-dvfs+uncore-ufs", or "none".
+  std::string to_string() const;
+
+ private:
+  uint32_t bits_ = 0;
+};
+
+constexpr CapabilitySet operator|(Capability a, Capability b) {
+  return CapabilitySet{static_cast<uint32_t>(a) | static_cast<uint32_t>(b)};
+}
+
+}  // namespace cuttlefish::hal

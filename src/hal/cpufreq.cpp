@@ -61,13 +61,17 @@ std::optional<std::string> CpufreqActuator::read_file(
 int CpufreqActuator::set_governor(const std::string& governor_name) {
   int ok = 0;
   for (int cpu : cpus_) {
-    if (write_file(cpu_dir(cpu) + "/scaling_governor", governor_name)) {
+    if (set_governor(cpu, governor_name)) {
       ++ok;
     } else {
       CF_LOG_WARN("cpufreq: governor write failed for cpu %d", cpu);
     }
   }
   return ok;
+}
+
+bool CpufreqActuator::set_governor(int cpu, const std::string& governor_name) {
+  return write_file(cpu_dir(cpu) + "/scaling_governor", governor_name);
 }
 
 int CpufreqActuator::set_frequency(FreqMHz f) {
@@ -108,6 +112,52 @@ std::optional<FreqMHz> CpufreqActuator::min_frequency(int cpu) const {
 
 std::optional<FreqMHz> CpufreqActuator::max_frequency(int cpu) const {
   return parse_khz(read_file(cpu_dir(cpu) + "/cpuinfo_max_freq"));
+}
+
+std::optional<FreqLadder> cpufreq_ladder(const CpufreqActuator& actuator) {
+  if (!actuator.available()) return std::nullopt;
+  const auto min = actuator.min_frequency(0);
+  const auto max = actuator.max_frequency(0);
+  if (!min || !max) return std::nullopt;
+  constexpr int kStep = 100;
+  // Round inward so every ladder frequency is within the advertised range.
+  const int lo = (min->value + kStep - 1) / kStep * kStep;
+  const int hi = max->value / kStep * kStep;
+  if (lo >= hi) return std::nullopt;
+  return FreqLadder{FreqMHz{lo}, FreqMHz{hi}, kStep};
+}
+
+CpufreqCoreActuator::CpufreqCoreActuator(CpufreqActuator actuator,
+                                         FreqLadder ladder)
+    : actuator_(std::move(actuator)), ladder_(ladder),
+      current_(ladder.max()) {
+  for (int cpu : actuator_.cpus()) {
+    if (const auto governor = actuator_.governor(cpu)) {
+      saved_governors_.emplace_back(cpu, *governor);
+    }
+  }
+  if (actuator_.set_governor("userspace") == 0) {
+    CF_LOG_WARN(
+        "cpufreq: could not select the userspace governor; frequency "
+        "writes may be ignored");
+  }
+}
+
+CpufreqCoreActuator::~CpufreqCoreActuator() {
+  // Hand frequency scaling back to the OS exactly as we found it.
+  for (const auto& [cpu, governor] : saved_governors_) {
+    if (!actuator_.set_governor(cpu, governor)) {
+      CF_LOG_WARN("cpufreq: could not restore governor '%s' on cpu %d",
+                  governor.c_str(), cpu);
+    }
+  }
+}
+
+void CpufreqCoreActuator::set(FreqMHz f) {
+  if (actuator_.set_frequency(f) == 0) {
+    CF_LOG_WARN("cpufreq: no CPU accepted %d MHz", f.value);
+  }
+  current_ = f;
 }
 
 }  // namespace cuttlefish::hal

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/frequency.hpp"
+#include "hal/backend.hpp"
 
 namespace cuttlefish::hal {
 
@@ -27,10 +28,15 @@ class CpufreqActuator {
   int cpu_count() const { return static_cast<int>(cpus_.size()); }
   const std::string& root() const { return root_; }
 
+  /// CPU ids discovered under the root (sorted, possibly sparse).
+  const std::vector<int>& cpus() const { return cpus_; }
+
   /// Select the scaling governor on every CPU ("userspace" is required
   /// before scaling_setspeed writes take effect). Returns the number of
   /// CPUs successfully switched.
   int set_governor(const std::string& governor);
+  /// Per-CPU variant (used to restore saved governors).
+  bool set_governor(int cpu, const std::string& governor);
 
   /// Program every CPU's frequency (kHz granularity in sysfs). Returns
   /// the number of CPUs successfully programmed.
@@ -49,6 +55,39 @@ class CpufreqActuator {
 
   std::string root_;
   std::vector<int> cpus_;
+};
+
+/// A 100 MHz-step ladder spanning cpuinfo_min..max_freq of cpu0, rounded
+/// inward to whole steps. nullopt when the tree is absent or advertises a
+/// degenerate range — callers then fall back to a preset ladder.
+std::optional<FreqLadder> cpufreq_ladder(const CpufreqActuator& actuator);
+
+/// FrequencyActuator adapter for the core domain over CpufreqActuator.
+/// The registry's powercap/cpufreq backend composes this with the
+/// powercap energy sensor. Construction saves each CPU's current
+/// governor and switches to `userspace` (required before
+/// scaling_setspeed writes take effect); destruction restores the saved
+/// governors so the host's OS frequency scaling comes back when the
+/// session ends.
+class CpufreqCoreActuator final : public FrequencyActuator {
+ public:
+  CpufreqCoreActuator(CpufreqActuator actuator, FreqLadder ladder);
+  ~CpufreqCoreActuator() override;
+
+  CpufreqCoreActuator(const CpufreqCoreActuator&) = delete;
+  CpufreqCoreActuator& operator=(const CpufreqCoreActuator&) = delete;
+
+  const FreqLadder& ladder() const override { return ladder_; }
+  void set(FreqMHz f) override;
+  FreqMHz current() const override { return current_; }
+
+  CpufreqActuator& raw() { return actuator_; }
+
+ private:
+  CpufreqActuator actuator_;
+  FreqLadder ladder_;
+  FreqMHz current_;
+  std::vector<std::pair<int, std::string>> saved_governors_;
 };
 
 }  // namespace cuttlefish::hal

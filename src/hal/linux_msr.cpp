@@ -4,17 +4,30 @@
 #include <unistd.h>
 
 #include <cstdio>
-#include <fstream>
+#include <cstdlib>
 
 #include "common/log.hpp"
 #include "hal/msr.hpp"
 
 namespace cuttlefish::hal {
 
+namespace {
+
+/// Device-tree root, injectable (CUTTLEFISH_MSR_ROOT) so tests can mask
+/// the host's real MSR devices and deterministically exercise the
+/// degraded probe paths.
+const char* msr_dev_root() {
+  const char* root = std::getenv("CUTTLEFISH_MSR_ROOT");
+  return (root != nullptr && *root != '\0') ? root : "/dev/cpu";
+}
+
+}  // namespace
+
 LinuxMsrDevice::LinuxMsrDevice(int cpu) : cpu_(cpu) {
-  char path[64];
-  std::snprintf(path, sizeof(path), "/dev/cpu/%d/msr", cpu);
+  char path[256];
+  std::snprintf(path, sizeof(path), "%s/%d/msr", msr_dev_root(), cpu);
   fd_ = ::open(path, O_RDWR);
+  writable_ = fd_ >= 0;
   if (fd_ < 0) fd_ = ::open(path, O_RDONLY);
 }
 
@@ -30,23 +43,89 @@ bool LinuxMsrDevice::read(uint32_t address, uint64_t& value) {
 }
 
 bool LinuxMsrDevice::write(uint32_t address, uint64_t value) {
-  if (fd_ < 0) return false;
+  if (fd_ < 0 || !writable_) return false;
   const ssize_t n = ::pwrite(fd_, &value, sizeof(value),
                              static_cast<off_t>(address));
   return n == static_cast<ssize_t>(sizeof(value));
 }
 
 int online_cpu_count() {
-  // sysfs "online" is a range list like "0-19"; counting present dirs is
-  // simpler and good enough for the probe.
+  // The /dev/cpu tree is contiguous for online CPUs; counting present
+  // device nodes is simpler than parsing sysfs range lists and good
+  // enough for the probe.
   int count = 0;
   for (int cpu = 0; cpu < 4096; ++cpu) {
-    char path[64];
-    std::snprintf(path, sizeof(path), "/dev/cpu/%d/msr", cpu);
+    char path[256];
+    std::snprintf(path, sizeof(path), "%s/%d/msr", msr_dev_root(), cpu);
     if (::access(path, F_OK) != 0) break;
     ++count;
   }
   return count;
+}
+
+MsrSensorStack::MsrSensorStack(MsrDevice& device) : device_(&device) {
+  uint64_t value = 0;
+  if (device_->read(msr::kRaplPowerUnit, value)) {
+    energy_unit_j_ = decode_rapl_energy_unit(value);
+    if (device_->read(msr::kPkgEnergyStatus, value)) {
+      last_energy_raw_ = static_cast<uint32_t>(value);
+      caps_ = caps_.with(Capability::kEnergySensor);
+    }
+  }
+  if (device_->read(msr::kInstRetiredAggregate, value)) {
+    caps_ = caps_.with(Capability::kInstructionSensor);
+  }
+  if (device_->read(msr::kTorInsertsAggregate, value)) {
+    caps_ = caps_.with(Capability::kTorSensor);
+  }
+}
+
+SensorTotals MsrSensorStack::read() {
+  SensorTotals totals;
+  uint64_t value = 0;
+  if (caps_.has(Capability::kEnergySensor) &&
+      device_->read(msr::kPkgEnergyStatus, value)) {
+    const auto now = static_cast<uint32_t>(value);
+    energy_acc_j_ +=
+        static_cast<double>(rapl_delta_units(last_energy_raw_, now)) *
+        energy_unit_j_;
+    last_energy_raw_ = now;
+  }
+  totals.energy_joules = energy_acc_j_;
+  if (caps_.has(Capability::kInstructionSensor) &&
+      device_->read(msr::kInstRetiredAggregate, value)) {
+    totals.instructions = value;
+  }
+  if (caps_.has(Capability::kTorSensor) &&
+      device_->read(msr::kTorInsertsAggregate, value)) {
+    totals.tor_inserts = value;
+  }
+  return totals;
+}
+
+MsrCoreActuator::MsrCoreActuator(std::vector<MsrDevice*> devices,
+                                 FreqLadder ladder)
+    : devices_(std::move(devices)), ladder_(ladder), current_(ladder.max()) {}
+
+void MsrCoreActuator::set(FreqMHz f) {
+  const uint64_t value = encode_perf_ctl(f);
+  for (MsrDevice* device : devices_) {
+    if (!device->write(msr::kIa32PerfCtl, value)) {
+      CF_LOG_WARN("IA32_PERF_CTL write failed");
+    }
+  }
+  current_ = f;
+}
+
+MsrUncoreActuator::MsrUncoreActuator(MsrDevice& device, FreqLadder ladder)
+    : device_(&device), ladder_(ladder), current_(ladder.max()) {}
+
+void MsrUncoreActuator::set(FreqMHz f) {
+  if (!device_->write(msr::kUncoreRatioLimit,
+                      encode_uncore_ratio_limit(f, f))) {
+    CF_LOG_WARN("UNCORE_RATIO_LIMIT write failed");
+  }
+  current_ = f;
 }
 
 bool LinuxMsrPlatform::available() {
@@ -62,65 +141,52 @@ LinuxMsrPlatform::LinuxMsrPlatform(FreqLadder core, FreqLadder uncore)
   for (int cpu = 0; cpu < cpus; ++cpu) {
     auto dev = std::make_unique<LinuxMsrDevice>(cpu);
     if (!dev->ok()) break;
-    cpus_.push_back(std::move(dev));
+    devices_.push_back(std::move(dev));
   }
-  if (cpus_.empty()) {
+  if (devices_.empty()) {
     CF_LOG_WARN("LinuxMsrPlatform: no usable /dev/cpu/*/msr devices");
     return;
   }
-  uint64_t unit_msr = 0;
-  if (!cpus_[0]->read(msr::kRaplPowerUnit, unit_msr)) {
+  LinuxMsrDevice& pkg = *devices_[0];
+  sensors_ = std::make_unique<MsrSensorStack>(pkg);
+  caps_ = sensors_->capabilities();
+  if (!caps_.has(Capability::kEnergySensor)) {
     CF_LOG_WARN("LinuxMsrPlatform: cannot read MSR_RAPL_POWER_UNIT");
     return;
   }
-  energy_unit_j_ = decode_rapl_energy_unit(unit_msr);
-  uint64_t raw = 0;
-  if (cpus_[0]->read(msr::kPkgEnergyStatus, raw)) {
-    last_energy_raw_ = static_cast<uint32_t>(raw);
+  if (pkg.writable()) {
+    std::vector<MsrDevice*> all;
+    all.reserve(devices_.size());
+    for (auto& dev : devices_) all.push_back(dev.get());
+    core_ = std::make_unique<MsrCoreActuator>(std::move(all), core_ladder_);
+    uncore_ = std::make_unique<MsrUncoreActuator>(pkg, uncore_ladder_);
+    caps_ = caps_.with(Capability::kCoreDvfs).with(Capability::kUncoreUfs);
+  } else {
+    CF_LOG_WARN(
+        "LinuxMsrPlatform: MSR devices are read-only (msr-safe write "
+        "allowlist?); running sensor-only");
   }
-  core_freq_ = core_ladder_.max();
-  uncore_freq_ = uncore_ladder_.max();
   ok_ = true;
 }
 
 void LinuxMsrPlatform::set_core_frequency(FreqMHz f) {
-  const uint64_t value = encode_perf_ctl(f);
-  for (auto& cpu : cpus_) {
-    if (!cpu->write(msr::kIa32PerfCtl, value)) {
-      CF_LOG_WARN("IA32_PERF_CTL write failed on cpu %d", cpu->cpu());
-    }
-  }
-  core_freq_ = f;
+  if (core_) core_->set(f);
 }
 
 void LinuxMsrPlatform::set_uncore_frequency(FreqMHz f) {
-  // Pin by writing min == max, as the paper does via MSR 0x620.
-  const uint64_t value = encode_uncore_ratio_limit(f, f);
-  if (!cpus_.empty() && !cpus_[0]->write(msr::kUncoreRatioLimit, value)) {
-    CF_LOG_WARN("UNCORE_RATIO_LIMIT write failed");
-  }
-  uncore_freq_ = f;
+  if (uncore_) uncore_->set(f);
+}
+
+FreqMHz LinuxMsrPlatform::core_frequency() const {
+  return core_ ? core_->current() : core_ladder_.max();
+}
+
+FreqMHz LinuxMsrPlatform::uncore_frequency() const {
+  return uncore_ ? uncore_->current() : uncore_ladder_.max();
 }
 
 SensorTotals LinuxMsrPlatform::read_sensors() {
-  SensorTotals totals;
-  if (cpus_.empty()) return totals;
-  uint64_t raw = 0;
-  if (cpus_[0]->read(msr::kPkgEnergyStatus, raw)) {
-    const auto now = static_cast<uint32_t>(raw);
-    energy_acc_j_ += static_cast<double>(rapl_delta_units(last_energy_raw_, now)) *
-                     energy_unit_j_;
-    last_energy_raw_ = now;
-  }
-  totals.energy_joules = energy_acc_j_;
-  uint64_t value = 0;
-  if (cpus_[0]->read(msr::kInstRetiredAggregate, value)) {
-    totals.instructions = value;
-  }
-  if (cpus_[0]->read(msr::kTorInsertsAggregate, value)) {
-    totals.tor_inserts = value;
-  }
-  return totals;
+  return sensors_ ? sensors_->read() : SensorTotals{};
 }
 
 }  // namespace cuttlefish::hal

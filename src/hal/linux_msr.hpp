@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "hal/backend.hpp"
 #include "hal/msr_device.hpp"
 #include "hal/platform.hpp"
 
@@ -15,7 +16,7 @@ namespace cuttlefish::hal {
 class LinuxMsrDevice final : public MsrDevice {
  public:
   /// Opens the device node; `ok()` reports success (no exceptions so the
-  /// probe path can fall back to the simulator quietly).
+  /// probe path can fall back quietly).
   explicit LinuxMsrDevice(int cpu);
   ~LinuxMsrDevice() override;
 
@@ -23,6 +24,9 @@ class LinuxMsrDevice final : public MsrDevice {
   LinuxMsrDevice& operator=(const LinuxMsrDevice&) = delete;
 
   bool ok() const { return fd_ >= 0; }
+  /// True when the node opened read-write (msr-safe allowlists often
+  /// permit reads only — then the actuator capabilities are absent).
+  bool writable() const { return writable_; }
   int cpu() const { return cpu_; }
 
   bool read(uint32_t address, uint64_t& value) override;
@@ -31,47 +35,104 @@ class LinuxMsrDevice final : public MsrDevice {
  private:
   int cpu_;
   int fd_ = -1;
+  bool writable_ = false;
 };
 
-/// PlatformInterface over real MSRs. Reads RAPL package energy (with
-/// 32-bit wrap unwrapping), programs IA32_PERF_CTL on every CPU and the
-/// package UNCORE_RATIO_LIMIT, and reads the aggregate fixed instruction
-/// counter. TOR_INSERT programming of CBo PMUs is chipset-specific; this
-/// backend reads the same aggregate virtual counter addresses and reports
-/// zero TIPI if they are unavailable, which degrades Cuttlefish to a
-/// single-slab controller rather than failing.
+/// Sensor half of the MSR backend: RAPL package energy (with 32-bit wrap
+/// unwrapping) plus the aggregate instruction and TOR_INSERT virtual
+/// counters, all read from one package device. Each counter's capability
+/// bit is probed at construction — TOR_INSERT programming of CBo PMUs is
+/// chipset-specific, so on hosts where the aggregate addresses are not
+/// serviced the bit is simply absent and the controller degrades to a
+/// single-slab TIPI list instead of failing.
+class MsrSensorStack final : public SensorStack {
+ public:
+  /// `device` is borrowed and must outlive the stack.
+  explicit MsrSensorStack(MsrDevice& device);
+
+  CapabilitySet capabilities() const override { return caps_; }
+  SensorTotals read() override;
+
+ private:
+  MsrDevice* device_;
+  CapabilitySet caps_;
+  double energy_unit_j_ = 0.0;
+  uint32_t last_energy_raw_ = 0;
+  double energy_acc_j_ = 0.0;
+};
+
+/// Core-domain DVFS over IA32_PERF_CTL, written on every CPU (the paper
+/// scales all cores together).
+class MsrCoreActuator final : public FrequencyActuator {
+ public:
+  /// `devices` are borrowed and must outlive the actuator.
+  MsrCoreActuator(std::vector<MsrDevice*> devices, FreqLadder ladder);
+
+  const FreqLadder& ladder() const override { return ladder_; }
+  void set(FreqMHz f) override;
+  FreqMHz current() const override { return current_; }
+
+ private:
+  std::vector<MsrDevice*> devices_;
+  FreqLadder ladder_;
+  FreqMHz current_;
+};
+
+/// Uncore UFS via the package-scoped UNCORE_RATIO_LIMIT MSR; Cuttlefish
+/// pins by writing min == max, as the paper does.
+class MsrUncoreActuator final : public FrequencyActuator {
+ public:
+  /// `device` (any CPU of the package) is borrowed.
+  MsrUncoreActuator(MsrDevice& device, FreqLadder ladder);
+
+  const FreqLadder& ladder() const override { return ladder_; }
+  void set(FreqMHz f) override;
+  FreqMHz current() const override { return current_; }
+
+ private:
+  MsrDevice* device_;
+  FreqLadder ladder_;
+  FreqMHz current_;
+};
+
+/// The full MSR stack: owns one LinuxMsrDevice per online CPU and
+/// composes MsrSensorStack + both actuators over them. capabilities()
+/// reflects what actually probed (read-only msr-safe hosts lose the
+/// actuator bits; hosts without CBo aggregates lose kTorSensor).
 class LinuxMsrPlatform final : public PlatformInterface {
  public:
   LinuxMsrPlatform(FreqLadder core, FreqLadder uncore);
 
   /// True if at least CPU0's MSR device and the RAPL unit register are
-  /// usable. `available()` is the cheap probe used by cuttlefish::start().
+  /// usable. The cheap probe used by the backend registry.
   static bool available();
   bool ok() const { return ok_; }
+
+  CapabilitySet capabilities() const override { return caps_; }
 
   const FreqLadder& core_ladder() const override { return core_ladder_; }
   const FreqLadder& uncore_ladder() const override { return uncore_ladder_; }
 
   void set_core_frequency(FreqMHz f) override;
   void set_uncore_frequency(FreqMHz f) override;
-  FreqMHz core_frequency() const override { return core_freq_; }
-  FreqMHz uncore_frequency() const override { return uncore_freq_; }
+  FreqMHz core_frequency() const override;
+  FreqMHz uncore_frequency() const override;
 
   SensorTotals read_sensors() override;
 
  private:
   FreqLadder core_ladder_;
   FreqLadder uncore_ladder_;
-  std::vector<std::unique_ptr<LinuxMsrDevice>> cpus_;
+  std::vector<std::unique_ptr<LinuxMsrDevice>> devices_;
+  std::unique_ptr<MsrSensorStack> sensors_;
+  std::unique_ptr<MsrCoreActuator> core_;
+  std::unique_ptr<MsrUncoreActuator> uncore_;
+  CapabilitySet caps_;
   bool ok_ = false;
-  double energy_unit_j_ = 0.0;
-  uint32_t last_energy_raw_ = 0;
-  double energy_acc_j_ = 0.0;
-  FreqMHz core_freq_{0};
-  FreqMHz uncore_freq_{0};
 };
 
-/// Number of online logical CPUs according to sysfs (0 on failure).
+/// Number of online logical CPUs according to the /dev/cpu tree (0 when
+/// the msr module is absent).
 int online_cpu_count();
 
 }  // namespace cuttlefish::hal

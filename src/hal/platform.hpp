@@ -3,26 +3,38 @@
 #include <cstdint>
 
 #include "common/frequency.hpp"
+#include "hal/capability.hpp"
 
 namespace cuttlefish::hal {
 
 /// Monotonic package-wide counter totals since platform construction.
 /// The controller differences consecutive samples to obtain per-interval
 /// TIPI (tor_inserts / instructions) and JPI (energy / instructions).
+/// Fields whose sensor capability is absent stay at their zero value.
 struct SensorTotals {
   uint64_t instructions = 0;
   uint64_t tor_inserts = 0;
   double energy_joules = 0.0;  // unwrapped by the backend
 };
 
-/// The hardware contract Cuttlefish is written against. Exactly two
-/// implementations exist: sim::SimPlatform (register-accurate emulation of
-/// the paper's 20-core Haswell) and hal::LinuxMsrPlatform (real
-/// /dev/cpu/*/msr access, usable on bare-metal Intel hosts with the msr or
-/// msr-safe module loaded). The controller never sees which one it drives.
+/// The hardware contract Cuttlefish is written against. Implementations
+/// are pluggable backends (hal/registry.hpp probes and ranks them):
+/// sim::SimPlatform (register-accurate emulation of the paper's 20-core
+/// Haswell), hal::LinuxMsrPlatform (raw /dev/cpu/*/msr), the
+/// powercap-RAPL + cpufreq-sysfs stack assembled by the registry on hosts
+/// where MSR access is unavailable, and the warn-and-degrade null
+/// fallback. The controller never sees which one it drives — it reads
+/// capabilities() once and adapts (core-only narrowing, single-slab TIPI,
+/// or monitor-only) instead of refusing to start.
 class PlatformInterface {
  public:
   virtual ~PlatformInterface() = default;
+
+  /// Which sensors and actuators this backend actually provides. The
+  /// default advertises the full contract; partial backends must
+  /// override. Calls to an actuator whose capability is absent are
+  /// no-ops, and sensor fields without a capability read as zero.
+  virtual CapabilitySet capabilities() const { return CapabilitySet::all(); }
 
   virtual const FreqLadder& core_ladder() const = 0;
   virtual const FreqLadder& uncore_ladder() const = 0;

@@ -1,0 +1,204 @@
+#include "hal/registry.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/log.hpp"
+#include "hal/backend.hpp"
+#include "hal/cpufreq.hpp"
+#include "hal/linux_msr.hpp"
+#include "hal/powercap.hpp"
+
+namespace cuttlefish::hal {
+
+namespace {
+
+std::string env_or(const char* name, const char* fallback) {
+  const char* value = std::getenv(name);
+  return (value != nullptr && *value != '\0') ? value : fallback;
+}
+
+std::string powercap_root() {
+  // Injectable so tests (and containers with relocated sysfs) can point
+  // the probe at a fake tree.
+  return env_or("CUTTLEFISH_POWERCAP_ROOT", PowercapSensorStack::kDefaultRoot);
+}
+
+std::string cpufreq_root() {
+  return env_or("CUTTLEFISH_CPUFREQ_ROOT", "/sys/devices/system/cpu");
+}
+
+BackendFactory msr_factory() {
+  BackendFactory f;
+  f.name = "msr";
+  f.description =
+      "raw /dev/cpu/*/msr (msr or msr-safe module): RAPL energy, aggregate "
+      "counters, IA32_PERF_CTL + UNCORE_RATIO_LIMIT actuation";
+  f.priority = 100;
+  f.probe = [] {
+    ProbeResult r;
+    LinuxMsrDevice probe(0);
+    if (!probe.ok()) {
+      r.detail = "/dev/cpu/0/msr not openable";
+      return r;
+    }
+    MsrSensorStack sensors(probe);
+    r.caps = sensors.capabilities();
+    if (!r.caps.has(Capability::kEnergySensor)) {
+      r.detail = "MSR device present but RAPL is not readable";
+      return r;
+    }
+    if (probe.writable()) {
+      r.caps = r.caps.with(Capability::kCoreDvfs)
+                   .with(Capability::kUncoreUfs);
+    }
+    r.available = true;
+    r.detail = probe.writable() ? "read-write MSR access"
+                                : "read-only MSR access (sensor-only)";
+    return r;
+  };
+  f.create = []() -> std::unique_ptr<PlatformInterface> {
+    auto platform = std::make_unique<LinuxMsrPlatform>(
+        haswell_core_ladder(), haswell_uncore_ladder());
+    if (!platform->ok()) return nullptr;
+    return platform;
+  };
+  return f;
+}
+
+BackendFactory powercap_factory() {
+  BackendFactory f;
+  f.name = "powercap";
+  f.description =
+      "powercap-RAPL energy + cpufreq-sysfs core DVFS: the portable stack "
+      "for hosts without MSR access (no TOR/instruction counters, no "
+      "uncore control)";
+  f.priority = 50;
+  f.probe = [] {
+    ProbeResult r;
+    const PowercapSensorStack sensors{powercap_root()};
+    const CpufreqActuator cpufreq{cpufreq_root()};
+    r.caps = sensors.capabilities();
+    if (cpufreq.available()) r.caps = r.caps.with(Capability::kCoreDvfs);
+    r.available = !r.caps.empty();
+    r.detail = std::to_string(sensors.zone_count()) + " rapl zone(s), " +
+               std::to_string(cpufreq.cpu_count()) +
+               " cpufreq cpu(s) with scaling_setspeed";
+    return r;
+  };
+  f.create = []() -> std::unique_ptr<PlatformInterface> {
+    auto sensors = std::make_unique<PowercapSensorStack>(powercap_root());
+    CpufreqActuator cpufreq{cpufreq_root()};
+    std::unique_ptr<SensorStack> sensor_part;
+    if (sensors->available()) sensor_part = std::move(sensors);
+    std::unique_ptr<FrequencyActuator> core_part;
+    FreqLadder core_ladder = haswell_core_ladder();
+    if (cpufreq.available()) {
+      core_ladder = cpufreq_ladder(cpufreq).value_or(core_ladder);
+      // The actuator saves and switches governors itself (and restores
+      // them when the platform is destroyed).
+      core_part = std::make_unique<CpufreqCoreActuator>(std::move(cpufreq),
+                                                        core_ladder);
+    }
+    if (!sensor_part && !core_part) return nullptr;
+    return std::make_unique<ComposedPlatform>(
+        std::move(sensor_part), std::move(core_part), nullptr, core_ladder,
+        haswell_uncore_ladder());
+  };
+  return f;
+}
+
+BackendFactory none_factory() {
+  BackendFactory f;
+  f.name = "none";
+  f.description =
+      "warn-and-degrade fallback: no sensors, no actuators; the session "
+      "runs but controls nothing";
+  f.priority = 0;
+  f.probe = [] {
+    ProbeResult r;
+    r.available = true;
+    r.detail = "always available";
+    return r;
+  };
+  f.create = []() -> std::unique_ptr<PlatformInterface> {
+    return make_null_platform();
+  };
+  return f;
+}
+
+}  // namespace
+
+BackendRegistry& BackendRegistry::instance() {
+  static BackendRegistry* registry = [] {
+    auto* r = new BackendRegistry();
+    r->add(msr_factory());
+    r->add(powercap_factory());
+    r->add(none_factory());
+    return r;
+  }();
+  return *registry;
+}
+
+void BackendRegistry::add(BackendFactory factory) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (BackendFactory& existing : factories_) {
+    if (existing.name == factory.name) {
+      existing = std::move(factory);
+      return;
+    }
+  }
+  factories_.push_back(std::move(factory));
+}
+
+bool BackendRegistry::contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::any_of(factories_.begin(), factories_.end(),
+                     [&](const BackendFactory& f) { return f.name == name; });
+}
+
+std::vector<BackendFactory> BackendRegistry::factories() const {
+  std::vector<BackendFactory> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out = factories_;
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const BackendFactory& a, const BackendFactory& b) {
+                     if (a.priority != b.priority) {
+                       return a.priority > b.priority;
+                     }
+                     return a.name < b.name;
+                   });
+  return out;
+}
+
+BackendRegistry::Selection BackendRegistry::select(
+    const std::string& forced) const {
+  const std::vector<BackendFactory> ranked = factories();
+  if (!forced.empty()) {
+    const auto it =
+        std::find_if(ranked.begin(), ranked.end(),
+                     [&](const BackendFactory& f) { return f.name == forced; });
+    if (it == ranked.end()) {
+      CF_LOG_WARN("unknown backend '%s'; falling back to auto-probing",
+                  forced.c_str());
+    } else {
+      auto platform = it->create();
+      if (platform != nullptr) return {it->name, std::move(platform)};
+      CF_LOG_WARN("backend '%s' failed to construct; auto-probing instead",
+                  forced.c_str());
+    }
+  }
+  for (const BackendFactory& f : ranked) {
+    if (f.priority < 0) continue;
+    if (!f.probe().available) continue;
+    auto platform = f.create();
+    if (platform != nullptr) return {f.name, std::move(platform)};
+  }
+  // Unreachable while "none" is registered, but stay defensive: callers
+  // treat a null platform as "no session".
+  return {"", nullptr};
+}
+
+}  // namespace cuttlefish::hal

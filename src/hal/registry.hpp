@@ -1,0 +1,72 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "hal/platform.hpp"
+
+namespace cuttlefish::hal {
+
+/// Outcome of a cheap, side-effect-free backend probe.
+struct ProbeResult {
+  bool available = false;
+  /// What a constructed stack would advertise; meaningful when available.
+  CapabilitySet caps;
+  /// One human-readable line for `cuttlefishctl backends`.
+  std::string detail;
+};
+
+/// A named, priority-ranked way of constructing a platform stack.
+struct BackendFactory {
+  std::string name;         // "msr", "powercap", "none", "sim", ...
+  std::string description;  // one line for listings
+  /// Probe order: higher first. The always-available "none" fallback sits
+  /// at 0; anything negative is never auto-selected (explicit only).
+  int priority = 0;
+  std::function<ProbeResult()> probe;
+  /// May return nullptr if construction fails despite a positive probe;
+  /// auto-selection then falls through to the next backend.
+  std::function<std::unique_ptr<PlatformInterface>()> create;
+};
+
+/// Process-wide registry behind cuttlefish::start()'s auto-selection and
+/// cuttlefishctl's backend listing. The built-in backends (msr, powercap,
+/// none) self-register on first access; callers may add their own (the
+/// library registers "sim" from the public API layer so hal stays below
+/// sim in the layering).
+class BackendRegistry {
+ public:
+  /// Singleton with the built-ins registered.
+  static BackendRegistry& instance();
+
+  /// Adds or replaces (by name).
+  void add(BackendFactory factory);
+  bool contains(const std::string& name) const;
+
+  /// Copies, sorted by descending priority (ties by name). Auto-probing
+  /// walks this order, skipping negative priorities, and picks the first
+  /// available factory ("none" guarantees there is always one).
+  std::vector<BackendFactory> factories() const;
+
+  struct Selection {
+    std::string name;
+    std::unique_ptr<PlatformInterface> platform;  // null only on failure
+  };
+
+  /// Construct the stack for `forced` (a backend name, typically from
+  /// Options::backend or CUTTLEFISH_BACKEND), or auto-probe when empty.
+  /// An unknown forced name warns and falls back to auto-probing, so a
+  /// stale environment can never keep an application from starting.
+  Selection select(const std::string& forced = "") const;
+
+ private:
+  BackendRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::vector<BackendFactory> factories_;
+};
+
+}  // namespace cuttlefish::hal

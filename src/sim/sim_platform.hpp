@@ -14,6 +14,13 @@ class SimPlatform final : public hal::PlatformInterface {
  public:
   explicit SimPlatform(SimMachine& machine);
 
+  /// The emulated Haswell exposes the full register map, so the simulator
+  /// is the one backend that always advertises every capability. Partial
+  /// hardware is modelled by wrapping this in a hal::CapabilityFilter.
+  hal::CapabilitySet capabilities() const override {
+    return hal::CapabilitySet::all();
+  }
+
   const FreqLadder& core_ladder() const override;
   const FreqLadder& uncore_ladder() const override;
 

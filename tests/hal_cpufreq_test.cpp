@@ -99,6 +99,34 @@ TEST(Cpufreq, HaswellLadderMatchesCpuinfoLimits) {
   EXPECT_EQ(ladder.max(), act.max_frequency(0).value());
 }
 
+TEST(Cpufreq, LadderDerivesFromCpuinfoLimits) {
+  FakeSysfs sysfs(1);
+  CpufreqActuator act(sysfs.root());
+  const auto ladder = cpufreq_ladder(act);
+  ASSERT_TRUE(ladder.has_value());
+  EXPECT_EQ(ladder->min().value, 1200);
+  EXPECT_EQ(ladder->max().value, 2300);
+  EXPECT_EQ(ladder->step_mhz(), 100);
+  EXPECT_FALSE(cpufreq_ladder(CpufreqActuator("/nonexistent")).has_value());
+}
+
+TEST(Cpufreq, CoreActuatorSavesAndRestoresGovernors) {
+  FakeSysfs sysfs(2);
+  {
+    CpufreqActuator raw(sysfs.root());
+    const FreqLadder ladder = cpufreq_ladder(raw).value();
+    CpufreqCoreActuator actuator(std::move(raw), ladder);
+    // Construction switched to userspace so setspeed writes take effect.
+    EXPECT_EQ(sysfs.read(0, "scaling_governor"), "userspace");
+    actuator.set(FreqMHz{1500});
+    EXPECT_EQ(sysfs.read(1, "scaling_setspeed"), "1500000");
+    EXPECT_EQ(actuator.current().value, 1500);
+  }
+  // Destruction hands frequency scaling back to the OS as it was found.
+  EXPECT_EQ(sysfs.read(0, "scaling_governor"), "performance");
+  EXPECT_EQ(sysfs.read(1, "scaling_governor"), "performance");
+}
+
 TEST(Cpufreq, RealSysfsProbeDoesNotCrash) {
   CpufreqActuator act;  // the real /sys tree (absent in this container)
   EXPECT_NO_THROW(act.available());

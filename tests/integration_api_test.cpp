@@ -57,12 +57,59 @@ TEST(Api, StopWithoutStartIsSafe) {
   EXPECT_EQ(cuttlefish::session_controller(), nullptr);
 }
 
-TEST(Api, MsrStartFailsGracefullyWithoutDevices) {
-  if (hal::LinuxMsrPlatform::available()) {
-    GTEST_SKIP() << "real MSR devices present";
-  }
-  EXPECT_FALSE(cuttlefish::start());
+TEST(Api, StartDegradesGracefullyWithoutAnyBackend) {
+  // Point every hardware probe at empty trees so auto-selection
+  // deterministically falls through to the warn-and-degrade "none"
+  // backend regardless of what the host actually has.
+  unsetenv("CUTTLEFISH_BACKEND");
+  setenv("CUTTLEFISH_MSR_ROOT", "/nonexistent/msr", 1);
+  setenv("CUTTLEFISH_POWERCAP_ROOT", "/nonexistent/powercap", 1);
+  setenv("CUTTLEFISH_CPUFREQ_ROOT", "/nonexistent/cpufreq", 1);
+
+  Options options;
+  options.controller.tinv_s = 0.001;
+  options.controller.warmup_s = 0.0;
+  options.daemon_cpu = -1;
+  // The probe finds no actuator anywhere; the session must still start.
+  ASSERT_TRUE(cuttlefish::start(options));
+  EXPECT_TRUE(cuttlefish::active());
+  EXPECT_EQ(cuttlefish::session_backend(), "none");
+  const core::Controller* ctl = cuttlefish::session_controller();
+  ASSERT_NE(ctl, nullptr);
+  EXPECT_TRUE(ctl->capabilities().empty());
+  EXPECT_EQ(ctl->effective_policy(), core::PolicyKind::kMonitor);
+  EXPECT_TRUE(ctl->degraded());
+  cuttlefish::stop();
   EXPECT_FALSE(cuttlefish::active());
+
+  unsetenv("CUTTLEFISH_MSR_ROOT");
+  unsetenv("CUTTLEFISH_POWERCAP_ROOT");
+  unsetenv("CUTTLEFISH_CPUFREQ_ROOT");
+}
+
+TEST(Api, BackendListingReportsRegistry) {
+  const auto backends = cuttlefish::list_backends();
+  ASSERT_GE(backends.size(), 4u);  // msr, powercap, none, sim
+  bool has_none = false;
+  bool has_sim = false;
+  int auto_selected = 0;
+  for (const auto& b : backends) {
+    if (b.name == "none") {
+      has_none = true;
+      EXPECT_TRUE(b.available);  // the fallback can never probe away
+    }
+    if (b.name == "sim") {
+      has_sim = true;
+      EXPECT_LT(b.priority, 0);  // explicit-only, never auto-selected
+      EXPECT_FALSE(b.auto_selected);
+      EXPECT_EQ(b.capabilities,
+                hal::CapabilitySet::all().to_string());
+    }
+    if (b.auto_selected) ++auto_selected;
+  }
+  EXPECT_TRUE(has_none);
+  EXPECT_TRUE(has_sim);
+  EXPECT_EQ(auto_selected, 1);
 }
 
 TEST(Api, DaemonDiscoversFrequenciesInAcceleratedTime) {

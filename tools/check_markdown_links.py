@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the docs CI job.
+
+Verifies that every relative link in the given markdown files (or all
+*.md under given directories) points at an existing file, and that
+intra-document anchors match a real heading. External (http/https/
+mailto) links are not fetched — CI must not depend on network state.
+
+Usage: check_markdown_links.py FILE_OR_DIR [...]
+Exit status: 0 when every link resolves, 1 otherwise.
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slugification: lowercase, drop punctuation,
+    spaces to dashes (good enough for the ASCII headings we write)."""
+    heading = re.sub(r"[`*_]", "", heading.strip()).lower()
+    heading = re.sub(r"[^\w\s-]", "", heading)
+    return re.sub(r"\s+", "-", heading)
+
+
+def collect_md_files(paths):
+    files = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, _dirs, names in os.walk(path):
+                files.extend(
+                    os.path.join(root, n) for n in names if n.endswith(".md")
+                )
+        else:
+            files.append(path)
+    return sorted(set(files))
+
+
+def heading_slugs(md_path):
+    with open(md_path, encoding="utf-8") as fh:
+        text = CODE_FENCE_RE.sub("", fh.read())
+    return {github_slug(m.group(1)) for m in HEADING_RE.finditer(text)}
+
+
+def check_file(md_path):
+    errors = []
+    with open(md_path, encoding="utf-8") as fh:
+        text = CODE_FENCE_RE.sub("", fh.read())
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, anchor = target.partition("#")
+        if path_part:
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(md_path), path_part)
+            )
+            if not os.path.exists(resolved):
+                errors.append(f"{md_path}: broken link -> {target}")
+                continue
+            anchor_file = resolved
+        else:
+            anchor_file = md_path
+        if anchor and anchor_file.endswith(".md"):
+            if github_slug(anchor) not in heading_slugs(anchor_file):
+                errors.append(f"{md_path}: missing anchor -> {target}")
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    files = collect_md_files(argv[1:])
+    if not files:
+        print("no markdown files found", file=sys.stderr)
+        return 2
+    all_errors = []
+    for md_path in files:
+        all_errors.extend(check_file(md_path))
+    for error in all_errors:
+        print(error, file=sys.stderr)
+    print(f"checked {len(files)} file(s): "
+          f"{'FAIL' if all_errors else 'ok'}")
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
