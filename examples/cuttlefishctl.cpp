@@ -6,6 +6,8 @@
 //   cuttlefishctl demo  <benchmark> [policy] co-simulated run + results
 //   cuttlefishctl trace <benchmark> [lines]  decision log of a run
 //   cuttlefishctl list                       available benchmarks
+//   cuttlefishctl regions [profiles.json]    cached region profiles (no
+//                                            file: run a warm-start demo)
 //
 // policy: full (default) | core | uncore | monitor
 
@@ -16,6 +18,8 @@
 #include "core/api.hpp"
 #include "core/controller.hpp"
 #include "core/env_config.hpp"
+#include "core/region.hpp"
+#include "core/session.hpp"
 #include "core/trace.hpp"
 #include "exp/calibrate.hpp"
 #include "exp/driver.hpp"
@@ -178,11 +182,78 @@ int cmd_trace(const char* bench, const char* lines_arg) {
   return 0;
 }
 
+void print_profiles(const Session& session) {
+  std::printf("%-16s %8s %12s %8s %8s %8s\n", "region", "entries",
+              "warm-starts", "ranges", "CFopt", "UFopt");
+  for (const RegionProfileInfo& info : session.region_profiles()) {
+    std::printf("%-16s %8llu %12llu %8zu %8zu %8zu\n", info.name.c_str(),
+                static_cast<unsigned long long>(info.entries),
+                static_cast<unsigned long long>(info.warm_starts),
+                info.nodes, info.cf_resolved, info.uf_resolved);
+  }
+}
+
+int cmd_regions(const char* path) {
+  if (path != nullptr) {
+    // Inspect a profile file written by Session::save_profiles(). The
+    // session is backed by the paper's simulated Haswell, whose ladder
+    // shape matches profiles recorded against it (mismatched profiles
+    // are listed as skipped by the loader's warnings).
+    const sim::MachineConfig machine = sim::haswell_2650v3();
+    const auto& model = workloads::find_benchmark("HPCCG");
+    const sim::PhaseProgram program =
+        exp::build_calibrated(model, machine, 1);
+    sim::SimMachine sim_machine(machine, program, 1);
+    sim::SimPlatform platform(sim_machine);
+    Options options;
+    options.manual_tick = true;
+    Session session(platform, options);
+    if (!session.load_profiles(path)) return 1;
+    print_profiles(session);
+    return 0;
+  }
+
+  // No file: demonstrate the warm start live. One CG solve, entered
+  // twice through a manual-tick session in virtual time.
+  const sim::MachineConfig machine = sim::haswell_2650v3();
+  const auto& model = workloads::find_benchmark("HPCCG");
+  const sim::PhaseProgram cycle = exp::build_calibrated(model, machine, 1);
+  sim::PhaseProgram program;
+  program.repeat(2, cycle.segments());
+
+  sim::SimMachine sim_machine(machine, program, 1);
+  sim::SimPlatform platform(sim_machine);
+  Options options;
+  options.manual_tick = true;
+  Session session(platform, options);
+  const core::ControllerConfig& cfg = session.controller()->config();
+  for (double t = 0.0; t < cfg.warmup_s; t += cfg.tinv_s) {
+    sim_machine.advance(cfg.tinv_s);
+  }
+  session.tick();
+  const double cycle_instructions = cycle.total_instructions();
+  for (int entry = 1; entry <= 2; ++entry) {
+    Region region(session, "cg-solve");
+    while (!sim_machine.workload_done() &&
+           platform.read_sensors().instructions <
+               static_cast<uint64_t>(cycle_instructions) *
+                   static_cast<uint64_t>(entry)) {
+      sim_machine.advance(cfg.tinv_s);
+      session.tick();
+    }
+  }
+  print_profiles(session);
+  std::printf(
+      "\n(the second \"cg-solve\" entry replayed the cached profile —\n"
+      "save with Session::save_profiles() to persist optima across runs)\n");
+  return 0;
+}
+
 void usage() {
   std::fprintf(stderr,
                "usage: cuttlefishctl backends | probe | list | demo "
                "<benchmark> [full|core|uncore|monitor] | trace <benchmark> "
-               "[lines]\n");
+               "[lines] | regions [profiles.json]\n");
 }
 
 }  // namespace
@@ -201,6 +272,9 @@ int main(int argc, char** argv) {
   }
   if (cmd == "trace" && argc >= 3) {
     return cmd_trace(argv[2], argc >= 4 ? argv[3] : nullptr);
+  }
+  if (cmd == "regions") {
+    return cmd_regions(argc >= 3 ? argv[2] : nullptr);
   }
   usage();
   return 2;

@@ -12,7 +12,9 @@
 #include <cstdio>
 #include <thread>
 
-#include "core/api.hpp"
+#include "core/controller.hpp"
+#include "core/region.hpp"
+#include "core/session.hpp"
 #include "exp/calibrate.hpp"
 #include "exp/realtime.hpp"
 #include "runtime/scheduler.hpp"
@@ -25,9 +27,12 @@ using namespace cuttlefish;
 
 namespace {
 
-double run_variant(const char* name,
+double run_variant(Session& session, const char* name,
                    const std::function<void(const workloads::Grid2D&,
                                             workloads::Grid2D&)>& step) {
+  // Each decomposition is its own named region: the session caches one
+  // exploration profile per kernel name.
+  Region region(session, name);
   workloads::Grid2D a(513, 513, 0.0);
   workloads::Grid2D b(513, 513, 0.0);
   for (int64_t c = 0; c < a.cols(); ++c) a.at(0, c) = 100.0;
@@ -63,24 +68,24 @@ int main() {
   options.controller.tinv_s = 0.001;
   options.controller.warmup_s = 0.100;
   options.daemon_cpu = -1;
-  cuttlefish::start(platform, options);
+  Session session(platform, options);
 
   runtime::ThreadPool pool(runtime::default_thread_count());
   runtime::TaskScheduler tasks(runtime::default_thread_count());
 
-  const double ws = run_variant("Heat-ws (parallel_for)",
+  const double ws = run_variant(session, "Heat-ws (parallel_for)",
                                 [&](const workloads::Grid2D& in,
                                     workloads::Grid2D& out) {
                                   workloads::heat_step_ws(pool, in, out);
                                 });
   const double rt = run_variant(
-      "Heat-rt (regular DAG)",
+      session, "Heat-rt (regular DAG)",
       [&](const workloads::Grid2D& in, workloads::Grid2D& out) {
         workloads::heat_step_tasks(tasks, in, out,
                                    runtime::DagShape::kRegular);
       });
   const double irt = run_variant(
-      "Heat-irt (irregular DAG)",
+      session, "Heat-irt (irregular DAG)",
       [&](const workloads::Grid2D& in, workloads::Grid2D& out) {
         workloads::heat_step_tasks(tasks, in, out,
                                    runtime::DagShape::kIrregular);
@@ -89,7 +94,7 @@ int main() {
   // sheds stealable halves while thieves are starving, so balanced steps
   // spawn O(workers) tasks rather than one per 16-row block.
   const double lbs = run_variant(
-      "Heat-lbs (task loop)",
+      session, "Heat-lbs (task loop)",
       [&](const workloads::Grid2D& in, workloads::Grid2D& out) {
         workloads::heat_step_lbs(tasks, in, out);
       });
@@ -108,7 +113,7 @@ int main() {
   for (int i = 0; i < 300 && !platform.workload_done(); ++i) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
-  const core::Controller* ctl = cuttlefish::session_controller();
+  const core::Controller* ctl = session.controller();
   std::printf("\nCuttlefish state after the run:\n");
   for (const core::TipiNode* n = ctl->list().head(); n != nullptr;
        n = n->next) {
@@ -122,7 +127,12 @@ int main() {
                 ctl->slabber().range_label(n->slab).c_str(),
                 machine.core_ladder.at(n->cf.opt).ghz(), uf);
   }
-  cuttlefish::stop();
+  std::printf("\nregion profiles cached by the session:\n");
+  for (const RegionProfileInfo& info : session.region_profiles()) {
+    std::printf("  %-24s %llu entries, %zu TIPI ranges\n", info.name.c_str(),
+                static_cast<unsigned long long>(info.entries), info.nodes);
+  }
+  session.stop();
   platform.stop();
   return 0;
 }

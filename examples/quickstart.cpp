@@ -1,19 +1,29 @@
-// Quickstart: the paper's two-call usage pattern.
+// Quickstart: first-class sessions + named regions.
 //
-//   cuttlefish::start(platform);   // spawn the profiling daemon
-//   ... run your parallel program ...
-//   cuttlefish::stop();            // restore max frequencies
+//   cuttlefish::Session session(platform);        // owning handle
+//   {
+//     cuttlefish::Region region(session, "heat-solve");
+//     ... run your parallel kernel ...
+//   }                                             // optima cached on exit
+//   session.stop();                               // restore max frequencies
+//
+// The paper's two-call form (cuttlefish::start()/stop()) still works as a
+// shim over one default session; Session/Region is the first-class API —
+// a named region's second entry warm-starts at the optima the first entry
+// discovered instead of re-exploring.
 //
 // Without Intel MSR access this example drives the bundled Haswell
 // simulator through a wall-clock coupling (20x accelerated virtual time,
-// Tinv scaled to match), runs a memory-bound Heat-style workload, and
-// prints what the daemon discovered and saved.
+// Tinv scaled to match), runs a memory-bound Heat-style workload inside a
+// region, and prints what the session discovered and cached.
 
 #include <chrono>
 #include <cstdio>
 #include <thread>
 
-#include "core/api.hpp"
+#include "core/controller.hpp"
+#include "core/region.hpp"
+#include "core/session.hpp"
 #include "exp/calibrate.hpp"
 #include "exp/driver.hpp"
 #include "exp/realtime.hpp"
@@ -45,34 +55,49 @@ int main() {
   options.controller.tinv_s = 0.001;   // warm-up 2 s — scaled by the 20x
   options.controller.warmup_s = 0.100; // virtual-time acceleration
   options.daemon_cpu = -1;
-  if (!cuttlefish::start(platform, options)) {
-    std::fprintf(stderr, "cuttlefish::start failed\n");
+  Session session(platform, options);
+  if (!session.active()) {
+    std::fprintf(stderr, "cuttlefish session failed to start\n");
     return 1;
   }
 
-  while (!platform.workload_done()) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  {
+    Region region(session, "heat-solve");
+    while (!platform.workload_done()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    // Peek at the controller while the region is still open.
+    const core::Controller* ctl = session.controller();
+    std::printf("discovered TIPI ranges:\n");
+    for (const core::TipiNode* n = ctl->list().head(); n != nullptr;
+         n = n->next) {
+      std::printf(
+          "  %s  CFopt=%s  UFopt=%s  (%llu ticks)\n",
+          ctl->slabber().range_label(n->slab).c_str(),
+          n->cf.complete()
+              ? std::to_string(machine.core_ladder.at(n->cf.opt).value)
+                    .c_str()
+              : "-",
+          n->uf.complete()
+              ? std::to_string(machine.uncore_ladder.at(n->uf.opt).value)
+                    .c_str()
+              : "-",
+          static_cast<unsigned long long>(n->ticks));
+    }
+  }  // region exit: exploration state cached under "heat-solve"
+
+  std::printf("\ncached region profiles:\n");
+  for (const RegionProfileInfo& info : session.region_profiles()) {
+    std::printf("  %-12s %llu entries, %llu warm starts, %zu TIPI ranges "
+                "(%zu CFopt, %zu UFopt resolved)\n",
+                info.name.c_str(),
+                static_cast<unsigned long long>(info.entries),
+                static_cast<unsigned long long>(info.warm_starts),
+                info.nodes, info.cf_resolved, info.uf_resolved);
   }
 
-  const core::Controller* ctl = cuttlefish::session_controller();
-  std::printf("discovered TIPI ranges:\n");
-  for (const core::TipiNode* n = ctl->list().head(); n != nullptr;
-       n = n->next) {
-    std::printf("  %s  CFopt=%s  UFopt=%s  (%llu ticks)\n",
-                ctl->slabber().range_label(n->slab).c_str(),
-                n->cf.complete()
-                    ? std::to_string(machine.core_ladder.at(n->cf.opt).value)
-                          .c_str()
-                    : "-",
-                n->uf.complete()
-                    ? std::to_string(
-                          machine.uncore_ladder.at(n->uf.opt).value)
-                          .c_str()
-                    : "-",
-                static_cast<unsigned long long>(n->ticks));
-  }
   const auto snap = platform.snapshot();
-  cuttlefish::stop();
+  session.stop();
   platform.stop();
 
   std::printf("\n                 %10s %12s\n", "time (s)", "energy (J)");

@@ -8,7 +8,9 @@
 #include <cstdio>
 #include <thread>
 
-#include "core/api.hpp"
+#include "core/controller.hpp"
+#include "core/region.hpp"
+#include "core/session.hpp"
 #include "exp/calibrate.hpp"
 #include "exp/driver.hpp"
 #include "exp/realtime.hpp"
@@ -53,24 +55,27 @@ int main() {
   options.controller.tinv_s = 0.001;
   options.controller.warmup_s = 0.100;
   options.daemon_cpu = -1;
-  cuttlefish::start(platform, options);
-  while (!platform.workload_done()) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(10));
-  }
-  const core::Controller* ctl = cuttlefish::session_controller();
-  const core::TipiNode* n = ctl->list().head();
-  if (n != nullptr && n->cf.complete()) {
-    std::printf("\ncompute-bound MAP %s: CFopt %.1f GHz",
-                ctl->slabber().range_label(n->slab).c_str(),
-                machine.core_ladder.at(n->cf.opt).ghz());
-    if (n->uf.complete()) {
-      std::printf(", UFopt %.1f GHz",
-                  machine.uncore_ladder.at(n->uf.opt).ghz());
+  Session session(platform, options);
+  {
+    Region region(session, "uts-search");
+    while (!platform.workload_done()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
     }
-    std::printf("  (paper: 2.3 / 1.3)\n");
-  }
+    const core::Controller* ctl = session.controller();
+    const core::TipiNode* n = ctl->list().head();
+    if (n != nullptr && n->cf.complete()) {
+      std::printf("\ncompute-bound MAP %s: CFopt %.1f GHz",
+                  ctl->slabber().range_label(n->slab).c_str(),
+                  machine.core_ladder.at(n->cf.opt).ghz());
+      if (n->uf.complete()) {
+        std::printf(", UFopt %.1f GHz",
+                    machine.uncore_ladder.at(n->uf.opt).ghz());
+      }
+      std::printf("  (paper: 2.3 / 1.3)\n");
+    }
+  }  // "uts-search" profile cached; a rerun would warm-start from it
   const auto snap = platform.snapshot();
-  cuttlefish::stop();
+  session.stop();
   platform.stop();
   std::printf("energy: %.1f J vs Default %.1f J -> %.1f%% savings, "
               "%.1f%% slowdown\n",

@@ -1,212 +1,81 @@
 #include "core/api.hpp"
 
-#include <cstdlib>
 #include <memory>
 #include <mutex>
 
 #include "common/log.hpp"
-#include "core/daemon.hpp"
-#include "core/env_config.hpp"
-#include "exp/realtime.hpp"
-#include "hal/registry.hpp"
-#include "sim/machine_config.hpp"
+#include "core/session.hpp"
 
+/// The two-call compatibility shim: one process-default Session behind a
+/// mutex. All behaviour — backend auto-selection, degraded auto-start,
+/// already-active semantics — lives in Session; this file only manages
+/// the default instance's lifetime.
 namespace cuttlefish {
 namespace {
 
-struct Session {
-  std::unique_ptr<hal::PlatformInterface> owned_platform;
-  std::unique_ptr<core::Daemon> daemon;
-  std::string backend_name;
-};
-
 std::mutex g_mutex;
-std::unique_ptr<Session> g_session;
-
-/// RealtimeSimPlatform that drives its own advance thread for the
-/// platform's whole lifetime, so the registry can hand it out as an
-/// ordinary backend.
-class SelfDrivingSimPlatform final : public hal::PlatformInterface {
- public:
-  SelfDrivingSimPlatform(const sim::MachineConfig& cfg,
-                         const sim::PhaseProgram& program, double rate)
-      : inner_(cfg, program, rate) {
-    inner_.start();
-  }
-  ~SelfDrivingSimPlatform() override { inner_.stop(); }
-
-  hal::CapabilitySet capabilities() const override {
-    return inner_.capabilities();
-  }
-  const FreqLadder& core_ladder() const override {
-    return inner_.core_ladder();
-  }
-  const FreqLadder& uncore_ladder() const override {
-    return inner_.uncore_ladder();
-  }
-  void set_core_frequency(FreqMHz f) override {
-    inner_.set_core_frequency(f);
-  }
-  void set_uncore_frequency(FreqMHz f) override {
-    inner_.set_uncore_frequency(f);
-  }
-  FreqMHz core_frequency() const override { return inner_.core_frequency(); }
-  FreqMHz uncore_frequency() const override {
-    return inner_.uncore_frequency();
-  }
-  hal::SensorTotals read_sensors() override { return inner_.read_sensors(); }
-
- private:
-  exp::RealtimeSimPlatform inner_;
-};
-
-/// ~30 min of alternating compute-bound and memory-bound virtual phases —
-/// enough for interactive demos of the full discovery cycle.
-sim::PhaseProgram demo_program() {
-  sim::PhaseProgram program;
-  for (int i = 0; i < 1000; ++i) {
-    program.add(2e10, 1.0, 0.02);   // compute-bound stretch
-    program.add(2e10, 1.2, 0.25);   // memory-bound stretch
-  }
-  return program;
-}
-
-/// The "sim" backend: the paper's 20-core Haswell model coupled to wall
-/// clock. Negative priority keeps it out of auto-probing (it would
-/// happily "work" everywhere while burning a core on emulation); select
-/// it explicitly with CUTTLEFISH_BACKEND=sim or Options::backend.
-void register_sim_backend() {
-  static std::once_flag once;
-  std::call_once(once, [] {
-    hal::BackendFactory f;
-    f.name = "sim";
-    f.description =
-        "register-accurate 20-core Haswell emulation coupled to wall "
-        "clock; explicit selection only (demos, development hosts)";
-    f.priority = -10;
-    f.probe = [] {
-      hal::ProbeResult r;
-      r.available = true;
-      r.caps = hal::CapabilitySet::all();
-      r.detail = "always available";
-      return r;
-    };
-    f.create = []() -> std::unique_ptr<hal::PlatformInterface> {
-      return std::make_unique<SelfDrivingSimPlatform>(
-          sim::haswell_2650v3(), demo_program(), /*rate=*/1.0);
-    };
-    hal::BackendRegistry::instance().add(std::move(f));
-  });
-}
-
-bool start_locked(hal::PlatformInterface& platform, const Options& options,
-                  std::unique_ptr<hal::PlatformInterface> owned,
-                  std::string backend_name) {
-  if (g_session) {
-    CF_LOG_WARN("cuttlefish::start(): session already active");
-    return false;
-  }
-  auto session = std::make_unique<Session>();
-  session->owned_platform = std::move(owned);
-  session->backend_name = std::move(backend_name);
-  // Environment overrides (CUTTLEFISH_POLICY, CUTTLEFISH_TINV_MS, ...)
-  // win over compiled-in options, mirroring the paper's build-time policy
-  // flags without a rebuild.
-  const core::ControllerConfig cfg =
-      core::apply_env_overrides(options.controller);
-  session->daemon =
-      std::make_unique<core::Daemon>(platform, cfg, options.daemon_cpu);
-  session->daemon->start();
-  g_session = std::move(session);
-  return true;
-}
+std::unique_ptr<Session> g_default;
 
 }  // namespace
 
-std::vector<BackendStatus> list_backends() {
-  register_sim_backend();
-  std::vector<BackendStatus> out;
-  std::string auto_name;
-  // One probe pass: factories() is priority-sorted, so the first
-  // available non-negative-priority row is what select("") would build.
-  for (const hal::BackendFactory& factory :
-       hal::BackendRegistry::instance().factories()) {
-    const hal::ProbeResult probe = factory.probe();
-    if (auto_name.empty() && factory.priority >= 0 && probe.available) {
-      auto_name = factory.name;
-    }
-    BackendStatus status;
-    status.name = factory.name;
-    status.description = factory.description;
-    status.priority = factory.priority;
-    status.available = probe.available;
-    status.capabilities =
-        probe.available ? probe.caps.to_string() : std::string("-");
-    status.detail = probe.detail;
-    out.push_back(std::move(status));
-  }
-  for (BackendStatus& status : out) {
-    status.auto_selected = status.name == auto_name;
-  }
-  return out;
-}
-
 bool start(hal::PlatformInterface& platform, const Options& options) {
   std::lock_guard<std::mutex> lock(g_mutex);
-  return start_locked(platform, options, nullptr, "explicit");
+  if (g_default != nullptr && g_default->active()) {
+    CF_LOG_WARN("cuttlefish::start(): session already active");
+    return false;
+  }
+  g_default = std::make_unique<Session>(platform, options);
+  return true;
 }
 
 bool start(const Options& options) {
   std::lock_guard<std::mutex> lock(g_mutex);
-  if (g_session) {
+  if (g_default != nullptr && g_default->active()) {
     CF_LOG_WARN("cuttlefish::start(): session already active");
     return false;
   }
-  register_sim_backend();
-  std::string forced = options.backend;
-  if (const char* env = std::getenv("CUTTLEFISH_BACKEND");
-      env != nullptr && *env != '\0') {
-    forced = env;
-  }
-  hal::BackendRegistry::Selection selection =
-      hal::BackendRegistry::instance().select(forced);
-  if (selection.platform == nullptr) {
-    CF_LOG_WARN("cuttlefish::start(): no backend could be constructed");
-    return false;
-  }
-  const hal::CapabilitySet caps = selection.platform->capabilities();
-  if (caps.empty()) {
-    CF_LOG_WARN(
-        "cuttlefish::start(): no usable sensors or actuators found "
-        "(backend '%s'); running a degraded session that controls nothing",
-        selection.name.c_str());
-  }
-  hal::PlatformInterface& ref = *selection.platform;
-  return start_locked(ref, options, std::move(selection.platform),
-                      selection.name);
+  auto session = std::make_unique<Session>(options);
+  // A probing Session goes inactive only when no backend could be
+  // constructed at all (unreachable while "none" is registered, but the
+  // shim stays defensive like the registry).
+  if (!session->active()) return false;
+  g_default = std::move(session);
+  return true;
 }
 
 void stop() {
   std::lock_guard<std::mutex> lock(g_mutex);
-  if (!g_session) return;
-  g_session->daemon->stop();
-  g_session.reset();
+  if (g_default == nullptr) return;
+  g_default->stop();
+  g_default.reset();
 }
 
 bool active() {
   std::lock_guard<std::mutex> lock(g_mutex);
-  return g_session != nullptr;
+  return g_default != nullptr && g_default->active();
 }
 
 const core::Controller* session_controller() {
   std::lock_guard<std::mutex> lock(g_mutex);
-  if (!g_session) return nullptr;
-  return &g_session->daemon->controller();
+  return g_default != nullptr ? g_default->controller() : nullptr;
 }
 
 std::string session_backend() {
   std::lock_guard<std::mutex> lock(g_mutex);
-  return g_session ? g_session->backend_name : std::string();
+  return g_default != nullptr ? g_default->backend() : std::string();
 }
 
+namespace detail {
+
+bool default_enter_region(const std::string& name) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return g_default != nullptr && g_default->enter_region(name);
+}
+
+void default_exit_region(const std::string& name) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_default != nullptr) g_default->exit_region(name);
+}
+
+}  // namespace detail
 }  // namespace cuttlefish

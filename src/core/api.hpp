@@ -3,55 +3,43 @@
 #include <string>
 #include <vector>
 
-#include "core/controller.hpp"
-#include "hal/platform.hpp"
+#include "core/session.hpp"
 
 /// The two-call public API of the paper (§1): bracket the region of the
 /// application that should run energy-efficiently with
 /// cuttlefish::start() / cuttlefish::stop(). Everything else — backend
 /// probing, the daemon thread, TIPI discovery, DVFS/UFS exploration — is
 /// internal.
+///
+/// These free functions are a thin compatibility shim over one
+/// process-default cuttlefish::Session (core/session.hpp): start()
+/// constructs it, stop() destroys it, and the queries forward to it.
+/// Programs that need more than one stack — multiple tenants, explicit
+/// lifetimes, virtual-time driving, per-kernel region profiles — hold
+/// Session objects directly; the two-call form keeps working unchanged
+/// on top.
 namespace cuttlefish {
 
-/// Knobs a user may override; defaults are the paper's configuration.
-struct Options {
-  core::ControllerConfig controller;
-  /// CPU the daemon thread is pinned to (-1: unpinned).
-  int daemon_cpu = 0;
-  /// Backend for the no-platform start(): a registry name ("msr",
-  /// "powercap", "sim", "none"); empty auto-probes best-first. The
-  /// CUTTLEFISH_BACKEND environment variable overrides this field, like
-  /// every other CUTTLEFISH_* knob wins over compiled-in options.
-  std::string backend;
-};
-
-/// One row of the pluggable-backend listing (`cuttlefishctl backends`).
-struct BackendStatus {
-  std::string name;
-  std::string description;
-  int priority = 0;          // probe order; negative = explicit-only
-  bool available = false;
-  std::string capabilities;  // e.g. "energy+core-dvfs", "none"
-  std::string detail;        // probe diagnostics
-  bool auto_selected = false;  // what start() would pick right now
-};
-
 /// Probe every registered backend (without constructing any platform).
+/// One shared registry probe pass also decides auto-selection, so the
+/// auto_selected row here is exactly the stack a no-platform start()
+/// would build.
 std::vector<BackendStatus> list_backends();
 
-/// Start the Cuttlefish daemon against an explicit platform (the form
+/// Start the default session against an explicit platform (the form
 /// examples and tests use; works with sim::SimPlatform or any backend the
 /// caller constructed). Returns false if a session is already active.
 bool start(hal::PlatformInterface& platform, const Options& options = {});
 
-/// Start against the best available backend stack. The registry probes in
-/// priority order — msr, then powercap/cpufreq, then the warn-and-degrade
-/// "none" fallback — and the controller narrows its policy to the
-/// selected backend's capabilities (core-only without uncore control,
-/// single-slab without TOR counters, monitor-only without JPI sensors).
-/// Returns false only when a session is already active: on hosts with no
-/// usable hardware access the session still starts, degraded to an inert
-/// monitor, exactly like the paper's library being compiled out.
+/// Start the default session against the best available backend stack.
+/// The registry probes in priority order — msr, then powercap/cpufreq,
+/// then the warn-and-degrade "none" fallback — and the controller narrows
+/// its policy to the selected backend's capabilities (core-only without
+/// uncore control, single-slab without TOR counters, monitor-only without
+/// JPI sensors). Returns false only when a session is already active: on
+/// hosts with no usable hardware access the session still starts,
+/// degraded to an inert monitor, exactly like the paper's library being
+/// compiled out.
 bool start(const Options& options = {});
 
 /// Stop the daemon and restore maximum frequencies. Safe to call without
@@ -61,12 +49,20 @@ void stop();
 /// True between a successful start() and the matching stop().
 bool active();
 
-/// The running session's controller (nullptr when inactive); exposed for
-/// introspection (examples print discovered TIPI ranges and optima).
+/// The running default session's controller (nullptr when inactive);
+/// exposed for introspection (examples print discovered TIPI ranges and
+/// optima).
 const core::Controller* session_controller();
 
-/// Registry name of the backend driving the active session ("explicit"
-/// when the caller supplied the platform; "" when inactive).
+/// Registry name of the backend driving the active default session
+/// ("explicit" when the caller supplied the platform; "" when inactive).
 std::string session_backend();
+
+namespace detail {
+/// Region(name) plumbing against the default session; both are no-ops
+/// (enter returns false) when no default session is active.
+bool default_enter_region(const std::string& name);
+void default_exit_region(const std::string& name);
+}  // namespace detail
 
 }  // namespace cuttlefish

@@ -1,0 +1,40 @@
+#pragma once
+
+#include "common/tipi.hpp"
+
+/// Controller configuration, split from core/controller.hpp so the
+/// user-facing headers (core/api.hpp, core/session.hpp) can carry an
+/// Options value without dragging in the controller's internal machinery
+/// (TIPI list, explorer, HAL platform).
+namespace cuttlefish::core {
+
+/// Which frequency domains the controller adapts (paper §5): the full
+/// library adapts both; the -Core and -Uncore build variants pin the other
+/// domain at its maximum. kMonitor profiles TIPI/JPI without exploring or
+/// actuating — the terminal degradation when the backend lacks the
+/// sensors or actuators a policy needs (it can also be requested
+/// explicitly for pure profiling sessions).
+enum class PolicyKind { kFull, kCoreOnly, kUncoreOnly, kMonitor };
+
+const char* to_string(PolicyKind kind);
+
+struct ControllerConfig {
+  PolicyKind policy = PolicyKind::kFull;
+  /// Profiling interval. 20 ms is the paper's default (Table 3 sweeps
+  /// 10/20/40/60 ms).
+  double tinv_s = 0.020;
+  /// Cold-cache warm-up before the daemon loop engages (§4.1).
+  double warmup_s = 2.0;
+  /// Readings averaged per frequency before a JPI "exists" (§4.3).
+  int jpi_samples = 10;
+  /// TIPI quantisation slab width (§3.2).
+  double tipi_slab_width = TipiSlabber::kPaperSlabWidth;
+  /// Exploration stride in ladder levels ("steps of two", §4.3).
+  int explore_step = 2;
+  /// §4.4 neighbour narrowing at window initialisation (ablatable).
+  bool insertion_narrowing = true;
+  /// §4.5 revalidation propagation (ablatable).
+  bool revalidation = true;
+};
+
+}  // namespace cuttlefish::core

@@ -100,6 +100,68 @@ void Controller::apply_capabilities() {
   }
 }
 
+ControllerSnapshot Controller::snapshot() const {
+  ControllerSnapshot snap;
+  snap.slab_width = cfg_.tipi_slab_width;
+  snap.cf_levels = cf_ladder_.levels();
+  snap.uf_levels = uf_ladder_.levels();
+  snap.jpi_samples = cfg_.jpi_samples;
+  snap.nodes.reserve(list_.size());
+  for (const TipiNode* node = list_.head(); node != nullptr;
+       node = node->next) {
+    NodeSnapshot ns;
+    ns.slab = node->slab;
+    ns.ticks = node->ticks;
+    ns.cf = capture_domain(node->cf);
+    ns.uf = capture_domain(node->uf);
+    snap.nodes.push_back(std::move(ns));
+  }
+  return snap;
+}
+
+bool Controller::restore(const ControllerSnapshot& snap) {
+  const bool shape_ok = snap.slab_width == cfg_.tipi_slab_width &&
+                        snap.cf_levels == cf_ladder_.levels() &&
+                        snap.uf_levels == uf_ladder_.levels() &&
+                        snap.jpi_samples == cfg_.jpi_samples;
+  if (!shape_ok) {
+    CF_LOG_WARN(
+        "controller: snapshot shape mismatch (slab width %g vs %g, "
+        "ladders %dx%d vs %dx%d, jpi %d vs %d); starting cold",
+        snap.slab_width, cfg_.tipi_slab_width, snap.cf_levels,
+        snap.uf_levels, cf_ladder_.levels(), uf_ladder_.levels(),
+        snap.jpi_samples, cfg_.jpi_samples);
+    reset_exploration();
+    return false;
+  }
+  list_.clear();
+  for (const NodeSnapshot& ns : snap.nodes) {
+    TipiNode* node = list_.insert(ns.slab);
+    node->ticks = ns.ticks;
+    restore_domain(node->cf, ns.cf, cfg_.jpi_samples);
+    restore_domain(node->uf, ns.uf, cfg_.jpi_samples);
+  }
+  // The first tick after a region switch spans the boundary; a null
+  // prev_node_ makes it a transition, so its JPI sample is discarded like
+  // any other TIPI-range change (Algorithm 2 line 6).
+  prev_node_ = nullptr;
+  last_ = platform_->read_sensors();
+  return true;
+}
+
+void Controller::reset_exploration() {
+  list_.clear();
+  prev_node_ = nullptr;
+  last_ = platform_->read_sensors();
+}
+
+void Controller::record_region_event(TraceEvent event, int64_t region_id,
+                                     uint32_t payload) {
+  if (trace_ == nullptr) return;
+  trace_->record({stats_.ticks, event, region_id, Domain::kCore, kNoLevel,
+                  kNoLevel, kNoLevel, payload});
+}
+
 void Controller::begin() {
   // Make any construction-time capability degradation auditable before
   // the first decision lands in the trace.

@@ -5,42 +5,15 @@
 
 #include "common/frequency.hpp"
 #include "common/tipi.hpp"
+#include "core/config.hpp"
 #include "core/explorer.hpp"
 #include "core/narrowing.hpp"
+#include "core/snapshot.hpp"
 #include "core/tipi_list.hpp"
 #include "core/trace.hpp"
 #include "hal/platform.hpp"
 
 namespace cuttlefish::core {
-
-/// Which frequency domains the controller adapts (paper §5): the full
-/// library adapts both; the -Core and -Uncore build variants pin the other
-/// domain at its maximum. kMonitor profiles TIPI/JPI without exploring or
-/// actuating — the terminal degradation when the backend lacks the
-/// sensors or actuators a policy needs (it can also be requested
-/// explicitly for pure profiling sessions).
-enum class PolicyKind { kFull, kCoreOnly, kUncoreOnly, kMonitor };
-
-const char* to_string(PolicyKind kind);
-
-struct ControllerConfig {
-  PolicyKind policy = PolicyKind::kFull;
-  /// Profiling interval. 20 ms is the paper's default (Table 3 sweeps
-  /// 10/20/40/60 ms).
-  double tinv_s = 0.020;
-  /// Cold-cache warm-up before the daemon loop engages (§4.1).
-  double warmup_s = 2.0;
-  /// Readings averaged per frequency before a JPI "exists" (§4.3).
-  int jpi_samples = 10;
-  /// TIPI quantisation slab width (§3.2).
-  double tipi_slab_width = TipiSlabber::kPaperSlabWidth;
-  /// Exploration stride in ladder levels ("steps of two", §4.3).
-  int explore_step = 2;
-  /// §4.4 neighbour narrowing at window initialisation (ablatable).
-  bool insertion_narrowing = true;
-  /// §4.5 revalidation propagation (ablatable).
-  bool revalidation = true;
-};
 
 struct ControllerStats {
   uint64_t ticks = 0;
@@ -92,6 +65,34 @@ class Controller {
   /// True when effective_policy() differs from the request or a sensor
   /// loss (e.g. TOR -> single-slab TIPI) was recorded.
   bool degraded() const { return !degradations_.empty(); }
+
+  /// Capture the exploration state — TIPI slab layout, per-node windows
+  /// and optima, JPI tables — as plain data. This is what a named region
+  /// saves on exit; replaying it through restore() on re-entry skips the
+  /// warm-up re-exploration (the recurring-kernel amortisation the paper
+  /// targets).
+  ControllerSnapshot snapshot() const;
+
+  /// Replace the exploration state with a previously captured snapshot
+  /// and re-baseline the sensors, so the next tick continues exactly
+  /// where the snapshot left off (completed nodes go straight to their
+  /// optima; partially explored windows resume). Returns false — and
+  /// resets to a cold state instead — when the snapshot's shape (ladder
+  /// sizes, slab width, JPI quota) does not match this controller.
+  bool restore(const ControllerSnapshot& snap);
+
+  /// Drop all exploration state (cold region entry): empty TIPI list,
+  /// sensors re-baselined. Frequencies are left as-is — the next tick
+  /// decides them, discarding the boundary-spanning sample like any
+  /// other TIPI transition.
+  void reset_exploration();
+
+  /// Append a region lifecycle record (enter/exit/warm-start) to the
+  /// attached trace. `region_id` is the session-assigned id of the named
+  /// region (TraceRecord::slab carries it); `payload` is event-specific
+  /// (node count restored by a warm start).
+  void record_region_event(TraceEvent event, int64_t region_id,
+                           uint32_t payload = 0);
 
   /// Optional per-tick capture (Fig. 2 timelines, tests). Not owned.
   void set_telemetry(std::vector<TickTelemetry>* sink) { telemetry_ = sink; }

@@ -21,6 +21,10 @@ Daemon::~Daemon() { stop(); }
 void Daemon::start() {
   if (running_.load()) return;
   shutdown_.store(false);
+  {
+    std::lock_guard<std::mutex> lock(cmd_mutex_);
+    accepting_ = true;
+  }
   running_.store(true);
   thread_ = std::thread([this] { loop(); });
 }
@@ -30,6 +34,31 @@ void Daemon::stop() {
   shutdown_.store(true);
   if (thread_.joinable()) thread_.join();
   running_.store(false);
+}
+
+void Daemon::drain_command() {
+  if (!cmd_pending_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(cmd_mutex_);
+  if (cmd_ != nullptr) {
+    (*cmd_)(controller_);
+    cmd_ = nullptr;
+  }
+  cmd_pending_.store(false, std::memory_order_release);
+  cmd_cv_.notify_all();
+}
+
+void Daemon::run_on_controller(const std::function<void(Controller&)>& fn) {
+  std::lock_guard<std::mutex> serial(submit_mutex_);
+  std::unique_lock<std::mutex> lock(cmd_mutex_);
+  if (!accepting_) {
+    // Thread not running (or past its final drain): the controller is
+    // quiescent, so the closure is safe to run right here.
+    fn(controller_);
+    return;
+  }
+  cmd_ = &fn;
+  cmd_pending_.store(true, std::memory_order_release);
+  cmd_cv_.wait(lock, [this] { return cmd_ == nullptr; });
 }
 
 void Daemon::loop() {
@@ -45,19 +74,36 @@ void Daemon::loop() {
   const auto tinv =
       std::chrono::duration<double>(tinv_s_);
   // §4.1: sleep through the cold-cache warm-up, in Tinv slices so stop()
-  // stays responsive.
+  // stays responsive. Region commands issued during warm-up (a region
+  // entered right after start()) are drained here too.
   const auto warmup_end = std::chrono::steady_clock::now() +
                           std::chrono::duration_cast<std::chrono::nanoseconds>(
                               std::chrono::duration<double>(warmup_s_));
   while (!shutdown_.load() && std::chrono::steady_clock::now() < warmup_end) {
     std::this_thread::sleep_for(tinv);
+    drain_command();
   }
 
   controller_.begin();
   while (!shutdown_.load()) {
     std::this_thread::sleep_for(tinv);
     controller_.tick();
+    drain_command();
   }
+
+  // Final drain, then refuse further commands: a submitter that checked
+  // accepting_ before this point is answered here; one that checks after
+  // runs its closure directly against the now-quiescent controller.
+  {
+    std::lock_guard<std::mutex> lock(cmd_mutex_);
+    if (cmd_ != nullptr) {
+      (*cmd_)(controller_);
+      cmd_ = nullptr;
+    }
+    cmd_pending_.store(false, std::memory_order_release);
+    accepting_ = false;
+  }
+  cmd_cv_.notify_all();
 }
 
 }  // namespace cuttlefish::core

@@ -1,6 +1,9 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
 #include <thread>
 
 #include "core/controller.hpp"
@@ -8,13 +11,20 @@
 namespace cuttlefish::core {
 
 /// Wall-clock wrapper around the tick engine: the paper's daemon thread.
-/// Spawned by cuttlefish::start(), it pins every actuatable domain to
+/// Spawned by a cuttlefish::Session, it pins every actuatable domain to
 /// max (capability-degraded backends may have none), sleeps through the
 /// two-second warm-up, then runs the Algorithm-1 loop every Tinv until
-/// cuttlefish::stop().
+/// the session stops.
 ///
 /// The thread is pinned to one core (the paper pins it to a fixed CPU so
 /// its own activity perturbs at most one worker).
+///
+/// Region transitions re-arm the running controller without thread
+/// teardown: run_on_controller() hands a closure to the daemon thread,
+/// which executes it between ticks (the controller itself stays
+/// single-threaded). The call blocks until the closure ran — at most one
+/// Tinv away — so region enter/exit have happened-before semantics for
+/// the caller.
 class Daemon {
  public:
   Daemon(hal::PlatformInterface& platform, ControllerConfig cfg,
@@ -30,8 +40,16 @@ class Daemon {
 
   const Controller& controller() const { return controller_; }
 
+  /// Execute `fn` on the controller from the daemon thread, between two
+  /// ticks; blocks until done. When the daemon thread is not running
+  /// (never started, or already past its final drain) the closure runs
+  /// directly on the calling thread — the controller is quiescent then.
+  /// Commands are serialised; callers never run concurrently.
+  void run_on_controller(const std::function<void(Controller&)>& fn);
+
  private:
   void loop();
+  void drain_command();
 
   Controller controller_;
   double tinv_s_;
@@ -40,6 +58,18 @@ class Daemon {
   std::thread thread_;
   std::atomic<bool> shutdown_{false};
   std::atomic<bool> running_{false};
+
+  /// One command in flight at a time; submit_mutex_ serialises callers,
+  /// cmd_mutex_ + cmd_cv_ handshake with the daemon thread.
+  std::mutex submit_mutex_;
+  std::mutex cmd_mutex_;
+  std::condition_variable cmd_cv_;
+  const std::function<void(Controller&)>* cmd_ = nullptr;
+  std::atomic<bool> cmd_pending_{false};
+  /// True while the daemon thread will still reach a drain point; flipped
+  /// under cmd_mutex_ at the loop's final drain so a late submitter can
+  /// safely fall back to direct execution.
+  bool accepting_ = false;
 };
 
 }  // namespace cuttlefish::core

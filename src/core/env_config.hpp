@@ -3,7 +3,7 @@
 #include <optional>
 #include <string>
 
-#include "core/controller.hpp"
+#include "core/config.hpp"
 
 namespace cuttlefish::core {
 

@@ -4,6 +4,39 @@
 
 namespace cuttlefish::core {
 
+DomainSnapshot capture_domain(const DomainState& state) {
+  DomainSnapshot snap;
+  snap.lb = state.lb;
+  snap.rb = state.rb;
+  snap.opt = state.opt;
+  snap.window_set = state.window_set;
+  if (state.jpi != nullptr) {
+    const int levels = state.jpi->levels();
+    snap.jpi.reserve(static_cast<size_t>(levels));
+    for (Level level = 0; level < levels; ++level) {
+      snap.jpi.emplace_back(state.jpi->sum(level), state.jpi->count(level));
+    }
+  }
+  return snap;
+}
+
+void restore_domain(DomainState& state, const DomainSnapshot& snap,
+                    int jpi_samples) {
+  state.lb = snap.lb;
+  state.rb = snap.rb;
+  state.opt = snap.opt;
+  state.window_set = snap.window_set;
+  state.jpi.reset();
+  if (!snap.jpi.empty()) {
+    state.jpi = std::make_unique<JpiTable>(
+        static_cast<int>(snap.jpi.size()), jpi_samples);
+    for (size_t i = 0; i < snap.jpi.size(); ++i) {
+      state.jpi->restore_cell(static_cast<Level>(i), snap.jpi[i].first,
+                              snap.jpi[i].second);
+    }
+  }
+}
+
 FrequencyExplorer::FrequencyExplorer(const FreqLadder& ladder,
                                      int step_levels)
     : ladder_(ladder), step_(step_levels) {

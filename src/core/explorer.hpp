@@ -1,9 +1,20 @@
 #pragma once
 
 #include "common/frequency.hpp"
+#include "core/snapshot.hpp"
 #include "core/tipi_list.hpp"
 
 namespace cuttlefish::core {
+
+/// Capture one domain's exploration state — window bounds, optimum and
+/// the JPI table cells — as plain data (region warm-start snapshots).
+DomainSnapshot capture_domain(const DomainState& state);
+
+/// Rebuild a DomainState from a snapshot. A snapshot with JPI cells
+/// recreates the table (cells beyond the snapshot's length stay empty);
+/// `jpi_samples` is the completeness quota of the rebuilt table.
+void restore_domain(DomainState& state, const DomainSnapshot& snap,
+                    int jpi_samples);
 
 /// Outcome of one exploration step; the bound-movement flags feed the
 /// §4.5 revalidation propagation.

@@ -15,6 +15,12 @@ void JpiAccumulator::reset() {
   count_ = 0;
 }
 
+void JpiAccumulator::restore(double sum, int count) {
+  CF_ASSERT(count >= 0 && sum >= 0.0, "invalid accumulator snapshot");
+  sum_ = sum;
+  count_ = count;
+}
+
 double JpiAccumulator::average() const {
   CF_ASSERT(count_ > 0, "average of empty accumulator");
   return sum_ / count_;
@@ -41,9 +47,19 @@ double JpiTable::average(Level level) const {
   return cells_[static_cast<size_t>(level)].average();
 }
 
+void JpiTable::restore_cell(Level level, double sum, int count) {
+  CF_ASSERT(level >= 0 && level < levels(), "level out of table range");
+  cells_[static_cast<size_t>(level)].restore(sum, count);
+}
+
 int JpiTable::count(Level level) const {
   CF_ASSERT(level >= 0 && level < levels(), "level out of table range");
   return cells_[static_cast<size_t>(level)].count();
+}
+
+double JpiTable::sum(Level level) const {
+  CF_ASSERT(level >= 0 && level < levels(), "level out of table range");
+  return cells_[static_cast<size_t>(level)].sum();
 }
 
 }  // namespace cuttlefish::core

@@ -14,6 +14,9 @@ class JpiAccumulator {
  public:
   void add(double jpi);
   void reset();
+  /// Reinstate a previously captured (sum, count) pair — region
+  /// warm-start snapshots resume half-filled accumulators exactly.
+  void restore(double sum, int count);
 
   int count() const { return count_; }
   double sum() const { return sum_; }
@@ -31,10 +34,13 @@ class JpiTable {
   JpiTable(int levels, int samples_needed);
 
   void add(Level level, double jpi);
+  /// Overwrite one cell with captured contents (snapshot restore).
+  void restore_cell(Level level, double sum, int count);
   /// True once `level` has a complete (>= samples_needed) average.
   bool complete(Level level) const;
   double average(Level level) const;
   int count(Level level) const;
+  double sum(Level level) const;
   int samples_needed() const { return samples_needed_; }
   int levels() const { return static_cast<int>(cells_.size()); }
 

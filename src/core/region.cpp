@@ -1,0 +1,34 @@
+#include "core/region.hpp"
+
+#include "core/api.hpp"
+#include "core/session.hpp"
+
+namespace cuttlefish {
+
+Region::Region(std::string name)
+    : session_(nullptr),
+      name_(std::move(name)),
+      entered_(detail::default_enter_region(name_)) {}
+
+Region::Region(Session& session, std::string name)
+    : session_(&session),
+      name_(std::move(name)),
+      entered_(session.enter_region(name_)) {}
+
+Region::~Region() {
+  if (!entered_) return;
+  if (session_ != nullptr) {
+    session_->exit_region(name_);
+  } else {
+    detail::default_exit_region(name_);
+  }
+}
+
+Region::Region(Region&& other) noexcept
+    : session_(other.session_),
+      name_(std::move(other.name_)),
+      entered_(other.entered_) {
+  other.entered_ = false;
+}
+
+}  // namespace cuttlefish

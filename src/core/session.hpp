@@ -1,0 +1,177 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+
+/// First-class sessions. A cuttlefish::Session is an owning handle over
+/// one platform + daemon + controller stack — the object the paper's
+/// process-wide start()/stop() pair (core/api.hpp) is now a thin shim
+/// over. Sessions make the library embeddable: a runtime can hold one per
+/// tenant, construct it from an explicit platform, drive it in virtual
+/// time (manual_tick), and — through named regions (core/region.hpp) —
+/// tell the controller that "this is the CG solve again" so the second
+/// entry warm-starts at the optima the first entry discovered instead of
+/// re-exploring.
+namespace cuttlefish {
+
+namespace core {
+class Controller;
+class DecisionTrace;
+struct TickTelemetry;
+}  // namespace core
+
+namespace hal {
+class PlatformInterface;
+}  // namespace hal
+
+/// Knobs a user may override; defaults are the paper's configuration.
+struct Options {
+  core::ControllerConfig controller;
+  /// CPU the daemon thread is pinned to (-1: unpinned). Values at or
+  /// beyond std::thread::hardware_concurrency() warn and fall back to
+  /// unpinned instead of silently failing the affinity call.
+  int daemon_cpu = 0;
+  /// Backend for the backend-probing constructor: a registry name
+  /// ("msr", "powercap", "sim", "none"); empty auto-probes best-first.
+  /// The CUTTLEFISH_BACKEND environment variable overrides this field,
+  /// like every other CUTTLEFISH_* knob wins over compiled-in options.
+  std::string backend;
+  /// Optional decision log attached to the controller before the first
+  /// tick (region lifecycle events land here too). Not owned; must
+  /// outlive the session. Null disables tracing at zero cost.
+  core::DecisionTrace* trace = nullptr;
+  /// Optional per-tick telemetry sink (Fig. 2 timelines, warm-start
+  /// tests). Same ownership rules as `trace`. With a daemon session the
+  /// sink is written from the daemon thread; read it only after stop()
+  /// or from code ordered against the daemon (e.g. a region exit).
+  std::vector<core::TickTelemetry>* telemetry = nullptr;
+  /// Embedded mode: no daemon thread is spawned; the host runtime calls
+  /// Session::tick() once per Tinv interval itself (the first call
+  /// baselines the sensors, like the daemon's begin()). This is how
+  /// virtual-time co-simulation drives a session deterministically, and
+  /// how a runtime with its own scheduler loop embeds the library
+  /// without donating a thread.
+  bool manual_tick = false;
+};
+
+/// One row of the pluggable-backend listing (`cuttlefishctl backends`).
+/// Produced from the registry's single shared probe pass, so the
+/// auto_selected row is exactly the stack a probing Session would build.
+struct BackendStatus {
+  std::string name;
+  std::string description;
+  int priority = 0;          // probe order; negative = explicit-only
+  bool available = false;
+  std::string capabilities;  // e.g. "energy+core-dvfs", "none"
+  std::string detail;        // probe diagnostics
+  bool auto_selected = false;  // what a probing Session would pick now
+};
+
+/// Summary of one cached region profile (`cuttlefishctl regions`).
+struct RegionProfileInfo {
+  std::string name;
+  uint64_t entries = 0;      // times the region was entered
+  uint64_t warm_starts = 0;  // entries that replayed a cached snapshot
+  size_t nodes = 0;          // TIPI ranges in the cached snapshot
+  size_t cf_resolved = 0;    // nodes with a discovered CFopt
+  size_t uf_resolved = 0;    // nodes with a discovered UFopt
+};
+
+class Session {
+ public:
+  /// Inactive handle (no platform, no daemon); every query is a no-op.
+  Session() noexcept;
+
+  /// Start against the best available backend stack. The registry probes
+  /// in priority order — msr, then powercap/cpufreq, then the
+  /// warn-and-degrade "none" fallback — and the controller narrows its
+  /// policy to the selected backend's capabilities. On hosts with no
+  /// usable hardware access the session still starts, degraded to an
+  /// inert monitor, exactly like the paper's library being compiled out;
+  /// active() is false only if no backend could be constructed at all.
+  explicit Session(const Options& options);
+
+  /// Start against an explicit platform (the form examples and tests
+  /// use; works with sim::SimPlatform or any backend the caller
+  /// constructed). The platform is not owned and must outlive the
+  /// session.
+  explicit Session(hal::PlatformInterface& platform,
+                   const Options& options = {});
+
+  /// Stops the daemon (restoring maximum frequencies) if still active.
+  ~Session();
+
+  Session(Session&& other) noexcept;
+  Session& operator=(Session&& other) noexcept;
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// True between construction and stop() for a session that got a
+  /// platform.
+  bool active() const;
+
+  /// Stop the daemon and restore maximum frequencies. Open regions are
+  /// snapshotted into their profiles first (an interrupted kernel still
+  /// warm-starts next time). Idempotent; profiles remain readable and
+  /// save_profiles() still works afterwards.
+  void stop();
+
+  /// Registry name of the backend driving this session ("explicit" when
+  /// the caller supplied the platform; "" when inactive).
+  std::string backend() const;
+
+  /// The session's controller (nullptr when inactive); exposed for
+  /// introspection (examples print discovered TIPI ranges and optima).
+  const core::Controller* controller() const;
+
+  /// True when the controller narrowed its policy below the request or
+  /// recorded a sensor loss (see Controller::degraded()).
+  bool degraded() const;
+
+  /// Manual mode only (Options::manual_tick): run one controller
+  /// interval. The first call baselines the sensors (the daemon's
+  /// begin()); each later call is one Algorithm-1 tick. No-op on daemon
+  /// sessions and inactive handles.
+  void tick();
+
+  /// Enter the named region: the current exploration state is suspended,
+  /// and the region's cached profile — if it has one — is replayed into
+  /// the controller (warm start; otherwise the region starts cold).
+  /// Returns false (no-op) when the session is inactive, like the
+  /// paper's compiled-out library. Regions nest; each name keeps one
+  /// profile, refreshed at every exit. Prefer the RAII cuttlefish::Region
+  /// over calling this directly.
+  bool enter_region(const std::string& name);
+
+  /// Exit the named region (must be the innermost open one; mismatches
+  /// warn and no-op): its state is snapshotted into the profile cache
+  /// and the suspended enclosing state is resumed.
+  void exit_region(const std::string& name);
+
+  /// Number of currently open regions.
+  size_t region_depth() const;
+
+  /// Summaries of the cached profiles (exited regions).
+  std::vector<RegionProfileInfo> region_profiles() const;
+
+  /// Export the cached region profiles as JSON so discovered optima
+  /// survive process restarts (see docs/REGIONS.md for the format).
+  /// Returns false when the file cannot be written.
+  bool save_profiles(const std::string& path) const;
+
+  /// Import profiles previously written by save_profiles(). Snapshots
+  /// whose shape (ladder sizes, slab width, JPI quota) does not match
+  /// this session are skipped with a warning — profiles are
+  /// machine-specific. Returns false on I/O or parse errors.
+  bool load_profiles(const std::string& path);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace cuttlefish

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/frequency.hpp"
+
+/// Value-type snapshots of the controller's exploration state. A snapshot
+/// is what a named region caches on exit and replays on re-entry so the
+/// second execution of a recurring kernel warm-starts at the optima the
+/// first execution discovered instead of re-exploring (the amortisation
+/// argument of the paper's §6 iterative workloads). Snapshots are plain
+/// data — no pointers into the live TIPI list — so they can also round-trip
+/// through the Session's profile JSON and survive process restarts.
+namespace cuttlefish::core {
+
+/// One JPI accumulator cell: (sum of readings, reading count).
+using JpiCell = std::pair<double, int>;
+
+/// Captured DomainState of one TIPI node (exploration window, optimum and
+/// the per-level JPI table contents).
+struct DomainSnapshot {
+  Level lb = kNoLevel;
+  Level rb = kNoLevel;
+  Level opt = kNoLevel;
+  bool window_set = false;
+  /// One cell per ladder level; empty when the node had no JPI table.
+  std::vector<JpiCell> jpi;
+
+  bool operator==(const DomainSnapshot&) const = default;
+};
+
+/// Captured state of one TIPI-range node.
+struct NodeSnapshot {
+  int64_t slab = 0;
+  uint64_t ticks = 0;
+  DomainSnapshot cf;
+  DomainSnapshot uf;
+
+  bool operator==(const NodeSnapshot&) const = default;
+};
+
+/// Captured exploration state of a whole controller: the TIPI slab layout
+/// plus the shape facts a snapshot is only valid against (ladder sizes,
+/// slab width, JPI sample quota). restore() rejects a snapshot whose shape
+/// does not match the live controller — profiles are machine-specific.
+struct ControllerSnapshot {
+  double slab_width = 0.0;
+  int cf_levels = 0;
+  int uf_levels = 0;
+  int jpi_samples = 0;
+  /// Ascending by slab (list order).
+  std::vector<NodeSnapshot> nodes;
+
+  bool empty() const { return nodes.empty(); }
+  bool operator==(const ControllerSnapshot&) const = default;
+};
+
+}  // namespace cuttlefish::core

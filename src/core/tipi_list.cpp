@@ -7,7 +7,9 @@
 
 namespace cuttlefish::core {
 
-SortedTipiList::~SortedTipiList() {
+SortedTipiList::~SortedTipiList() { clear(); }
+
+void SortedTipiList::clear() {
   // Nodes are placement-constructed into the chunks in allocation order
   // and never individually removed, so the first index_.size() slots
   // across the chunks are exactly the live nodes.
@@ -18,6 +20,12 @@ SortedTipiList::~SortedTipiList() {
     remaining -= live;
     ::operator delete(static_cast<void*>(chunk));
   }
+  chunks_.clear();
+  index_.clear();
+  used_in_last_chunk_ = 0;
+  mru_ = nullptr;
+  head_ = nullptr;
+  tail_ = nullptr;
 }
 
 std::vector<SortedTipiList::Entry>::const_iterator

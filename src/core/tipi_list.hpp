@@ -68,6 +68,10 @@ class SortedTipiList {
   const TipiNode* find(int64_t slab) const;
   /// Insert a new slab (must not exist); returns the linked node.
   TipiNode* insert(int64_t slab);
+  /// Destroy every node and release the chunks (region switches drop the
+  /// old region's exploration state wholesale; per-node removal is still
+  /// deliberately unsupported).
+  void clear();
 
   TipiNode* head() { return head_; }
   const TipiNode* head() const { return head_; }

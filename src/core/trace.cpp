@@ -16,6 +16,9 @@ const char* to_string(TraceEvent event) {
     case TraceEvent::kOptFound: return "opt-found";
     case TraceEvent::kFrequencySet: return "frequency-set";
     case TraceEvent::kCapabilityDegraded: return "capability-degraded";
+    case TraceEvent::kRegionEnter: return "region-enter";
+    case TraceEvent::kRegionExit: return "region-exit";
+    case TraceEvent::kRegionWarmStart: return "region-warm-start";
   }
   return "?";
 }
@@ -48,10 +51,20 @@ std::string DecisionTrace::to_text(const FreqLadder& cf_ladder,
     const FreqLadder& ladder =
         r.domain == Domain::kCore ? cf_ladder : uf_ladder;
     os << "tick " << r.tick << "  " << to_string(r.event);
+    if (r.event == TraceEvent::kRegionEnter ||
+        r.event == TraceEvent::kRegionExit ||
+        r.event == TraceEvent::kRegionWarmStart) {
+      os << "  region " << r.slab;
+      if (r.event == TraceEvent::kRegionWarmStart) {
+        os << "  nodes " << r.aux;
+      }
+      os << '\n';
+      continue;
+    }
     if (r.slab >= 0) os << "  slab " << r.slab;
     os << "  " << to_string(r.domain);
     if (r.event == TraceEvent::kCapabilityDegraded) {
-      os << "  lost " << hal::CapabilitySet{r.lost_caps}.to_string() << '\n';
+      os << "  lost " << hal::CapabilitySet{r.aux}.to_string() << '\n';
       continue;
     }
     if (r.lb != kNoLevel && r.rb != kNoLevel) {

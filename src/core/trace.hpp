@@ -23,6 +23,12 @@ enum class TraceEvent {
   /// domain (kCore also stands in for sensor losses: TOR -> single-slab
   /// TIPI, energy/instructions -> monitor-only).
   kCapabilityDegraded,
+  /// Region lifecycle (sessions + named RAII regions). For these three
+  /// events the record's `slab` field carries the session-assigned region
+  /// id instead of a TIPI slab, and `aux` carries the event payload.
+  kRegionEnter,      // named region entered (cold: no cached profile)
+  kRegionExit,       // named region exited; state snapshotted to profile
+  kRegionWarmStart,  // entry replayed a cached profile (aux: node count)
 };
 
 const char* to_string(TraceEvent event);
@@ -30,13 +36,17 @@ const char* to_string(TraceEvent event);
 struct TraceRecord {
   uint64_t tick = 0;
   TraceEvent event = TraceEvent::kNodeInserted;
-  int64_t slab = 0;           // affected TIPI slab (-1: machine-wide)
+  int64_t slab = 0;           // affected TIPI slab (-1: machine-wide;
+                              // region events: the region id)
   Domain domain = Domain::kCore;
   Level lb = kNoLevel;        // window state after the event
   Level rb = kNoLevel;
   Level level = kNoLevel;     // opt / target level where applicable
-  /// kCapabilityDegraded only: hal::CapabilitySet bits that were lost.
-  uint32_t lost_caps = 0;
+  /// Event-specific payload: kCapabilityDegraded stores the lost
+  /// hal::CapabilitySet bits; kRegionWarmStart the restored node count.
+  uint32_t aux = 0;
+
+  bool operator==(const TraceRecord&) const = default;
 };
 
 /// Bounded in-memory decision log. The controller appends through a raw

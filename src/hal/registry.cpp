@@ -173,6 +173,24 @@ std::vector<BackendFactory> BackendRegistry::factories() const {
   return out;
 }
 
+std::vector<BackendRegistry::ProbedBackend> BackendRegistry::probe_all()
+    const {
+  std::vector<ProbedBackend> rows;
+  bool auto_found = false;
+  for (const BackendFactory& f : factories()) {
+    ProbedBackend row;
+    row.name = f.name;
+    row.description = f.description;
+    row.priority = f.priority;
+    row.probe = f.probe();
+    row.auto_selected =
+        !auto_found && f.priority >= 0 && row.probe.available;
+    auto_found = auto_found || row.auto_selected;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
 BackendRegistry::Selection BackendRegistry::select(
     const std::string& forced) const {
   const std::vector<BackendFactory> ranked = factories();
@@ -190,11 +208,17 @@ BackendRegistry::Selection BackendRegistry::select(
                   forced.c_str());
     }
   }
-  for (const BackendFactory& f : ranked) {
-    if (f.priority < 0) continue;
-    if (!f.probe().available) continue;
-    auto platform = f.create();
-    if (platform != nullptr) return {f.name, std::move(platform)};
+  // Auto-probing walks the same rows, in the same order, that probe_all()
+  // marks: the row flagged auto_selected is the first construction
+  // attempt (later rows are only reached if that construction fails).
+  for (const ProbedBackend& row : probe_all()) {
+    if (row.priority < 0 || !row.probe.available) continue;
+    const auto it =
+        std::find_if(ranked.begin(), ranked.end(),
+                     [&](const BackendFactory& f) { return f.name == row.name; });
+    if (it == ranked.end()) continue;
+    auto platform = it->create();
+    if (platform != nullptr) return {row.name, std::move(platform)};
   }
   // Unreachable while "none" is registered, but stay defensive: callers
   // treat a null platform as "no session".

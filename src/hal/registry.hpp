@@ -51,6 +51,23 @@ class BackendRegistry {
   /// available factory ("none" guarantees there is always one).
   std::vector<BackendFactory> factories() const;
 
+  /// One probed registry row: factory metadata plus its probe outcome.
+  /// `auto_selected` marks the row auto-probing would pick right now —
+  /// the first available non-negative-priority backend.
+  struct ProbedBackend {
+    std::string name;
+    std::string description;
+    int priority = 0;
+    ProbeResult probe;
+    bool auto_selected = false;
+  };
+
+  /// THE probe pass: every listing (`cuttlefishctl backends`,
+  /// cuttlefish::list_backends()) and every auto-selection
+  /// (select("")) is built on this one routine, so the `auto_selected`
+  /// row and the stack a session actually constructs cannot disagree.
+  std::vector<ProbedBackend> probe_all() const;
+
   struct Selection {
     std::string name;
     std::unique_ptr<PlatformInterface> platform;  // null only on failure

@@ -84,7 +84,7 @@ int degradation_events(const RunCapture& capture, uint32_t expected_bits) {
   int count = 0;
   for (const core::TraceRecord& rec : capture.trace) {
     if (rec.event != core::TraceEvent::kCapabilityDegraded) continue;
-    if (rec.lost_caps == expected_bits) ++count;
+    if (rec.aux == expected_bits) ++count;
   }
   return count;
 }

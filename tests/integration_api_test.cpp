@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "core/api.hpp"
+#include "core/controller.hpp"
 #include "exp/calibrate.hpp"
 #include "hal/linux_msr.hpp"
 #include "exp/realtime.hpp"
