@@ -157,7 +157,10 @@ class JsonWriter {
     fields_.emplace_back(name, v ? "true" : "false");
   }
   void field(const std::string& name, const std::string& v) {
-    fields_.emplace_back(name, "\"" + json_escape(v) + "\"");
+    std::string quoted = "\"";
+    quoted += json_escape(v);
+    quoted += '"';
+    fields_.emplace_back(name, std::move(quoted));
   }
   /// Pre-rendered JSON value (array / nested object).
   void raw(const std::string& name, std::string json) {
@@ -171,8 +174,10 @@ class JsonWriter {
     std::string out = "{";
     for (size_t i = 0; i < fields_.size(); ++i) {
       if (i > 0) out += ", ";
-      out += "\"" + json_escape(fields_[i].first) +
-             "\": " + fields_[i].second;
+      out += '"';
+      out += json_escape(fields_[i].first);
+      out += "\": ";
+      out += fields_[i].second;
     }
     out += "}";
     return out;

@@ -10,9 +10,20 @@
 // CI smoke runs; note that wall-clock speedup tracks the *hardware*
 // parallelism available — on a single-core container every worker count
 // measures ~1x while the determinism check still runs in full.
+//
+// --baseline FILE compares against a previously recorded BENCH_sweep.json
+// (the repo pins the pre-hot-path-rewrite numbers in
+// BENCH_sweep.baseline.json): the serial throughput ratio is reported,
+// and when the grids match shape the serial result digest is re-checked
+// so accidental result drift is caught, not just races. CF_BENCH_GATE=1
+// turns both checks fatal (>= 2x throughput, identical digest) — meant
+// for same-host regression gating, not shared CI boxes.
 
 #include <algorithm>
 #include <chrono>
+#include <cinttypes>
+#include <fstream>
+#include <sstream>
 #include <thread>
 
 #include "bench_util.hpp"
@@ -83,11 +94,94 @@ uint64_t digest(const exp::SweepGrid& grid,
   return h;
 }
 
+/// The recorded baseline this run is compared against (a prior
+/// BENCH_sweep.json). Parsed with plain string scans — the files are
+/// emitted by our own JsonWriter, so the field shapes are fixed.
+struct Baseline {
+  bool present = false;
+  bool shape_matches = false;  // same grid + seeds: digest comparison valid
+  double serial_vsps = 0.0;
+  std::string serial_digest;  // empty when the file predates the field
+};
+
+std::string json_str_field(const std::string& text, const std::string& name) {
+  std::string key = "\"";
+  key += name;
+  key += "\": \"";
+  const auto pos = text.find(key);
+  if (pos == std::string::npos) return "";
+  const auto start = pos + key.size();
+  const auto end = text.find('"', start);
+  return end == std::string::npos ? "" : text.substr(start, end - start);
+}
+
+double json_num_field(const std::string& text, const std::string& name,
+                      size_t from = 0) {
+  std::string key = "\"";
+  key += name;
+  key += "\": ";
+  const auto pos = text.find(key, from);
+  if (pos == std::string::npos) return 0.0;
+  return std::atof(text.c_str() + pos + key.size());
+}
+
+Baseline load_baseline(const std::string& path, bool smoke, int runs,
+                       uint64_t seed0) {
+  Baseline base;
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "micro_sweep: cannot read baseline %s\n",
+                 path.c_str());
+    std::exit(2);
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  const auto serial_pos = text.find("\"serial\"");
+  if (serial_pos == std::string::npos) {
+    std::fprintf(stderr, "micro_sweep: %s has no serial record\n",
+                 path.c_str());
+    std::exit(2);
+  }
+  base.present = true;
+  base.serial_vsps =
+      json_num_field(text, "virtual_s_per_wall_s", serial_pos);
+  base.serial_digest = json_str_field(text, "serial_digest");
+  const bool base_smoke = text.find("\"smoke\": true") != std::string::npos;
+  const int base_runs =
+      static_cast<int>(json_num_field(text, "seeds_per_point"));
+  // Seed base changes every result: a --seeds override is a different
+  // grid, not drift (files predating the field parse as 0 and never
+  // match, skipping the digest check rather than mis-reporting).
+  const auto base_seed0 =
+      static_cast<uint64_t>(json_num_field(text, "seed_base"));
+  base.shape_matches =
+      base_smoke == smoke && base_runs == runs && base_seed0 == seed0;
+  return base;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const bool smoke = std::getenv("CF_BENCH_SMOKE") != nullptr;
-  auto args = benchharness::parse_args(argc, argv, smoke ? 2 : 10);
+  // --baseline FILE is this bench's own flag; strip it before the shared
+  // parser sees the rest.
+  std::string baseline_path;
+  std::vector<char*> filtered{argv, argv + argc};
+  for (size_t i = 1; i < filtered.size(); ++i) {
+    if (std::string(filtered[i]) == "--baseline") {
+      if (i + 1 >= filtered.size()) {
+        std::fprintf(stderr, "usage: %s [--baseline FILE] ...\n", argv[0]);
+        return 2;
+      }
+      baseline_path = filtered[i + 1];
+      filtered.erase(filtered.begin() + static_cast<long>(i),
+                     filtered.begin() + static_cast<long>(i) + 2);
+      break;
+    }
+  }
+  auto args = benchharness::parse_args(static_cast<int>(filtered.size()),
+                                       filtered.data(), smoke ? 2 : 10);
   if (args.json_out.empty()) args.json_out = "BENCH_sweep.json";
   const uint64_t seed0 = benchharness::seed_base(args, 1000);
   const sim::MachineConfig machine = sim::haswell_2650v3();
@@ -104,8 +198,27 @@ int main(int argc, char** argv) {
   const double serial_wall = now_s() - t0;
   const double virt = virtual_seconds(serial);
   const uint64_t serial_digest = digest(grid, serial);
+  const double serial_vsps = virt / serial_wall;
+  char digest_hex[24];
+  std::snprintf(digest_hex, sizeof(digest_hex), "%016" PRIx64, serial_digest);
   std::printf("  serial:     %7.3fs wall, %8.1f virtual s/s\n", serial_wall,
-              virt / serial_wall);
+              serial_vsps);
+
+  Baseline base;
+  if (!baseline_path.empty()) {
+    base = load_baseline(baseline_path, smoke, args.runs, seed0);
+  }
+  bool digest_drift = false;
+  if (base.present) {
+    const double speedup = serial_vsps / base.serial_vsps;
+    std::printf("  vs baseline: %8.1f virtual s/s -> %.2fx serial throughput\n",
+                base.serial_vsps, speedup);
+    if (base.shape_matches && !base.serial_digest.empty()) {
+      digest_drift = base.serial_digest != digest_hex;
+      std::printf("  baseline digest %s: %s\n", base.serial_digest.c_str(),
+                  digest_drift ? "DRIFT" : "identical");
+    }
+  }
 
   // Parallel at growing worker counts (always including the acceptance
   // point of 4 workers and the requested --workers).
@@ -120,15 +233,27 @@ int main(int argc, char** argv) {
   json.field("grid_points", static_cast<int64_t>(grid.points().size()));
   json.field("co_simulations", static_cast<int64_t>(grid.size()));
   json.field("seeds_per_point", args.runs);
+  json.field("seed_base", static_cast<int64_t>(seed0));
   json.field("smoke", smoke);
   json.field("hardware_threads",
              static_cast<int64_t>(std::thread::hardware_concurrency()));
   json.field("virtual_seconds", virt, 3);
+  json.field("serial_digest", std::string(digest_hex));
   {
     benchharness::JsonWriter row;
     row.field("wall_s", serial_wall, 4);
-    row.field("virtual_s_per_wall_s", virt / serial_wall, 2);
+    row.field("virtual_s_per_wall_s", serial_vsps, 2);
     json.raw("serial", row.compact());
+  }
+  if (base.present) {
+    benchharness::JsonWriter row;
+    row.field("file", baseline_path);
+    row.field("virtual_s_per_wall_s", base.serial_vsps, 2);
+    row.field("speedup", serial_vsps / base.serial_vsps, 3);
+    row.field("digest_comparable",
+              base.shape_matches && !base.serial_digest.empty());
+    row.field("digest_identical", !digest_drift);
+    json.raw("baseline", row.compact());
   }
 
   std::string rows;
@@ -161,6 +286,20 @@ int main(int argc, char** argv) {
   if (!all_identical) {
     std::fprintf(stderr,
                  "micro_sweep: parallel results diverged from serial\n");
+    return 1;
+  }
+  if (digest_drift) {
+    std::fprintf(stderr,
+                 "micro_sweep: serial results drifted from the recorded "
+                 "baseline digest\n");
+    return 1;
+  }
+  if (std::getenv("CF_BENCH_GATE") != nullptr && base.present &&
+      serial_vsps < 2.0 * base.serial_vsps) {
+    std::fprintf(stderr,
+                 "micro_sweep: %.1f virtual s/s is below 2x the recorded "
+                 "baseline (%.1f)\n",
+                 serial_vsps, base.serial_vsps);
     return 1;
   }
   return 0;

@@ -145,14 +145,14 @@ bool Controller::restore(const ControllerSnapshot& snap) {
   // prev_node_ makes it a transition, so its JPI sample is discarded like
   // any other TIPI-range change (Algorithm 2 line 6).
   prev_node_ = nullptr;
-  last_ = platform_->read_sensors();
+  last_ = platform_->read_sample().totals();
   return true;
 }
 
 void Controller::reset_exploration() {
   list_.clear();
   prev_node_ = nullptr;
-  last_ = platform_->read_sensors();
+  last_ = platform_->read_sample().totals();
 }
 
 void Controller::record_region_event(TraceEvent event, int64_t region_id,
@@ -174,7 +174,7 @@ void Controller::begin() {
   set_frequencies(cf_ladder_.max_level(), uf_ladder_.max_level());
   prev_cf_ = cf_ladder_.max_level();
   prev_uf_ = uf_ladder_.max_level();
-  last_ = platform_->read_sensors();
+  last_ = platform_->read_sample().totals();
   prev_node_ = nullptr;
 }
 
@@ -304,7 +304,10 @@ void Controller::run_uncore_only(TipiNode& node, double jpi, bool record,
 }
 
 void Controller::tick() {
-  const hal::SensorTotals totals = platform_->read_sensors();
+  // One batched virtual read per tick (Algorithm 1 line 6): every counter
+  // arrives in a single SensorSample instead of scattered per-counter
+  // register round trips.
+  const hal::SensorTotals totals = platform_->read_sample().totals();
   const uint64_t d_instr = totals.instructions - last_.instructions;
   const uint64_t d_tor = totals.tor_inserts - last_.tor_inserts;
   const double d_energy = totals.energy_joules - last_.energy_joules;

@@ -55,6 +55,7 @@ class SelfDrivingSimPlatform final : public hal::PlatformInterface {
     return inner_.uncore_frequency();
   }
   hal::SensorTotals read_sensors() override { return inner_.read_sensors(); }
+  hal::SensorSample read_sample() override { return inner_.read_sample(); }
 
  private:
   exp::RealtimeSimPlatform inner_;

@@ -20,11 +20,18 @@ class QuantumRunner {
 
   /// Returns false once the workload has completed.
   bool step() {
+    // Non-timeline runs (the vast majority of sweep specs) advance with
+    // zero per-quantum bookkeeping; the counter snapshots exist only to
+    // difference into a TimePoint.
+    if (!capture_) {
+      machine_->advance(tinv_);
+      return !machine_->workload_done();
+    }
     const uint64_t i0 = machine_->instructions_retired();
     const uint64_t t0 = machine_->tor_inserts();
     const double e0 = machine_->energy_joules();
     machine_->advance(tinv_);
-    if (capture_) {
+    {
       const auto di = machine_->instructions_retired() - i0;
       if (di > 0) {
         TimePoint pt;

@@ -94,4 +94,9 @@ hal::SensorTotals RealtimeSimPlatform::read_sensors() {
   return platform_.read_sensors();
 }
 
+hal::SensorSample RealtimeSimPlatform::read_sample() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return platform_.read_sample();
+}
+
 }  // namespace cuttlefish::exp

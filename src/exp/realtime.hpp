@@ -56,6 +56,7 @@ class RealtimeSimPlatform final : public hal::PlatformInterface {
   FreqMHz core_frequency() const override;
   FreqMHz uncore_frequency() const override;
   hal::SensorTotals read_sensors() override;
+  hal::SensorSample read_sample() override;
 
  private:
   void advance_loop();

@@ -96,8 +96,12 @@ class SweepGrid {
   std::vector<SweepPoint> points_;
 };
 
-/// Execute one spec (the unit of work the engine fans out).
+/// Execute one spec (the unit of work the engine fans out); builds its
+/// own calibrated program.
 RunResult run_spec(const RunSpec& spec);
+/// Execute one spec against a pre-built calibrated program (run_sweep
+/// memoises programs per unique (model, seed) and shares them read-only).
+RunResult run_spec(const RunSpec& spec, const sim::PhaseProgram& program);
 
 /// Run every spec of the grid; results are indexed like grid.specs().
 /// A null scheduler (or a 1-worker pool) runs serially in-place; otherwise

@@ -74,6 +74,10 @@ SensorTotals ComposedPlatform::read_sensors() {
   return sensors_ ? sensors_->read() : SensorTotals{};
 }
 
+SensorSample ComposedPlatform::read_sample() {
+  return sensors_ ? sensors_->read_sample() : SensorSample{};
+}
+
 std::unique_ptr<ComposedPlatform> make_null_platform() {
   return std::make_unique<ComposedPlatform>(nullptr, nullptr, nullptr,
                                             haswell_core_ladder(),
@@ -118,6 +122,17 @@ SensorTotals CapabilityFilter::read_sensors() {
   if (!allowed_.has(Capability::kInstructionSensor)) totals.instructions = 0;
   if (!allowed_.has(Capability::kTorSensor)) totals.tor_inserts = 0;
   return totals;
+}
+
+SensorSample CapabilityFilter::read_sample() {
+  SensorSample sample = inner_->read_sample();
+  if (!allowed_.has(Capability::kEnergySensor)) sample.energy_joules = 0.0;
+  if (!allowed_.has(Capability::kInstructionSensor)) sample.instructions = 0;
+  if (!allowed_.has(Capability::kTorSensor)) {
+    sample.tor_local = 0;
+    sample.tor_remote = 0;
+  }
+  return sample;
 }
 
 }  // namespace cuttlefish::hal

@@ -16,6 +16,13 @@ class SensorStack {
 
   virtual CapabilitySet capabilities() const = 0;
   virtual SensorTotals read() = 0;
+
+  /// Batched one-virtual-call sample. The default wraps read() so
+  /// third-party stacks keep working; the built-in stacks override it
+  /// with one-pass reads and implement read() on top of it.
+  virtual SensorSample read_sample() {
+    return SensorSample::from_totals(read());
+  }
 };
 
 /// The actuator half, one instance per frequency domain. Implementations
@@ -51,6 +58,7 @@ class ComposedPlatform : public PlatformInterface {
   FreqMHz core_frequency() const override;
   FreqMHz uncore_frequency() const override;
   SensorTotals read_sensors() override;
+  SensorSample read_sample() override;
 
  private:
   std::unique_ptr<SensorStack> sensors_;
@@ -84,6 +92,7 @@ class CapabilityFilter final : public PlatformInterface {
   FreqMHz core_frequency() const override;
   FreqMHz uncore_frequency() const override;
   SensorTotals read_sensors() override;
+  SensorSample read_sample() override;
 
  private:
   PlatformInterface* inner_;

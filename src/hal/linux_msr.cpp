@@ -80,8 +80,12 @@ MsrSensorStack::MsrSensorStack(MsrDevice& device) : device_(&device) {
   }
 }
 
-SensorTotals MsrSensorStack::read() {
-  SensorTotals totals;
+SensorSample MsrSensorStack::read_sample() {
+  // One pass over the three registers per sample: exactly one pread per
+  // present counter per Tinv, issued back to back. The hardware aggregate
+  // has no MISS_LOCAL/MISS_REMOTE split, so everything lands in
+  // tor_local.
+  SensorSample sample;
   uint64_t value = 0;
   if (caps_.has(Capability::kEnergySensor) &&
       device_->read(msr::kPkgEnergyStatus, value)) {
@@ -91,17 +95,19 @@ SensorTotals MsrSensorStack::read() {
         energy_unit_j_;
     last_energy_raw_ = now;
   }
-  totals.energy_joules = energy_acc_j_;
+  sample.energy_joules = energy_acc_j_;
   if (caps_.has(Capability::kInstructionSensor) &&
       device_->read(msr::kInstRetiredAggregate, value)) {
-    totals.instructions = value;
+    sample.instructions = value;
   }
   if (caps_.has(Capability::kTorSensor) &&
       device_->read(msr::kTorInsertsAggregate, value)) {
-    totals.tor_inserts = value;
+    sample.tor_local = value;
   }
-  return totals;
+  return sample;
 }
+
+SensorTotals MsrSensorStack::read() { return read_sample().totals(); }
 
 MsrCoreActuator::MsrCoreActuator(std::vector<MsrDevice*> devices,
                                  FreqLadder ladder)
@@ -187,6 +193,10 @@ FreqMHz LinuxMsrPlatform::uncore_frequency() const {
 
 SensorTotals LinuxMsrPlatform::read_sensors() {
   return sensors_ ? sensors_->read() : SensorTotals{};
+}
+
+SensorSample LinuxMsrPlatform::read_sample() {
+  return sensors_ ? sensors_->read_sample() : SensorSample{};
 }
 
 }  // namespace cuttlefish::hal

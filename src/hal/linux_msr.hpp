@@ -52,6 +52,7 @@ class MsrSensorStack final : public SensorStack {
 
   CapabilitySet capabilities() const override { return caps_; }
   SensorTotals read() override;
+  SensorSample read_sample() override;
 
  private:
   MsrDevice* device_;
@@ -119,6 +120,7 @@ class LinuxMsrPlatform final : public PlatformInterface {
   FreqMHz uncore_frequency() const override;
 
   SensorTotals read_sensors() override;
+  hal::SensorSample read_sample() override;
 
  private:
   FreqLadder core_ladder_;

@@ -17,6 +17,27 @@ struct SensorTotals {
   double energy_joules = 0.0;  // unwrapped by the backend
 };
 
+/// One batched reading of every counter a backend supplies — the
+/// single-virtual-call fast path of the per-Tinv control loop. Superset
+/// of SensorTotals: backends with NUMA-split TOR counters (the sim's
+/// MISS_LOCAL / MISS_REMOTE umasks) report the shares separately;
+/// backends with only an aggregate report it all under tor_local. Fields
+/// whose sensor capability is absent stay at their zero value.
+struct SensorSample {
+  uint64_t instructions = 0;
+  uint64_t tor_local = 0;
+  uint64_t tor_remote = 0;
+  double energy_joules = 0.0;  // unwrapped by the backend
+
+  uint64_t tor_inserts() const { return tor_local + tor_remote; }
+  SensorTotals totals() const {
+    return SensorTotals{instructions, tor_inserts(), energy_joules};
+  }
+  static SensorSample from_totals(const SensorTotals& t) {
+    return SensorSample{t.instructions, t.tor_inserts, 0, t.energy_joules};
+  }
+};
+
 /// The hardware contract Cuttlefish is written against. Implementations
 /// are pluggable backends (hal/registry.hpp probes and ranks them):
 /// sim::SimPlatform (register-accurate emulation of the paper's 20-core
@@ -47,6 +68,16 @@ class PlatformInterface {
   virtual FreqMHz uncore_frequency() const = 0;
 
   virtual SensorTotals read_sensors() = 0;
+
+  /// Batched sampling: every counter in one virtual call, the read the
+  /// controller issues once per tick. The default adapts read_sensors()
+  /// so existing third-party platforms keep working unchanged; the
+  /// built-in backends override it with one-pass reads (the simulator
+  /// skips its per-register MSR round trips, the MSR backend batches its
+  /// preads) — see docs/ARCHITECTURE.md "The co-simulation hot path".
+  virtual SensorSample read_sample() {
+    return SensorSample::from_totals(read_sensors());
+  }
 };
 
 }  // namespace cuttlefish::hal

@@ -31,6 +31,8 @@ class PowercapSensorStack final : public SensorStack {
   const std::string& root() const { return root_; }
 
   CapabilitySet capabilities() const override;
+  // read_sample() is inherited: read() is already a single pass over the
+  // package zones, so the adapting default is the batched path.
   SensorTotals read() override;
 
  private:

@@ -30,6 +30,14 @@ double PerfModel::memory_roofline(FreqMHz uncore,
   return supply_bandwidth(uncore) / (cfg_->line_bytes * op.tipi);
 }
 
+double PerfModel::roofline_term(double roofline) const {
+  return std::pow(roofline, -cfg_->roofline_smoothing_p);
+}
+
+double PerfModel::combine_rooflines(double c_term, double m_term) const {
+  return std::pow(c_term + m_term, -1.0 / cfg_->roofline_smoothing_p);
+}
+
 double PerfModel::instructions_per_second(FreqMHz core, FreqMHz uncore,
                                           const OperatingPoint& op) const {
   const double c = compute_roofline(core, op);
@@ -39,14 +47,18 @@ double PerfModel::instructions_per_second(FreqMHz core, FreqMHz uncore,
   // exactly insensitive to core frequency; real machines keep a small
   // coupling (address generation, prefetch issue), which is also where
   // part of Cuttlefish's measured slowdown comes from.
-  const double p = cfg_->roofline_smoothing_p;
-  return std::pow(std::pow(c, -p) + std::pow(m, -p), -1.0 / p);
+  return combine_rooflines(roofline_term(c), roofline_term(m));
+}
+
+double PerfModel::utilization_given_ips(double ips, FreqMHz core,
+                                        const OperatingPoint& op) const {
+  return ips / compute_roofline(core, op);
 }
 
 double PerfModel::utilization(FreqMHz core, FreqMHz uncore,
                               const OperatingPoint& op) const {
-  const double ips = instructions_per_second(core, uncore, op);
-  return ips / compute_roofline(core, op);
+  return utilization_given_ips(instructions_per_second(core, uncore, op),
+                               core, op);
 }
 
 }  // namespace cuttlefish::sim

@@ -26,16 +26,38 @@ class PerfModel {
   double utilization(FreqMHz core, FreqMHz uncore,
                      const OperatingPoint& op) const;
 
+  /// utilization() when the throughput at this operating point is already
+  /// known — the per-quantum hot path computes ips once and passes it
+  /// through instead of paying the smooth-min pow pair a second time.
+  /// Bit-identical to utilization(core, uncore, op) for the matching ips.
+  double utilization_given_ips(double ips, FreqMHz core,
+                               const OperatingPoint& op) const;
+
   /// Memory bandwidth supplied at this uncore frequency [bytes/s].
   double supply_bandwidth(FreqMHz uncore) const;
 
   /// Memory bandwidth demanded when running at `ips` [bytes/s].
   double demand_bandwidth(double ips, const OperatingPoint& op) const;
 
- private:
-  double compute_roofline(FreqMHz core, const OperatingPoint& op) const;
-  double memory_roofline(FreqMHz uncore, const OperatingPoint& op) const;
+  // The smooth-min roofline decomposed into cacheable factors. The rate
+  // cache stores roofline_term() results per (op, level) and recombines
+  // them, so a cold (op, CF, UF) visit costs one transcendental instead of
+  // three; instructions_per_second() is exactly
+  //   combine_rooflines(roofline_term(c), roofline_term(m))
+  // (or the compute roofline alone when TIPI <= 0 makes m infinite), so
+  // cached and direct evaluation agree bit-for-bit.
 
+  /// cores * CF / CPI0 [instr/s].
+  double compute_roofline(FreqMHz core, const OperatingPoint& op) const;
+  /// supply_bw / (line * TIPI) [instr/s]; +inf when op.tipi <= 0.
+  double memory_roofline(FreqMHz uncore, const OperatingPoint& op) const;
+  /// pow(roofline, -p) — the p-norm term of one roofline.
+  double roofline_term(double roofline) const;
+  /// pow(c_term + m_term, -1/p) — the smooth minimum of the two rooflines
+  /// from their precomputed terms.
+  double combine_rooflines(double c_term, double m_term) const;
+
+ private:
   const MachineConfig* cfg_;
 };
 

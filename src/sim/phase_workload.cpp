@@ -1,23 +1,49 @@
 #include "sim/phase_workload.hpp"
 
+#include <cstring>
+
 #include "common/assert.hpp"
 
 namespace cuttlefish::sim {
+
+uint32_t PhaseProgram::intern_op(const OperatingPoint& op) {
+  const auto same_bits = [](double a, double b) {
+    return std::memcmp(&a, &b, sizeof(double)) == 0;
+  };
+  for (uint32_t i = 0; i < ops_.size(); ++i) {
+    if (same_bits(ops_[i].cpi0, op.cpi0) && same_bits(ops_[i].tipi, op.tipi)) {
+      return i;
+    }
+  }
+  ops_.push_back(op);
+  return static_cast<uint32_t>(ops_.size() - 1);
+}
 
 PhaseProgram& PhaseProgram::add(double instructions, double cpi0,
                                 double tipi) {
   CF_ASSERT(instructions >= 0.0, "negative instruction count");
   CF_ASSERT(cpi0 > 0.0, "CPI0 must be positive");
   CF_ASSERT(tipi >= 0.0, "negative TIPI");
-  segments_.push_back(Segment{instructions, OperatingPoint{cpi0, tipi}});
+  const OperatingPoint op{cpi0, tipi};
+  segments_.push_back(Segment{instructions, op, intern_op(op)});
   return *this;
 }
 
 PhaseProgram& PhaseProgram::repeat(int count,
                                    const std::vector<Segment>& block) {
   CF_ASSERT(count >= 0, "negative repeat count");
+  // Intern each block op once: all `count` copies of a block segment share
+  // one op_index, so a V-cycle repeated 100 times costs as many cache rows
+  // as one cycle.
+  std::vector<uint32_t> block_ops;
+  block_ops.reserve(block.size());
+  for (const Segment& s : block) block_ops.push_back(intern_op(s.op));
   for (int i = 0; i < count; ++i) {
-    for (const Segment& s : block) segments_.push_back(s);
+    for (size_t j = 0; j < block.size(); ++j) {
+      Segment copy = block[j];
+      copy.op_index = block_ops[j];
+      segments_.push_back(copy);
+    }
   }
   return *this;
 }
@@ -57,6 +83,11 @@ bool WorkloadCursor::done() const {
 const OperatingPoint& WorkloadCursor::op() const {
   CF_ASSERT(!done(), "cursor exhausted");
   return program_->segments()[index_].op;
+}
+
+uint32_t WorkloadCursor::op_index() const {
+  CF_ASSERT(!done(), "cursor exhausted");
+  return program_->segments()[index_].op_index;
 }
 
 void WorkloadCursor::consume(double instructions) {

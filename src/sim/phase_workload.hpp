@@ -14,6 +14,12 @@ namespace cuttlefish::sim {
 struct Segment {
   double instructions = 0.0;
   OperatingPoint op;
+  /// Index of `op` in PhaseProgram::ops(), assigned by the builder —
+  /// segments with bit-identical operating points share one index, which
+  /// is what keys SimMachine's per-(op, CF, UF) rate cache. Free-standing
+  /// Segments (repeat() blocks under construction) leave it at 0; the
+  /// program re-interns it on insertion.
+  uint32_t op_index = 0;
 };
 
 /// An immutable program of segments plus a builder API. Workload models in
@@ -33,11 +39,23 @@ class PhaseProgram {
   void scale_instructions(double factor);
 
   const std::vector<Segment>& segments() const { return segments_; }
+  /// Distinct operating points of the program, deduplicated at build time
+  /// by bitwise (CPI0, TIPI) equality. Iterative solvers built with
+  /// repeat() collapse to one entry per block segment; every segment's
+  /// op_index points here.
+  const std::vector<OperatingPoint>& ops() const { return ops_; }
   double total_instructions() const;
   bool empty() const { return segments_.empty(); }
 
  private:
+  /// Index of `op` in ops_, appending if unseen. Bitwise comparison (not
+  /// operator==) so e.g. -0.0 and +0.0 TIPIs never alias — two segments
+  /// share an index only when the models' inputs are identical bits,
+  /// which is what keeps cached rates byte-identical to direct evaluation.
+  uint32_t intern_op(const OperatingPoint& op);
+
   std::vector<Segment> segments_;
+  std::vector<OperatingPoint> ops_;
 };
 
 /// Consumption state over a PhaseProgram; owned by SimMachine.
@@ -49,6 +67,10 @@ class WorkloadCursor {
   bool done() const;
   /// Operating point of the segment currently executing.
   const OperatingPoint& op() const;
+  /// Dedup index (PhaseProgram::ops()) of the current segment's operating
+  /// point — the rate-cache key of the co-simulation hot path.
+  uint32_t op_index() const;
+  const PhaseProgram* program() const { return program_; }
   /// Instructions left in the current segment.
   double remaining_in_segment() const { return remaining_; }
   /// Consume `instructions` from the current segment (must not exceed

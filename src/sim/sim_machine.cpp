@@ -2,11 +2,21 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/assert.hpp"
 #include "hal/msr.hpp"
 
 namespace cuttlefish::sim {
+
+namespace {
+/// Floor on the multiplicative power-noise factor: however large the
+/// configured sigma, a quantum can never dissipate negative energy. The
+/// paper-calibrated sigmas (<= a few percent) sit far above the floor, so
+/// their noise streams are untouched bit-for-bit.
+constexpr double kNoiseFloorFactor = 1e-3;
+constexpr double kUnfilled = std::numeric_limits<double>::quiet_NaN();
+}  // namespace
 
 SimMachine::SimMachine(const MachineConfig& cfg, const PhaseProgram& program,
                        uint64_t noise_seed)
@@ -16,13 +26,21 @@ SimMachine::SimMachine(const MachineConfig& cfg, const PhaseProgram& program,
       cursor_(&program),
       noise_(noise_seed),
       core_f_(cfg_.core_ladder.max()),
-      uncore_f_(cfg_.uncore_ladder.max()) {}
+      uncore_f_(cfg_.uncore_ladder.max()),
+      cf_level_(cfg_.core_ladder.max_level()),
+      uf_level_(cfg_.uncore_ladder.max_level()),
+      rates_(program.ops().size()),
+      stall_watts_(static_cast<size_t>(cfg_.core_ladder.levels()) *
+                       static_cast<size_t>(cfg_.uncore_ladder.levels()),
+                   kUnfilled) {}
 
 void SimMachine::set_core_frequency(FreqMHz f) {
   CF_ASSERT(cfg_.core_ladder.contains(f), "core frequency off ladder");
   if (f != core_f_) {
     stall_s_ += cfg_.core_switch_latency_s;
     freq_switches_ += 1;
+    cf_level_ = cfg_.core_ladder.level_of(f);
+    rate_ = nullptr;
   }
   core_f_ = f;
 }
@@ -32,6 +50,8 @@ void SimMachine::set_uncore_frequency(FreqMHz f) {
   if (f != uncore_f_) {
     stall_s_ += cfg_.uncore_switch_latency_s;
     freq_switches_ += 1;
+    uf_level_ = cfg_.uncore_ladder.level_of(f);
+    rate_ = nullptr;
   }
   uncore_f_ = f;
 }
@@ -42,14 +62,65 @@ double SimMachine::power_noise_factor() {
   const double u =
       noise_.next_double() + noise_.next_double() + noise_.next_double();
   const double z = (u - 1.5) * 2.0;  // ~N(0,1)
-  return 1.0 + cfg_.power_noise_sigma * z;
+  return std::max(kNoiseFloorFactor, 1.0 + cfg_.power_noise_sigma * z);
+}
+
+const SimMachine::OpRate& SimMachine::rate_at(uint32_t op_index) const {
+  auto& row_ptr = rates_[op_index];
+  if (row_ptr == nullptr) {
+    row_ptr = std::make_unique<OpRates>();
+    row_ptr->grid.resize(static_cast<size_t>(cfg_.core_ladder.levels()) *
+                         static_cast<size_t>(cfg_.uncore_ladder.levels()));
+    row_ptr->c_term.assign(static_cast<size_t>(cfg_.core_ladder.levels()),
+                           kUnfilled);
+    row_ptr->m_term.assign(static_cast<size_t>(cfg_.uncore_ladder.levels()),
+                           kUnfilled);
+  }
+  OpRates& row = *row_ptr;
+  OpRate& e = row.grid[static_cast<size_t>(cf_level_) *
+                           static_cast<size_t>(cfg_.uncore_ladder.levels()) +
+                       static_cast<size_t>(uf_level_)];
+  if (e.ips == 0.0) {
+    // Exactly PerfModel::instructions_per_second, with the two p-norm
+    // terms memoised per ladder level: the smooth-min factors over an
+    // op's (CF, UF) grid are separable, so exploring a ladder re-pays
+    // only the combining pow.
+    const OperatingPoint& op = cursor_.program()->ops()[op_index];
+    const double c = perf_.compute_roofline(core_f_, op);
+    const double m = perf_.memory_roofline(uncore_f_, op);
+    double ips;
+    if (!std::isfinite(m)) {
+      ips = c;
+    } else {
+      double& ct = row.c_term[static_cast<size_t>(cf_level_)];
+      if (std::isnan(ct)) ct = perf_.roofline_term(c);
+      double& mt = row.m_term[static_cast<size_t>(uf_level_)];
+      if (std::isnan(mt)) mt = perf_.roofline_term(m);
+      ips = perf_.combine_rooflines(ct, mt);
+    }
+    e.ips = ips;
+    e.util = perf_.utilization_given_ips(ips, core_f_, op);
+    e.watts = power_.package_watts(core_f_, uncore_f_, e.util, ips * op.tipi);
+  }
+  return e;
+}
+
+double SimMachine::stall_watts() const {
+  double& w = stall_watts_[static_cast<size_t>(cf_level_) *
+                               static_cast<size_t>(cfg_.uncore_ladder.levels()) +
+                           static_cast<size_t>(uf_level_)];
+  if (std::isnan(w)) {
+    // PLL relock: cores halted, no instructions retire; the package still
+    // burns static + gated-core + uncore power.
+    w = power_.package_watts(core_f_, uncore_f_, 0.0, 0.0);
+  }
+  return w;
 }
 
 double SimMachine::demand_bandwidth_now() const {
   if (cursor_.done()) return 0.0;
-  const OperatingPoint& op = cursor_.op();
-  const double ips = perf_.instructions_per_second(core_f_, uncore_f_, op);
-  return perf_.demand_bandwidth(ips, op);
+  return perf_.demand_bandwidth(rate_at(cursor_.op_index()).ips,
+                                cursor_.op());
 }
 
 double SimMachine::advance(double dt) {
@@ -57,31 +128,29 @@ double SimMachine::advance(double dt) {
   double left = dt;
   while (left > 1e-12 && !cursor_.done()) {
     if (stall_s_ > 1e-12) {
-      // PLL relock: cores halted, no instructions retire; the package
-      // still burns static + gated-core + uncore power.
       const double step = std::min(left, stall_s_);
-      const double watts =
-          power_.package_watts(core_f_, uncore_f_, 0.0, 0.0);
-      energy_j_ += watts * step * power_noise_factor();
+      energy_j_ += stall_watts() * step * power_noise_factor();
       now_s_ += step;
       stall_s_ -= step;
       left -= step;
       continue;
     }
-    const OperatingPoint& op = cursor_.op();
-    const double ips = perf_.instructions_per_second(core_f_, uncore_f_, op);
+    // Rates are segment-invariant: the lookup is skipped entirely until
+    // the operating point (segment boundary) or a frequency changes.
+    const uint32_t oi = cursor_.op_index();
+    if (rate_ == nullptr || oi != rate_op_) {
+      rate_ = &rate_at(oi);
+      rate_op_ = oi;
+    }
+    const double ips = rate_->ips;
     CF_ASSERT(ips > 0.0, "non-positive throughput");
     const double seg_time = cursor_.remaining_in_segment() / ips;
     const double step = std::min(left, seg_time);
     const double instr = ips * step;
 
-    const double util = perf_.utilization(core_f_, uncore_f_, op);
-    const double miss_rate = ips * op.tipi;
-    const double watts =
-        power_.package_watts(core_f_, uncore_f_, util, miss_rate);
-    energy_j_ += watts * step * power_noise_factor();
+    energy_j_ += rate_->watts * step * power_noise_factor();
     instr_ += instr;
-    tor_ += instr * op.tipi;
+    tor_ += instr * cursor_.op().tipi;
     cursor_.consume(instr);
     now_s_ += step;
     left -= step;
@@ -99,12 +168,9 @@ bool SimMachine::read(uint32_t address, uint64_t& value) {
     case msr::kRaplPowerUnit:
       value = encode_rapl_power_unit(cfg_.rapl_esu_bits);
       return true;
-    case msr::kPkgEnergyStatus: {
-      const double unit = 1.0 / static_cast<double>(1ULL << cfg_.rapl_esu_bits);
-      const auto units = static_cast<uint64_t>(energy_j_ / unit);
-      value = units & 0xffffffffULL;
+    case msr::kPkgEnergyStatus:
+      value = rapl_energy_raw();
       return true;
-    }
     case msr::kUncoreRatioLimit:
       value = encode_uncore_ratio_limit(uncore_f_, uncore_f_);
       return true;

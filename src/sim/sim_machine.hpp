@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "hal/msr_device.hpp"
@@ -21,6 +23,17 @@ namespace cuttlefish::sim {
 /// dissipates PowerModel::package_watts; RAPL, TOR and INST counters
 /// integrate accordingly (RAPL with the real 32-bit wrap and the
 /// 1/2^ESU-joule unit).
+///
+/// Hot path: {ips, utilization, watts} depend only on the segment's
+/// operating point and the (CF, UF) pair, both drawn from small discrete
+/// sets (PhaseProgram dedupes ops; frequencies live on ladders). The
+/// machine keeps a lazily-filled per-(op_index, CF level, UF level) rate
+/// table, so steady-state quanta are table lookups + multiply-adds and the
+/// model's pow pair is paid once per distinct operating point, not twice
+/// per quantum. Cached entries hold the exact doubles direct evaluation
+/// produces and the per-quantum accumulation order is unchanged, so every
+/// counter — and therefore every decision trace and paper table above —
+/// is bit-identical to the uncached path.
 class SimMachine final : public hal::MsrDevice {
  public:
   SimMachine(const MachineConfig& cfg, const PhaseProgram& program,
@@ -52,6 +65,14 @@ class SimMachine final : public hal::MsrDevice {
   uint64_t tor_inserts_remote() const {
     return static_cast<uint64_t>(tor_ * cfg_.remote_miss_fraction);
   }
+  /// Energy as the RAPL register reports it: truncated to energy units,
+  /// wrapped at 32 bits. One quantisation rule shared by the MSR read
+  /// path and SimPlatform's batched sampling fast path.
+  uint32_t rapl_energy_raw() const {
+    const double unit = 1.0 / static_cast<double>(1ULL << cfg_.rapl_esu_bits);
+    return static_cast<uint32_t>(static_cast<uint64_t>(energy_j_ / unit) &
+                                 0xffffffffULL);
+  }
 
   FreqMHz core_frequency() const { return core_f_; }
   FreqMHz uncore_frequency() const { return uncore_f_; }
@@ -75,6 +96,27 @@ class SimMachine final : public hal::MsrDevice {
   bool write(uint32_t address, uint64_t value) override;
 
  private:
+  /// One cached steady-state operating point evaluation. ips == 0 marks
+  /// an unfilled slot (the perf model asserts ips > 0 for every real op).
+  struct OpRate {
+    double ips = 0.0;
+    double util = 0.0;
+    double watts = 0.0;
+  };
+  /// Rate table of one deduped operating point: (CF, UF) grid of OpRates
+  /// plus the memoised p-norm terms of each roofline, so a cold (CF, UF)
+  /// visit whose factors are already known costs one pow, not three.
+  /// Rows are heap-allocated on an op's first touch: programs with many
+  /// distinct ops (jittered TIPI models) only pay for the ops they run.
+  struct OpRates {
+    std::vector<OpRate> grid;    // ncf * nuf
+    std::vector<double> c_term;  // per CF level; NaN = unfilled
+    std::vector<double> m_term;  // per UF level; NaN = unfilled
+  };
+
+  const OpRate& rate_at(uint32_t op_index) const;
+  double stall_watts() const;
+
   MachineConfig cfg_;
   PerfModel perf_;
   PowerModel power_;
@@ -89,6 +131,17 @@ class SimMachine final : public hal::MsrDevice {
   uint64_t freq_switches_ = 0;
   FreqMHz core_f_;
   FreqMHz uncore_f_;
+  Level cf_level_;
+  Level uf_level_;
+
+  // Lazily-filled caches (mutable: filling is observationally pure —
+  // demand_bandwidth_now() is logically const). rate_ hoists the current
+  // segment's rates out of the advance loop: it stays valid until the
+  // operating point or a frequency changes.
+  mutable std::vector<std::unique_ptr<OpRates>> rates_;
+  mutable std::vector<double> stall_watts_;  // per (CF, UF); NaN = unfilled
+  mutable const OpRate* rate_ = nullptr;
+  mutable uint32_t rate_op_ = 0;
 
   double power_noise_factor();
 };

@@ -51,17 +51,20 @@ FreqMHz SimPlatform::uncore_frequency() const {
   return decode_uncore_max(value);
 }
 
+double SimPlatform::unwrap_energy(uint32_t now_raw) {
+  energy_acc_j_ +=
+      static_cast<double>(rapl_delta_units(last_energy_raw_, now_raw)) *
+      energy_unit_j_;
+  last_energy_raw_ = now_raw;
+  return energy_acc_j_;
+}
+
 SensorTotals SimPlatform::read_sensors() {
   SensorTotals totals;
   uint64_t raw = 0;
   CF_ASSERT(machine_->read(msr::kPkgEnergyStatus, raw),
             "RAPL energy read failed");
-  const auto now = static_cast<uint32_t>(raw);
-  energy_acc_j_ +=
-      static_cast<double>(rapl_delta_units(last_energy_raw_, now)) *
-      energy_unit_j_;
-  last_energy_raw_ = now;
-  totals.energy_joules = energy_acc_j_;
+  totals.energy_joules = unwrap_energy(static_cast<uint32_t>(raw));
 
   uint64_t value = 0;
   CF_ASSERT(machine_->read(msr::kInstRetiredAggregate, value),
@@ -77,6 +80,19 @@ SensorTotals SimPlatform::read_sensors() {
             "TOR MISS_REMOTE read failed");
   totals.tor_inserts = local + remote;
   return totals;
+}
+
+SensorSample SimPlatform::read_sample() {
+  // One pass, no virtual MsrDevice hops: the registers the slow path
+  // decodes are synthesised from these same accessors, and the RAPL
+  // quantisation goes through the identical rapl_energy_raw() rule, so
+  // interleaving both paths yields one consistent bit-exact stream.
+  SensorSample sample;
+  sample.energy_joules = unwrap_energy(machine_->rapl_energy_raw());
+  sample.instructions = machine_->instructions_retired();
+  sample.tor_local = machine_->tor_inserts_local();
+  sample.tor_remote = machine_->tor_inserts_remote();
+  return sample;
 }
 
 }  // namespace cuttlefish::sim

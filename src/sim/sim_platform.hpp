@@ -5,11 +5,15 @@
 
 namespace cuttlefish::sim {
 
-/// hal::PlatformInterface over a SimMachine. Deliberately goes through the
-/// MSR register map and the shared hal codecs (rather than poking the
-/// machine object directly) so the exact code paths of the real-hardware
-/// backend — including RAPL unit decoding and 32-bit wrap handling — are
-/// exercised by every simulated run.
+/// hal::PlatformInterface over a SimMachine. The actuator and
+/// read_sensors() paths deliberately go through the MSR register map and
+/// the shared hal codecs (rather than poking the machine object directly)
+/// so the exact code paths of the real-hardware backend — including RAPL
+/// unit decoding and 32-bit wrap handling — stay exercised. The batched
+/// read_sample() override is the per-tick fast path: one pass over the
+/// machine's counters with no MsrDevice round trips, but the same RAPL
+/// quantisation (SimMachine::rapl_energy_raw is shared with the register
+/// map), so both paths report bit-identical values.
 class SimPlatform final : public hal::PlatformInterface {
  public:
   explicit SimPlatform(SimMachine& machine);
@@ -30,8 +34,13 @@ class SimPlatform final : public hal::PlatformInterface {
   FreqMHz uncore_frequency() const override;
 
   hal::SensorTotals read_sensors() override;
+  hal::SensorSample read_sample() override;
 
  private:
+  /// Shared by both read paths: unwrap the 32-bit RAPL counter into the
+  /// monotonic joule accumulator.
+  double unwrap_energy(uint32_t now_raw);
+
   SimMachine* machine_;
   double energy_unit_j_;
   uint32_t last_energy_raw_;

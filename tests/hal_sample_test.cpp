@@ -1,0 +1,209 @@
+// The batched-sampling contract: read_sample() — the one-virtual-call
+// fast path — must report exactly what the legacy per-counter
+// read_sensors()/read() path reports, on full stacks and on every
+// CapabilityFilter-degraded subset, whether a backend overrides the fast
+// path (sim, MSR, powercap) or inherits the adapting default.
+
+#include <gtest/gtest.h>
+
+#include "hal/backend.hpp"
+#include "hal/linux_msr.hpp"
+#include "hal/msr.hpp"
+#include "hal/platform.hpp"
+#include "hal/powercap.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/phase_workload.hpp"
+#include "sim/sim_machine.hpp"
+#include "sim/sim_platform.hpp"
+
+namespace cuttlefish::hal {
+namespace {
+
+sim::PhaseProgram long_program() {
+  sim::PhaseProgram p;
+  p.add(1e13, 1.0, 0.05);
+  p.add(1e13, 1.2, 0.20);
+  return p;
+}
+
+/// Forwards read_sensors() but deliberately does NOT override
+/// read_sample(): exercises the PlatformInterface default adapter a
+/// third-party backend would inherit.
+class NoOverridePlatform final : public PlatformInterface {
+ public:
+  explicit NoOverridePlatform(PlatformInterface& inner) : inner_(&inner) {}
+  CapabilitySet capabilities() const override {
+    return inner_->capabilities();
+  }
+  const FreqLadder& core_ladder() const override {
+    return inner_->core_ladder();
+  }
+  const FreqLadder& uncore_ladder() const override {
+    return inner_->uncore_ladder();
+  }
+  void set_core_frequency(FreqMHz f) override {
+    inner_->set_core_frequency(f);
+  }
+  void set_uncore_frequency(FreqMHz f) override {
+    inner_->set_uncore_frequency(f);
+  }
+  FreqMHz core_frequency() const override { return inner_->core_frequency(); }
+  FreqMHz uncore_frequency() const override {
+    return inner_->uncore_frequency();
+  }
+  SensorTotals read_sensors() override { return inner_->read_sensors(); }
+
+ private:
+  PlatformInterface* inner_;
+};
+
+void expect_equal_totals(const SensorSample& sample,
+                         const SensorTotals& totals) {
+  EXPECT_EQ(sample.instructions, totals.instructions);
+  EXPECT_EQ(sample.tor_inserts(), totals.tor_inserts);
+  EXPECT_EQ(sample.energy_joules, totals.energy_joules);
+}
+
+TEST(SensorSampleHal, SimOverrideMatchesRegisterPathExactly) {
+  const sim::MachineConfig cfg = sim::haswell_2650v3();
+  const sim::PhaseProgram program = long_program();
+  sim::SimMachine machine(cfg, program);
+  sim::SimPlatform platform(machine);
+
+  for (int i = 0; i < 50; ++i) {
+    machine.advance(0.02);
+    // Back-to-back fast-path and register-path reads see the same raw
+    // counter, so the shared unwrap state must make them bit-equal.
+    const SensorSample sample = platform.read_sample();
+    const SensorTotals totals = platform.read_sensors();
+    expect_equal_totals(sample, totals);
+    // The sim splits TOR by NUMA umask; the split must conserve the sum.
+    EXPECT_EQ(sample.tor_local + sample.tor_remote, totals.tor_inserts);
+  }
+}
+
+TEST(SensorSampleHal, DefaultAdapterMatchesOverride) {
+  const sim::MachineConfig cfg = sim::haswell_2650v3();
+  const sim::PhaseProgram pa = long_program();
+  const sim::PhaseProgram pb = long_program();
+  sim::SimMachine ma(cfg, pa, 42);
+  sim::SimMachine mb(cfg, pb, 42);
+  sim::SimPlatform overriding(ma);
+  sim::SimPlatform inner(mb);
+  NoOverridePlatform defaulted(inner);
+
+  for (int i = 0; i < 50; ++i) {
+    ma.advance(0.02);
+    mb.advance(0.02);
+    const SensorSample fast = overriding.read_sample();
+    const SensorSample adapted = defaulted.read_sample();
+    EXPECT_EQ(fast.instructions, adapted.instructions);
+    EXPECT_EQ(fast.tor_inserts(), adapted.tor_inserts());
+    EXPECT_EQ(fast.energy_joules, adapted.energy_joules);
+    // The adapter has no split information: everything lands in
+    // tor_local by contract.
+    EXPECT_EQ(adapted.tor_remote, 0u);
+  }
+}
+
+TEST(SensorSampleHal, CapabilityFilterMasksSampleAndTotalsAlike) {
+  const sim::MachineConfig cfg = sim::haswell_2650v3();
+  const CapabilitySet subsets[] = {
+      CapabilitySet::all(),
+      CapabilitySet::all().without(Capability::kEnergySensor),
+      CapabilitySet::all().without(Capability::kInstructionSensor),
+      CapabilitySet::all().without(Capability::kTorSensor),
+      CapabilitySet{}.with(Capability::kEnergySensor),
+      CapabilitySet::none(),
+  };
+  for (const CapabilitySet& allowed : subsets) {
+    const sim::PhaseProgram pa = long_program();
+    const sim::PhaseProgram pb = long_program();
+    sim::SimMachine ma(cfg, pa, 7);
+    sim::SimMachine mb(cfg, pb, 7);
+    sim::SimPlatform platform_a(ma);
+    sim::SimPlatform platform_b(mb);
+    CapabilityFilter fast(platform_a, allowed);
+    NoOverridePlatform no_override(platform_b);
+    CapabilityFilter adapted(no_override, allowed);
+
+    for (int i = 0; i < 20; ++i) {
+      ma.advance(0.02);
+      mb.advance(0.02);
+      const SensorSample a = fast.read_sample();
+      const SensorSample b = adapted.read_sample();
+      EXPECT_EQ(a.instructions, b.instructions);
+      EXPECT_EQ(a.tor_inserts(), b.tor_inserts());
+      EXPECT_EQ(a.energy_joules, b.energy_joules);
+      if (!allowed.has(Capability::kEnergySensor)) {
+        EXPECT_EQ(a.energy_joules, 0.0);
+      }
+      if (!allowed.has(Capability::kInstructionSensor)) {
+        EXPECT_EQ(a.instructions, 0u);
+      }
+      if (!allowed.has(Capability::kTorSensor)) {
+        EXPECT_EQ(a.tor_local, 0u);
+        EXPECT_EQ(a.tor_remote, 0u);
+      }
+    }
+  }
+}
+
+/// MsrDevice decorator counting reads, over the sim machine's register
+/// map — the in-container stand-in for /dev/cpu/*/msr.
+class CountingMsrDevice final : public MsrDevice {
+ public:
+  explicit CountingMsrDevice(MsrDevice& inner) : inner_(&inner) {}
+  bool read(uint32_t address, uint64_t& value) override {
+    ++reads;
+    return inner_->read(address, value);
+  }
+  bool write(uint32_t address, uint64_t value) override {
+    return inner_->write(address, value);
+  }
+  int reads = 0;
+
+ private:
+  MsrDevice* inner_;
+};
+
+TEST(SensorSampleHal, MsrStackSamplesInOnePassOfThreeReads) {
+  const sim::MachineConfig cfg = sim::haswell_2650v3();
+  const sim::PhaseProgram program = long_program();
+  sim::SimMachine machine(cfg, program);
+  CountingMsrDevice device(machine);
+  MsrSensorStack stack(device);
+  ASSERT_TRUE(stack.capabilities().has(Capability::kEnergySensor));
+  ASSERT_TRUE(stack.capabilities().has(Capability::kInstructionSensor));
+  ASSERT_TRUE(stack.capabilities().has(Capability::kTorSensor));
+
+  machine.advance(0.5);
+  device.reads = 0;
+  const SensorSample sample = stack.read_sample();
+  EXPECT_EQ(device.reads, 3);  // energy + instructions + TOR, one pass
+  EXPECT_GT(sample.instructions, 0u);
+  EXPECT_GT(sample.tor_inserts(), 0u);
+  EXPECT_GT(sample.energy_joules, 0.0);
+
+  // The legacy read() is the same pass.
+  machine.advance(0.5);
+  device.reads = 0;
+  const SensorTotals totals = stack.read();
+  EXPECT_EQ(device.reads, 3);
+  const SensorSample again = stack.read_sample();
+  expect_equal_totals(again, totals);
+}
+
+TEST(SensorSampleHal, PowercapSampleMatchesRead) {
+  // Nonexistent root: unavailable stack reads zeros through both paths.
+  PowercapSensorStack stack("/nonexistent/cuttlefish/powercap");
+  EXPECT_FALSE(stack.available());
+  const SensorSample sample = stack.read_sample();
+  EXPECT_EQ(sample.instructions, 0u);
+  EXPECT_EQ(sample.tor_inserts(), 0u);
+  EXPECT_EQ(sample.energy_joules, 0.0);
+  expect_equal_totals(stack.read_sample(), stack.read());
+}
+
+}  // namespace
+}  // namespace cuttlefish::hal

@@ -120,5 +120,29 @@ TEST(SimMachine, NoiseIsSeedDeterministic) {
   EXPECT_DOUBLE_EQ(a.energy_joules(), b.energy_joules());
 }
 
+TEST(SimMachine, EnergyStaysMonotonicUnderExtremeNoise) {
+  // The jitter factor is clamped to a positive floor: even an absurd
+  // sigma (|z| can reach 3, so 1 + 5*z would go deeply negative without
+  // the clamp) must never yield a negative quantum energy.
+  MachineConfig cfg = haswell_2650v3();
+  cfg.power_noise_sigma = 5.0;
+  PhaseProgram p;
+  p.add(1e12, 1.0, 0.05);
+  SimMachine m(cfg, p, 1234);
+  double last_energy = 0.0;
+  while (!m.workload_done()) {
+    m.advance(0.005);
+    // Strict monotonicity over every quantum, including PLL-stall ones.
+    EXPECT_GE(m.energy_joules(), last_energy);
+    last_energy = m.energy_joules();
+    // Exercise stall quanta too: flip frequencies as a flapping
+    // controller would.
+    m.set_core_frequency(m.core_frequency() == cfg.core_ladder.max()
+                             ? cfg.core_ladder.min()
+                             : cfg.core_ladder.max());
+  }
+  EXPECT_GT(last_energy, 0.0);
+}
+
 }  // namespace
 }  // namespace cuttlefish::sim
