@@ -10,6 +10,10 @@
 //   --workers N    sweep fan-out width (co-simulations run on N workers;
 //                  results are bit-identical to --workers 1 by the sweep
 //                  engine's determinism contract)
+//   --shard i/N    run only the grid cells shard i of N owns (benches that
+//                  implement the shard protocol, e.g. micro_sweep; the
+//                  partition is deterministic, so N processes cover a grid
+//                  exactly once and merge byte-identically)
 //   --json-out F   write a machine-readable JSON summary to F
 
 #include <cinttypes>
@@ -37,6 +41,8 @@ struct BenchArgs {
   int runs = 1;            // seed replicates per sweep point
   uint64_t seed_base = 0;  // 0 = use the bench's historical base
   int workers = 1;         // sweep fan-out width
+  int shard_index = 0;     // --shard i/N; 0/1 = unsharded
+  int shard_count = 1;
   std::string json_out;    // empty = no JSON summary
 };
 
@@ -49,33 +55,92 @@ inline uint64_t seed_base(const BenchArgs& args, uint64_t fallback) {
 [[noreturn]] inline void usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s [N | --runs N] [--seeds B (nonzero)] "
-               "[--workers N] [--json-out FILE]\n",
+               "[--workers N] [--shard i/N] [--json-out FILE]\n",
                prog);
   std::exit(2);
 }
 
+/// Reject a flag with a specific reason before the generic usage line —
+/// "--shard: shard index 4 out of range for 4 shards" beats a bare
+/// usage dump.
+[[noreturn]] inline void reject(const char* prog, const std::string& flag,
+                                const std::string& reason) {
+  std::fprintf(stderr, "%s: %s: %s\n", prog, flag.c_str(), reason.c_str());
+  usage(prog);
+}
+
 /// Strict positive-integer parse: trailing garbage ("1O", "4x") must fail
 /// loudly, not silently truncate into a wrong-but-plausible count.
-inline int parse_positive_int(const char* prog, const char* text) {
+inline int parse_positive_int(const char* prog, const std::string& flag,
+                              const char* text) {
   char* end = nullptr;
   const long n = std::strtol(text, &end, 10);
-  if (end == text || *end != '\0' || n <= 0 || n > 1000000) usage(prog);
+  if (end == text || *end != '\0') {
+    reject(prog, flag, std::string("expects a positive integer, got '") +
+                           text + "'");
+  }
+  if (n <= 0 || n > 1000000) {
+    reject(prog, flag,
+           std::string("must be in [1, 1000000], got '") + text + "'");
+  }
   return static_cast<int>(n);
+}
+
+/// `--shard i/N` (e.g. "0/4"): both halves strict integers, N >= 1,
+/// 0 <= i < N. Every malformed shape gets its own message — a CI matrix
+/// that typos its shard arithmetic should fail with the reason, not run
+/// the wrong partition.
+inline void parse_shard(const char* prog, const char* text, int* index,
+                        int* count) {
+  const std::string s = text;
+  const auto slash = s.find('/');
+  if (slash == std::string::npos || slash == 0 || slash + 1 >= s.size()) {
+    reject(prog, "--shard",
+           "expects i/N (e.g. 0/4), got '" + s + "'");
+  }
+  char* end = nullptr;
+  const long i = std::strtol(s.c_str(), &end, 10);
+  if (end != s.c_str() + slash) {
+    reject(prog, "--shard",
+           "shard index must be an integer, got '" + s.substr(0, slash) +
+               "'");
+  }
+  const char* count_text = s.c_str() + slash + 1;
+  const long n = std::strtol(count_text, &end, 10);
+  if (end == count_text || *end != '\0') {
+    reject(prog, "--shard",
+           "shard count must be an integer, got '" + s.substr(slash + 1) +
+               "'");
+  }
+  if (n <= 0) {
+    reject(prog, "--shard",
+           "shard count must be positive, got " + std::to_string(n));
+  }
+  if (i < 0 || i >= n) {
+    reject(prog, "--shard",
+           "shard index " + std::to_string(i) + " out of range for " +
+               std::to_string(n) + " shards (need 0 <= i < N)");
+  }
+  *index = static_cast<int>(i);
+  *count = static_cast<int>(n);
 }
 
 /// Parse the common bench flags. argv[1] as a bare positive integer is
 /// still accepted as the run count (the historical calling convention).
 /// Benches without seeded replicates (exhaustive/analytic sweeps) pass
 /// has_reps = false, which rejects --runs/--seeds loudly instead of
-/// accepting a flag that would silently do nothing.
+/// accepting a flag that would silently do nothing; likewise has_shards
+/// marks the benches that implement the --shard partition protocol.
 inline BenchArgs parse_args(int argc, char** argv, int default_runs,
-                            bool has_reps = true) {
+                            bool has_reps = true, bool has_shards = false) {
   BenchArgs args;
   args.runs = default_runs;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto value = [&]() -> const char* {
-      if (i + 1 >= argc) usage(argv[0]);
+      if (i + 1 >= argc) {
+        reject(argv[0], arg, "expects a value");
+      }
       return argv[++i];
     };
     const auto reps_only = [&]() {
@@ -88,7 +153,7 @@ inline BenchArgs parse_args(int argc, char** argv, int default_runs,
     };
     if (arg == "--runs") {
       reps_only();
-      args.runs = parse_positive_int(argv[0], value());
+      args.runs = parse_positive_int(argv[0], arg, value());
     } else if (arg == "--seeds") {
       reps_only();
       const char* v = value();
@@ -97,16 +162,27 @@ inline BenchArgs parse_args(int argc, char** argv, int default_runs,
       // 0 is the "use the bench's historical base" sentinel, so a typo'd
       // or zero base must fail loudly rather than silently rerunning the
       // published tables.
-      if (end == v || *end != '\0' || args.seed_base == 0) usage(argv[0]);
+      if (end == v || *end != '\0' || args.seed_base == 0) {
+        reject(argv[0], arg,
+               std::string("expects a nonzero seed base, got '") + v + "'");
+      }
     } else if (arg == "--workers") {
-      args.workers = parse_positive_int(argv[0], value());
+      args.workers = parse_positive_int(argv[0], arg, value());
+    } else if (arg == "--shard") {
+      const char* v = value();
+      if (!has_shards) {
+        reject(argv[0], arg,
+               "not supported — this bench runs its whole grid in one "
+               "process");
+      }
+      parse_shard(argv[0], v, &args.shard_index, &args.shard_count);
     } else if (arg == "--json-out") {
       args.json_out = value();
     } else if (i == 1 && arg[0] >= '0' && arg[0] <= '9') {
       reps_only();
-      args.runs = parse_positive_int(argv[0], arg.c_str());
+      args.runs = parse_positive_int(argv[0], "run count", arg.c_str());
     } else {
-      usage(argv[0]);
+      reject(argv[0], arg, "unknown argument");
     }
   }
   return args;

@@ -15,18 +15,34 @@
 // (the repo pins the pre-hot-path-rewrite numbers in
 // BENCH_sweep.baseline.json): the serial throughput ratio is reported,
 // and when the grids match shape the serial result digest is re-checked
-// so accidental result drift is caught, not just races. CF_BENCH_GATE=1
-// turns both checks fatal (>= 2x throughput, identical digest) — meant
-// for same-host regression gating, not shared CI boxes.
+// so accidental result drift is caught, not just races. When the shapes
+// differ the digest check is skipped with an explicit reason (printed and
+// recorded as digest_skip_reason) — a --seeds/--runs override is a
+// different grid, not drift.
+//
+// --cache-dir DIR measures the content-addressed result cache: a cold
+// cached run (misses simulate and persist) followed by a warm re-run
+// (every spec served from disk), both verified bit-identical to the
+// uncached serial table. CF_BENCH_GATE=1 requires the warm re-run to be
+// >= 20x faster than cold (and keeps the 2x-vs-baseline throughput gate).
+//
+// --shard i/N + --table-out FILE runs only the grid cells shard i owns
+// and writes them as a partial result table; --merge FILE... (repeated)
+// loads N such tables, reassembles the full result vector, and reports
+// merged_digest — byte-identical to a single-process serial_digest, which
+// CI asserts. Gates are same-host tools, not for shared CI boxes.
 
 #include <algorithm>
 #include <chrono>
 #include <cinttypes>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <thread>
 
 #include "bench_util.hpp"
+#include "exp/result_cache.hpp"
+#include "exp/spec_digest.hpp"
 
 using namespace cuttlefish;
 
@@ -94,12 +110,37 @@ uint64_t digest(const exp::SweepGrid& grid,
   return h;
 }
 
+std::string digest_hex(uint64_t d) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, d);
+  return buf;
+}
+
+/// The grid identity recorded in (and parsed back from) every
+/// BENCH_sweep.json: two digests are comparable iff all four match.
+struct GridShape {
+  int64_t grid_points = 0;
+  int runs = 0;
+  uint64_t seed0 = 0;
+  bool smoke = false;
+
+  bool operator==(const GridShape&) const = default;
+  std::string describe() const {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "%" PRId64 " points x %d seeds (base %" PRIu64 ", %s)",
+                  grid_points, runs, seed0, smoke ? "smoke" : "full");
+    return buf;
+  }
+};
+
 /// The recorded baseline this run is compared against (a prior
 /// BENCH_sweep.json). Parsed with plain string scans — the files are
 /// emitted by our own JsonWriter, so the field shapes are fixed.
 struct Baseline {
   bool present = false;
   bool shape_matches = false;  // same grid + seeds: digest comparison valid
+  GridShape shape;
   double serial_vsps = 0.0;
   std::string serial_digest;  // empty when the file predates the field
 };
@@ -125,8 +166,7 @@ double json_num_field(const std::string& text, const std::string& name,
   return std::atof(text.c_str() + pos + key.size());
 }
 
-Baseline load_baseline(const std::string& path, bool smoke, int runs,
-                       uint64_t seed0) {
+Baseline load_baseline(const std::string& path, const GridShape& current) {
   Baseline base;
   std::ifstream in(path);
   if (!in) {
@@ -147,50 +187,170 @@ Baseline load_baseline(const std::string& path, bool smoke, int runs,
   base.serial_vsps =
       json_num_field(text, "virtual_s_per_wall_s", serial_pos);
   base.serial_digest = json_str_field(text, "serial_digest");
-  const bool base_smoke = text.find("\"smoke\": true") != std::string::npos;
-  const int base_runs =
-      static_cast<int>(json_num_field(text, "seeds_per_point"));
-  // Seed base changes every result: a --seeds override is a different
-  // grid, not drift (files predating the field parse as 0 and never
-  // match, skipping the digest check rather than mis-reporting).
-  const auto base_seed0 =
-      static_cast<uint64_t>(json_num_field(text, "seed_base"));
-  base.shape_matches =
-      base_smoke == smoke && base_runs == runs && base_seed0 == seed0;
+  // The full grid identity: point count, seeds per point, seed base and
+  // smoke mode all change every result bit, so all four must match before
+  // the digests are comparable (fields a file predates parse as 0/false
+  // and simply never match — the check is skipped, never mis-reported).
+  base.shape.grid_points =
+      static_cast<int64_t>(json_num_field(text, "grid_points"));
+  base.shape.runs = static_cast<int>(json_num_field(text, "seeds_per_point"));
+  base.shape.seed0 = static_cast<uint64_t>(json_num_field(text, "seed_base"));
+  base.shape.smoke = text.find("\"smoke\": true") != std::string::npos;
+  base.shape_matches = base.shape == current;
   return base;
+}
+
+int fail_usage(const char* prog, const std::string& msg) {
+  std::fprintf(stderr, "%s: %s\n", prog, msg.c_str());
+  std::fprintf(stderr,
+               "usage: %s [--baseline FILE] [--cache-dir DIR] "
+               "[--table-out FILE] [--merge FILE]... [bench flags]\n",
+               prog);
+  return 2;
+}
+
+/// Shard mode: run only the owned subset, write the partial table, done.
+/// Deliberately no JSON/baseline machinery — the merged run owns those.
+int run_shard_mode(const exp::SweepGrid& grid, const benchharness::BenchArgs& args,
+                   std::string table_out) {
+  if (table_out.empty()) {
+    table_out = "BENCH_sweep.shard" + std::to_string(args.shard_index) +
+                "-of-" + std::to_string(args.shard_count) + ".tbl";
+  }
+  std::unique_ptr<runtime::TaskScheduler> scheduler;
+  if (args.workers > 1) {
+    scheduler = std::make_unique<runtime::TaskScheduler>(args.workers);
+  }
+  const double t0 = now_s();
+  exp::ShardTable table;
+  table.grid_size = grid.size();
+  table.shard_index = args.shard_index;
+  table.shard_count = args.shard_count;
+  table.rows = exp::run_sweep_shard(grid, args.shard_index, args.shard_count,
+                                    scheduler.get());
+  const double wall = now_s() - t0;
+  if (!exp::save_shard_table(table_out, table)) return 1;
+  double virt = 0.0;
+  for (const auto& [idx, r] : table.rows) virt += r.time_s;
+  std::printf("  shard %d/%d: %zu of %zu co-simulations, %7.3fs wall, "
+              "%8.1f virtual s/s -> %s\n",
+              args.shard_index, args.shard_count, table.rows.size(),
+              grid.size(), wall, virt / wall, table_out.c_str());
+  return 0;
+}
+
+/// Merge mode: no simulation at all — load the N partial tables,
+/// reassemble the full result vector, and report the digest of the merged
+/// table (byte-identical to a single-process run's serial_digest; CI
+/// asserts exactly that).
+int run_merge_mode(const exp::SweepGrid& grid, const benchharness::BenchArgs& args,
+                   const GridShape& shape,
+                   const std::vector<std::string>& merge_paths,
+                   const std::string& json_out) {
+  std::vector<exp::ShardTable> tables;
+  for (const auto& path : merge_paths) {
+    exp::ShardTable table;
+    std::string error;
+    if (!exp::load_shard_table(path, &table, &error)) {
+      std::fprintf(stderr, "micro_sweep: %s: %s\n", path.c_str(),
+                   error.c_str());
+      return 2;
+    }
+    if (table.grid_size != grid.size()) {
+      std::fprintf(stderr,
+                   "micro_sweep: %s covers a %" PRIu64
+                   "-cell grid but the current flags build %zu cells — "
+                   "rerun with the --runs/--seeds the shards used\n",
+                   path.c_str(), table.grid_size, grid.size());
+      return 2;
+    }
+    std::printf("  loaded %s: shard %d/%d, %zu rows\n", path.c_str(),
+                table.shard_index, table.shard_count, table.rows.size());
+    tables.push_back(std::move(table));
+  }
+  std::string error;
+  const auto merged = exp::merge_shard_tables(tables, &error);
+  if (!merged) {
+    std::fprintf(stderr, "micro_sweep: merge failed: %s\n", error.c_str());
+    return 1;
+  }
+  const std::string merged_hex = digest_hex(digest(grid, *merged));
+  std::printf("  merged %zu tables -> %zu results, digest %s\n",
+              tables.size(), merged->size(), merged_hex.c_str());
+
+  benchharness::JsonWriter json;
+  json.field("grid_points", static_cast<int64_t>(grid.points().size()));
+  json.field("co_simulations", static_cast<int64_t>(grid.size()));
+  json.field("seeds_per_point", args.runs);
+  json.field("seed_base", static_cast<int64_t>(shape.seed0));
+  json.field("smoke", shape.smoke);
+  json.field("shard_count", tables.empty() ? 0 : tables.front().shard_count);
+  json.field("merged_digest", merged_hex);
+  json.field("virtual_seconds", virtual_seconds(*merged), 3);
+  json.write(json_out);
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const bool smoke = std::getenv("CF_BENCH_SMOKE") != nullptr;
-  // --baseline FILE is this bench's own flag; strip it before the shared
-  // parser sees the rest.
+  // --baseline/--cache-dir/--table-out/--merge are this bench's own
+  // flags; strip them before the shared parser sees the rest.
   std::string baseline_path;
+  std::string cache_dir;
+  std::string table_out;
+  std::vector<std::string> merge_paths;
   std::vector<char*> filtered{argv, argv + argc};
-  for (size_t i = 1; i < filtered.size(); ++i) {
-    if (std::string(filtered[i]) == "--baseline") {
-      if (i + 1 >= filtered.size()) {
-        std::fprintf(stderr, "usage: %s [--baseline FILE] ...\n", argv[0]);
-        return 2;
-      }
-      baseline_path = filtered[i + 1];
-      filtered.erase(filtered.begin() + static_cast<long>(i),
-                     filtered.begin() + static_cast<long>(i) + 2);
-      break;
+  for (size_t i = 1; i < filtered.size();) {
+    const std::string arg = filtered[i];
+    std::string* dest = nullptr;
+    if (arg == "--baseline") dest = &baseline_path;
+    if (arg == "--cache-dir") dest = &cache_dir;
+    if (arg == "--table-out") dest = &table_out;
+    if (dest == nullptr && arg != "--merge") {
+      ++i;
+      continue;
     }
+    if (i + 1 >= filtered.size()) {
+      return fail_usage(argv[0], arg + ": expects a value");
+    }
+    if (dest != nullptr) {
+      *dest = filtered[i + 1];
+    } else {
+      merge_paths.push_back(filtered[i + 1]);
+    }
+    filtered.erase(filtered.begin() + static_cast<long>(i),
+                   filtered.begin() + static_cast<long>(i) + 2);
   }
   auto args = benchharness::parse_args(static_cast<int>(filtered.size()),
-                                       filtered.data(), smoke ? 2 : 10);
+                                       filtered.data(), smoke ? 2 : 10,
+                                       /*has_reps=*/true, /*has_shards=*/true);
   if (args.json_out.empty()) args.json_out = "BENCH_sweep.json";
   const uint64_t seed0 = benchharness::seed_base(args, 1000);
   const sim::MachineConfig machine = sim::haswell_2650v3();
   const exp::SweepGrid grid = build_fig10_grid(machine, args.runs, seed0);
+  const GridShape shape{static_cast<int64_t>(grid.points().size()), args.runs,
+                        seed0, smoke};
+
+  if (!merge_paths.empty() && args.shard_count > 1) {
+    return fail_usage(argv[0],
+                      "--merge and --shard are mutually exclusive (shards "
+                      "produce tables; the merge consumes them)");
+  }
+  if (!table_out.empty() && args.shard_count <= 1) {
+    return fail_usage(argv[0], "--table-out requires --shard i/N");
+  }
 
   std::printf("micro_sweep: Fig. 10 grid, %zu points / %zu co-simulations "
               "(%d seeds per point, %s mode)\n",
               grid.points().size(), grid.size(), args.runs,
               smoke ? "smoke" : "full");
+
+  if (args.shard_count > 1) return run_shard_mode(grid, args, table_out);
+  if (!merge_paths.empty()) {
+    return run_merge_mode(grid, args, shape, merge_paths, args.json_out);
+  }
 
   // Serial reference.
   const double t0 = now_s();
@@ -199,24 +359,32 @@ int main(int argc, char** argv) {
   const double virt = virtual_seconds(serial);
   const uint64_t serial_digest = digest(grid, serial);
   const double serial_vsps = virt / serial_wall;
-  char digest_hex[24];
-  std::snprintf(digest_hex, sizeof(digest_hex), "%016" PRIx64, serial_digest);
+  const std::string serial_hex = digest_hex(serial_digest);
   std::printf("  serial:     %7.3fs wall, %8.1f virtual s/s\n", serial_wall,
               serial_vsps);
 
   Baseline base;
-  if (!baseline_path.empty()) {
-    base = load_baseline(baseline_path, smoke, args.runs, seed0);
-  }
+  if (!baseline_path.empty()) base = load_baseline(baseline_path, shape);
   bool digest_drift = false;
+  std::string digest_skip_reason;
   if (base.present) {
     const double speedup = serial_vsps / base.serial_vsps;
     std::printf("  vs baseline: %8.1f virtual s/s -> %.2fx serial throughput\n",
                 base.serial_vsps, speedup);
-    if (base.shape_matches && !base.serial_digest.empty()) {
-      digest_drift = base.serial_digest != digest_hex;
+    if (!base.shape_matches) {
+      digest_skip_reason = "grid shape mismatch: baseline " +
+                           base.shape.describe() + " vs current " +
+                           shape.describe();
+    } else if (base.serial_digest.empty()) {
+      digest_skip_reason = "baseline predates the serial_digest field";
+    }
+    if (digest_skip_reason.empty()) {
+      digest_drift = base.serial_digest != serial_hex;
       std::printf("  baseline digest %s: %s\n", base.serial_digest.c_str(),
                   digest_drift ? "DRIFT" : "identical");
+    } else {
+      std::printf("  baseline digest check skipped: %s\n",
+                  digest_skip_reason.c_str());
     }
   }
 
@@ -238,7 +406,7 @@ int main(int argc, char** argv) {
   json.field("hardware_threads",
              static_cast<int64_t>(std::thread::hardware_concurrency()));
   json.field("virtual_seconds", virt, 3);
-  json.field("serial_digest", std::string(digest_hex));
+  json.field("serial_digest", serial_hex);
   {
     benchharness::JsonWriter row;
     row.field("wall_s", serial_wall, 4);
@@ -250,8 +418,10 @@ int main(int argc, char** argv) {
     row.field("file", baseline_path);
     row.field("virtual_s_per_wall_s", base.serial_vsps, 2);
     row.field("speedup", serial_vsps / base.serial_vsps, 3);
-    row.field("digest_comparable",
-              base.shape_matches && !base.serial_digest.empty());
+    row.field("digest_comparable", digest_skip_reason.empty());
+    if (!digest_skip_reason.empty()) {
+      row.field("digest_skip_reason", digest_skip_reason);
+    }
     row.field("digest_identical", !digest_drift);
     json.raw("baseline", row.compact());
   }
@@ -281,11 +451,60 @@ int main(int argc, char** argv) {
   }
   json.raw("parallel", "[" + rows + "]");
   json.field("all_identical_to_serial", all_identical);
+
+  // Content-addressed cache: a cold cached run (simulate + persist every
+  // miss) then a warm re-run (served entirely from disk), both checked
+  // bit-identical to the uncached serial table. The 20x warm gate only
+  // makes sense when the cold run actually simulated the whole grid, so a
+  // pre-populated --cache-dir downgrades it to a report.
+  bool cache_identical = true;
+  bool cache_cold = false;
+  double warm_speedup = 0.0;
+  if (!cache_dir.empty()) {
+    exp::ResultCache cache(cache_dir);
+    exp::SweepRunStats cold_stats;
+    const double c0 = now_s();
+    const std::vector<exp::RunResult> cold =
+        exp::run_sweep(grid, nullptr, &cache, &cold_stats);
+    const double cold_wall = now_s() - c0;
+    exp::SweepRunStats warm_stats;
+    const double w0 = now_s();
+    const std::vector<exp::RunResult> warm =
+        exp::run_sweep(grid, nullptr, &cache, &warm_stats);
+    const double warm_wall = now_s() - w0;
+    cache_identical = digest(grid, cold) == serial_digest &&
+                      digest(grid, warm) == serial_digest;
+    cache_cold = cold_stats.cache_misses == grid.size();
+    warm_speedup = cold_wall / warm_wall;
+    std::printf("  cache cold: %7.3fs wall (%zu hits / %zu misses)\n",
+                cold_wall, cold_stats.cache_hits, cold_stats.cache_misses);
+    std::printf("  cache warm: %7.3fs wall (%zu hits / %zu misses), "
+                "%.1fx vs cold, results %s\n",
+                warm_wall, warm_stats.cache_hits, warm_stats.cache_misses,
+                warm_speedup, cache_identical ? "bit-identical" : "MISMATCH");
+    benchharness::JsonWriter row;
+    row.field("dir", cache_dir);
+    row.field("cold_wall_s", cold_wall, 4);
+    row.field("cold_hits", static_cast<int64_t>(cold_stats.cache_hits));
+    row.field("cold_misses", static_cast<int64_t>(cold_stats.cache_misses));
+    row.field("warm_wall_s", warm_wall, 4);
+    row.field("warm_hits", static_cast<int64_t>(warm_stats.cache_hits));
+    row.field("warm_misses", static_cast<int64_t>(warm_stats.cache_misses));
+    row.field("warm_speedup", warm_speedup, 2);
+    row.field("truly_cold", cache_cold);
+    row.field("identical_to_serial", cache_identical);
+    json.raw("cache", row.compact());
+  }
   json.write(args.json_out);
 
   if (!all_identical) {
     std::fprintf(stderr,
                  "micro_sweep: parallel results diverged from serial\n");
+    return 1;
+  }
+  if (!cache_identical) {
+    std::fprintf(stderr,
+                 "micro_sweep: cached results diverged from serial\n");
     return 1;
   }
   if (digest_drift) {
@@ -294,12 +513,19 @@ int main(int argc, char** argv) {
                  "baseline digest\n");
     return 1;
   }
-  if (std::getenv("CF_BENCH_GATE") != nullptr && base.present &&
-      serial_vsps < 2.0 * base.serial_vsps) {
+  const bool gate = std::getenv("CF_BENCH_GATE") != nullptr;
+  if (gate && base.present && serial_vsps < 2.0 * base.serial_vsps) {
     std::fprintf(stderr,
                  "micro_sweep: %.1f virtual s/s is below 2x the recorded "
                  "baseline (%.1f)\n",
                  serial_vsps, base.serial_vsps);
+    return 1;
+  }
+  if (gate && cache_cold && warm_speedup < 20.0) {
+    std::fprintf(stderr,
+                 "micro_sweep: warm cache re-run is only %.1fx faster than "
+                 "cold (gate requires >= 20x)\n",
+                 warm_speedup);
     return 1;
   }
   return 0;

@@ -8,10 +8,17 @@
 //   cuttlefishctl list                       available benchmarks
 //   cuttlefishctl regions [profiles.json]    cached region profiles (no
 //                                            file: run a warm-start demo)
+//   cuttlefishctl cache stats  <dir>         sweep result cache summary
+//   cuttlefishctl cache verify <dir> [--sample N]
+//                                            re-simulate cached entries and
+//                                            compare byte-for-byte
+//   cuttlefishctl cache gc <dir> --max-bytes N
+//                                            drop oldest shards to fit N
 //
 // policy: full (default) | core | uncore | monitor
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -24,6 +31,9 @@
 #include "exp/calibrate.hpp"
 #include "exp/driver.hpp"
 #include "exp/metrics.hpp"
+#include "exp/result_cache.hpp"
+#include "exp/spec_digest.hpp"
+#include "exp/sweep.hpp"
 #include "hal/cpufreq.hpp"
 #include "hal/linux_msr.hpp"
 #include "sim/machine_config.hpp"
@@ -249,11 +259,137 @@ int cmd_regions(const char* path) {
   return 0;
 }
 
+int cmd_cache_stats(const char* dir) {
+  exp::ResultCache cache(dir);
+  const auto stats = cache.stats();
+  std::printf("cache %s\n", cache.dir().c_str());
+  std::printf("  entries:         %zu\n", stats.entries);
+  std::printf("  shards:          %zu\n", stats.shards);
+  std::printf("  bytes:           %llu\n",
+              static_cast<unsigned long long>(stats.bytes));
+  std::printf("  skipped records: %llu%s\n",
+              static_cast<unsigned long long>(stats.skipped_records),
+              stats.skipped_records != 0
+                  ? "  (corrupt/truncated — re-simulated on next sweep)"
+                  : "");
+  const auto last = cache.last_run();
+  if (last.present) {
+    const uint64_t total = last.hits + last.misses;
+    std::printf("  last run:        %llu hits / %llu misses (%.1f%% hit "
+                "rate)\n",
+                static_cast<unsigned long long>(last.hits),
+                static_cast<unsigned long long>(last.misses),
+                total != 0 ? 100.0 * static_cast<double>(last.hits) /
+                                 static_cast<double>(total)
+                           : 0.0);
+  } else {
+    std::printf("  last run:        (none recorded)\n");
+  }
+  return 0;
+}
+
+// Trust-but-verify for a cache that outlives code changes: decode each
+// sampled entry's canonical spec, re-run the co-simulation, and require
+// the fresh result to be byte-identical to the stored one. Any digest
+// collision, codec drift, or silent simulator change shows up here.
+int cmd_cache_verify(const char* dir, int sample) {
+  exp::ResultCache cache(dir);
+  if (cache.size() == 0) {
+    std::printf("cache %s is empty — nothing to verify\n",
+                cache.dir().c_str());
+    return 0;
+  }
+  const size_t n = cache.size();
+  const size_t want = sample <= 0 ? n : static_cast<size_t>(sample);
+  // Deterministic stride sampling: same entries every invocation, spread
+  // across shards rather than clustered at the front.
+  const size_t step = want >= n ? 1 : n / want;
+  size_t checked = 0, mismatches = 0, unreadable = 0;
+  for (size_t i = 0; i < n && checked < want; i += step, ++checked) {
+    exp::ResultCache::EntryView view;
+    if (!cache.entry(i, &view)) {
+      std::printf("  entry %zu: UNREADABLE\n", i);
+      ++unreadable;
+      continue;
+    }
+    const auto decoded =
+        exp::decode_spec(view.spec_blob.data(), view.spec_blob.size());
+    if (decoded == nullptr) {
+      std::printf("  entry %zu (%s): spec blob no longer decodes\n", i,
+                  view.digest.hex().c_str());
+      ++unreadable;
+      continue;
+    }
+    const exp::RunResult fresh = exp::run_spec(decoded->spec);
+    if (exp::encode_result(fresh) != exp::encode_result(view.result)) {
+      std::printf("  entry %zu (%s): MISMATCH vs fresh simulation\n", i,
+                  view.digest.hex().c_str());
+      ++mismatches;
+    }
+  }
+  std::printf("verified %zu of %zu entries: %zu identical, %zu mismatched, "
+              "%zu unreadable\n",
+              checked, n, checked - mismatches - unreadable, mismatches,
+              unreadable);
+  return mismatches + unreadable != 0 ? 1 : 0;
+}
+
+int cmd_cache_gc(const char* dir, const char* max_bytes_arg) {
+  char* end = nullptr;
+  const unsigned long long max_bytes = std::strtoull(max_bytes_arg, &end, 10);
+  if (end == max_bytes_arg || *end != '\0') {
+    std::fprintf(stderr, "cache gc: --max-bytes expects an integer, got "
+                         "'%s'\n",
+                 max_bytes_arg);
+    return 2;
+  }
+  exp::ResultCache cache(dir);
+  const auto before = cache.stats();
+  const uint64_t removed = cache.gc(max_bytes);
+  const auto after = cache.stats();
+  std::printf("gc %s to <= %llu bytes: removed %llu bytes (%zu -> %zu "
+              "shards, %zu -> %zu entries)\n",
+              cache.dir().c_str(), max_bytes,
+              static_cast<unsigned long long>(removed), before.shards,
+              after.shards, before.entries, after.entries);
+  return 0;
+}
+
+int cmd_cache(int argc, char** argv) {
+  const std::string sub = argc >= 3 ? argv[2] : "";
+  if (sub == "stats" && argc == 4) return cmd_cache_stats(argv[3]);
+  if (sub == "verify" && argc >= 4) {
+    int sample = 0;  // 0 = every entry
+    if (argc == 6 && std::string(argv[4]) == "--sample") {
+      sample = std::atoi(argv[5]);
+      if (sample <= 0) {
+        std::fprintf(stderr, "cache verify: --sample expects a positive "
+                             "integer, got '%s'\n",
+                     argv[5]);
+        return 2;
+      }
+    } else if (argc != 4) {
+      std::fprintf(stderr,
+                   "usage: cuttlefishctl cache verify <dir> [--sample N]\n");
+      return 2;
+    }
+    return cmd_cache_verify(argv[3], sample);
+  }
+  if (sub == "gc" && argc == 6 && std::string(argv[4]) == "--max-bytes") {
+    return cmd_cache_gc(argv[3], argv[5]);
+  }
+  std::fprintf(stderr,
+               "usage: cuttlefishctl cache stats <dir> | cache verify <dir> "
+               "[--sample N] | cache gc <dir> --max-bytes N\n");
+  return 2;
+}
+
 void usage() {
   std::fprintf(stderr,
                "usage: cuttlefishctl backends | probe | list | demo "
                "<benchmark> [full|core|uncore|monitor] | trace <benchmark> "
-               "[lines] | regions [profiles.json]\n");
+               "[lines] | regions [profiles.json] | cache "
+               "stats|verify|gc <dir>\n");
 }
 
 }  // namespace
@@ -276,6 +412,7 @@ int main(int argc, char** argv) {
   if (cmd == "regions") {
     return cmd_regions(argc >= 3 ? argv[2] : nullptr);
   }
+  if (cmd == "cache") return cmd_cache(argc, argv);
   usage();
   return 2;
 }

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "exp/sweep.hpp"
+
+/// Content addressing for sweep results. The engine's determinism rule —
+/// a spec's seed is fixed at grid expansion and its result is
+/// byte-identical at any worker count — makes every RunResult a pure
+/// function of (machine, model, variant, controller config, seed). The
+/// canonical spec form below serializes exactly those inputs, and its
+/// 128-bit digest is the key under which exp::ResultCache stores the run,
+/// so touching any input (a machine coefficient, a controller knob, a
+/// seed) invalidates exactly the affected cells and nothing else.
+namespace cuttlefish::exp {
+
+/// Version of the digest *semantics*, not just the canonical layout: bump
+/// it whenever a change anywhere in the stack (simulator arithmetic,
+/// calibration, controller behaviour, driver loops) can alter the result
+/// bytes of an unchanged RunSpec. A bump changes every digest, cleanly
+/// orphaning all previously cached results. tests/exp_cache_test.cpp pins
+/// golden digests so an accidental layout change fails loudly too.
+inline constexpr uint32_t kSpecFormatVersion = 1;
+
+struct SpecDigest {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  std::string hex() const;  // 32 lowercase hex chars, hi first
+  auto operator<=>(const SpecDigest&) const = default;
+};
+
+struct SpecDigestHash {
+  size_t operator()(const SpecDigest& d) const {
+    // Murmur output is already well mixed; fold the halves.
+    return static_cast<size_t>(d.hi ^ d.lo);
+  }
+};
+
+/// MurmurHash3 x64 128 (public-domain construction) — not cryptographic,
+/// but 128 well-avalanched bits keep the collision probability for a
+/// 10^6..10^9-entry store far below hardware error rates.
+SpecDigest digest_bytes(const void* data, size_t size);
+
+/// Canonical serialization of everything a RunResult depends on:
+/// kSpecFormatVersion, the full MachineConfig, the model identity (name
+/// resolves the phase-model builder; cpi0 / default_time_s / memory_bound
+/// are the knobs the HClib ports vary), the run variant (kind, policy,
+/// fixed CF/UF), the seed, capture_timeline and the full ControllerConfig.
+/// options.seed is deliberately excluded: run_spec overwrites it with
+/// spec.seed before running.
+std::string encode_spec(const RunSpec& spec);
+
+inline SpecDigest digest_spec(const RunSpec& spec) {
+  const std::string blob = encode_spec(spec);
+  return digest_bytes(blob.data(), blob.size());
+}
+
+/// A spec rebuilt from its canonical bytes, self-contained so
+/// `cuttlefishctl cache verify` can re-simulate cached entries without the
+/// original grid. spec.machine / spec.model point into this struct (hence
+/// no copies — the pointers would dangle).
+struct DecodedSpec {
+  sim::MachineConfig machine;
+  workloads::BenchmarkModel model;
+  RunSpec spec;
+
+  DecodedSpec() = default;
+  DecodedSpec(const DecodedSpec&) = delete;
+  DecodedSpec& operator=(const DecodedSpec&) = delete;
+};
+
+/// Null when the blob is malformed, from an unknown format version, or
+/// names a model this binary has no builder for — callers treat all three
+/// as "cannot verify / must re-simulate".
+std::unique_ptr<DecodedSpec> decode_spec(const void* data, size_t size);
+
+}  // namespace cuttlefish::exp

@@ -7,6 +7,8 @@
 
 #include "common/assert.hpp"
 #include "exp/calibrate.hpp"
+#include "exp/result_cache.hpp"
+#include "exp/spec_digest.hpp"
 #include "runtime/parallel_for.hpp"
 
 namespace cuttlefish::exp {
@@ -121,31 +123,40 @@ void sweep_ordered(int64_t n, const std::function<void(int64_t)>& fn,
   runtime::parallel_for(*scheduler, 0, n, fn, /*grain=*/1);
 }
 
-std::vector<RunResult> run_sweep(const SweepGrid& grid,
-                                 runtime::TaskScheduler* scheduler) {
+namespace {
+
+/// Simulate the specs at `indices`, writing each result at its spec index
+/// in the full-size `results` vector.
+///
+/// Calibrated programs are a pure function of (model, machine, seed) — the
+/// full memo key — and a grid reuses each one across its variant points
+/// (Default + three policies share the same seeds, Fig. 3 sweeps share one
+/// model across a frequency grid), so every unique program is calibrated
+/// exactly once — itself fanned out — and then shared read-only by the
+/// runs. Sharing changes no bits: run_spec(spec) would rebuild the
+/// identical program. The memo spans only `indices`: when the cache or a
+/// shard partition shrinks the work list, no program is calibrated for a
+/// spec that will not run.
+void run_subset(const SweepGrid& grid, const std::vector<uint64_t>& indices,
+                runtime::TaskScheduler* scheduler,
+                std::vector<RunResult>* results) {
+  if (indices.empty()) return;
   const std::vector<RunSpec>& specs = grid.specs();
-  // Calibrated programs are a pure function of (model, machine, seed) —
-  // the full memo key — and a grid reuses each one across its variant
-  // points (Default + three
-  // policies share the same seeds, Fig. 3 sweeps share one model across a
-  // frequency grid), so every unique program is calibrated exactly once —
-  // itself fanned out — and then shared read-only by the runs. Sharing
-  // changes no bits: run_spec(spec) would rebuild the identical program.
   std::map<std::tuple<const workloads::BenchmarkModel*,
                       const sim::MachineConfig*, uint64_t>,
            size_t>
       program_index;
-  std::vector<size_t> spec_program(specs.size());
-  for (size_t i = 0; i < specs.size(); ++i) {
-    const auto key =
-        std::make_tuple(specs[i].model, specs[i].machine, specs[i].seed);
+  std::vector<size_t> spec_program(indices.size());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const RunSpec& spec = specs[indices[i]];
+    const auto key = std::make_tuple(spec.model, spec.machine, spec.seed);
     const auto [it, inserted] =
         program_index.emplace(key, program_index.size());
     spec_program[i] = it->second;
   }
   std::vector<const RunSpec*> rep_spec(program_index.size());
-  for (size_t i = specs.size(); i-- > 0;) {
-    rep_spec[spec_program[i]] = &specs[i];
+  for (size_t i = indices.size(); i-- > 0;) {
+    rep_spec[spec_program[i]] = &specs[indices[i]];
   }
   std::vector<sim::PhaseProgram> programs(program_index.size());
   sweep_ordered(
@@ -157,15 +168,76 @@ std::vector<RunResult> run_sweep(const SweepGrid& grid,
       },
       scheduler);
 
-  std::vector<RunResult> results(specs.size());
   sweep_ordered(
-      static_cast<int64_t>(specs.size()),
+      static_cast<int64_t>(indices.size()),
       [&](int64_t i) {
-        results[static_cast<size_t>(i)] =
-            run_spec(specs[static_cast<size_t>(i)],
-                     programs[spec_program[static_cast<size_t>(i)]]);
+        const uint64_t idx = indices[static_cast<size_t>(i)];
+        (*results)[idx] =
+            run_spec(specs[idx], programs[spec_program[static_cast<size_t>(i)]]);
       },
       scheduler);
+}
+
+/// Shared core of the cached, uncached and sharded entry points: serve
+/// what the cache holds, simulate the rest, persist the news. The cache is
+/// touched only from this (the calling) thread.
+void run_indices(const SweepGrid& grid, const std::vector<uint64_t>& indices,
+                 runtime::TaskScheduler* scheduler, ResultCache* cache,
+                 SweepRunStats* stats, std::vector<RunResult>* results) {
+  if (cache == nullptr) {
+    run_subset(grid, indices, scheduler, results);
+    if (stats != nullptr) {
+      stats->cache_hits = 0;
+      stats->cache_misses = indices.size();
+    }
+    return;
+  }
+  const std::vector<RunSpec>& specs = grid.specs();
+  std::vector<uint64_t> misses;
+  std::vector<SpecDigest> miss_digests;
+  std::vector<std::string> miss_blobs;
+  size_t hits = 0;
+  for (const uint64_t idx : indices) {
+    std::string blob = encode_spec(specs[idx]);
+    const SpecDigest digest = digest_bytes(blob.data(), blob.size());
+    if (cache->lookup(digest, &(*results)[idx])) {
+      ++hits;
+    } else {
+      misses.push_back(idx);
+      miss_digests.push_back(digest);
+      miss_blobs.push_back(std::move(blob));
+    }
+  }
+  run_subset(grid, misses, scheduler, results);
+  if (!misses.empty()) {
+    std::vector<ResultCache::Insert> batch;
+    batch.reserve(misses.size());
+    for (size_t i = 0; i < misses.size(); ++i) {
+      batch.push_back(ResultCache::Insert{miss_digests[i],
+                                          std::move(miss_blobs[i]),
+                                          &(*results)[misses[i]]});
+    }
+    cache->insert_batch(batch);
+  }
+  cache->note_run(hits, misses.size());
+  if (stats != nullptr) {
+    stats->cache_hits = hits;
+    stats->cache_misses = misses.size();
+  }
+}
+
+std::vector<uint64_t> all_indices(size_t n) {
+  std::vector<uint64_t> indices(n);
+  for (size_t i = 0; i < n; ++i) indices[i] = i;
+  return indices;
+}
+
+}  // namespace
+
+std::vector<RunResult> run_sweep(const SweepGrid& grid,
+                                 runtime::TaskScheduler* scheduler) {
+  std::vector<RunResult> results(grid.size());
+  run_subset(grid, all_indices(grid.size()), scheduler, &results);
   return results;
 }
 
@@ -173,6 +245,38 @@ std::vector<RunResult> run_sweep(const SweepGrid& grid, int workers) {
   if (workers <= 1) return run_sweep(grid, nullptr);
   runtime::TaskScheduler scheduler(workers);
   return run_sweep(grid, &scheduler);
+}
+
+std::vector<RunResult> run_sweep(const SweepGrid& grid,
+                                 runtime::TaskScheduler* scheduler,
+                                 ResultCache* cache, SweepRunStats* stats) {
+  std::vector<RunResult> results(grid.size());
+  run_indices(grid, all_indices(grid.size()), scheduler, cache, stats,
+              &results);
+  return results;
+}
+
+std::vector<std::pair<uint64_t, RunResult>> run_sweep_shard(
+    const SweepGrid& grid, int shard_index, int shard_count,
+    runtime::TaskScheduler* scheduler, ResultCache* cache,
+    SweepRunStats* stats) {
+  CF_ASSERT(shard_count > 0, "shard count must be positive");
+  CF_ASSERT(shard_index >= 0 && shard_index < shard_count,
+            "shard index out of range");
+  std::vector<uint64_t> owned;
+  for (uint64_t i = 0; i < grid.size(); ++i) {
+    if (shard_owns(i, shard_index, shard_count)) owned.push_back(i);
+  }
+  // The full-size scratch table keeps run_indices index-stable; only the
+  // owned cells are ever written.
+  std::vector<RunResult> results(grid.size());
+  run_indices(grid, owned, scheduler, cache, stats, &results);
+  std::vector<std::pair<uint64_t, RunResult>> rows;
+  rows.reserve(owned.size());
+  for (const uint64_t idx : owned) {
+    rows.emplace_back(idx, std::move(results[idx]));
+  }
+  return rows;
 }
 
 ValueAggregate aggregate_values(const std::vector<double>& values) {

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "exp/driver.hpp"
@@ -103,6 +104,14 @@ RunResult run_spec(const RunSpec& spec);
 /// memoises programs per unique (model, seed) and shares them read-only).
 RunResult run_spec(const RunSpec& spec, const sim::PhaseProgram& program);
 
+class ResultCache;  // exp/result_cache.hpp
+
+/// Hit/miss accounting of one cached sweep (misses == specs simulated).
+struct SweepRunStats {
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
+};
+
 /// Run every spec of the grid; results are indexed like grid.specs().
 /// A null scheduler (or a 1-worker pool) runs serially in-place; otherwise
 /// the specs fan out over the scheduler via parallel_for with grain 1.
@@ -112,6 +121,37 @@ std::vector<RunResult> run_sweep(const SweepGrid& grid,
 /// Convenience: builds a transient `workers`-sized scheduler (workers <= 1
 /// runs serially without one).
 std::vector<RunResult> run_sweep(const SweepGrid& grid, int workers);
+
+/// The content-addressed fast path: specs whose digest is already in the
+/// cache are served from disk with zero simulation; only the misses fan
+/// out over the scheduler, and their results are persisted as one new
+/// shard before returning. Because cached results are byte-exact copies of
+/// fresh runs, the returned table is bit-identical to run_sweep without a
+/// cache — at any hit rate, at any worker count. The cache is driven only
+/// from the calling thread (lookups before the fan-out, the insert after
+/// the join), so it needs no internal locking.
+std::vector<RunResult> run_sweep(const SweepGrid& grid,
+                                 runtime::TaskScheduler* scheduler,
+                                 ResultCache* cache,
+                                 SweepRunStats* stats = nullptr);
+
+/// Deterministic `--shard i/N` partition: spec `index` belongs to shard
+/// `index % count`. Striding (rather than chunking) balances shards even
+/// when a grid clusters its expensive points.
+inline bool shard_owns(uint64_t index, int shard_index, int shard_count) {
+  return static_cast<int>(index % static_cast<uint64_t>(shard_count)) ==
+         shard_index;
+}
+
+/// Run only the specs shard `shard_index` of `shard_count` owns, returning
+/// (spec index, result) rows ready for a ShardTable
+/// (exp/result_cache.hpp). N processes running the N shards of one grid —
+/// with or without a shared cache — merge byte-identically to the
+/// single-process table.
+std::vector<std::pair<uint64_t, RunResult>> run_sweep_shard(
+    const SweepGrid& grid, int shard_index, int shard_count,
+    runtime::TaskScheduler* scheduler = nullptr, ResultCache* cache = nullptr,
+    SweepRunStats* stats = nullptr);
 
 /// Ordered parallel map for analytic (non co-simulation) sweeps: runs
 /// fn(0..n) with results keyed by index, serial when scheduler is null.

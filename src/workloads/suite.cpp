@@ -235,4 +235,14 @@ const BenchmarkModel& find_benchmark(const std::string& name) {
   return openmp_suite().front();  // unreachable
 }
 
+const BenchmarkModel* find_benchmark_or_null(const std::string& name) {
+  for (const BenchmarkModel& m : openmp_suite()) {
+    if (m.name == name) return &m;
+  }
+  for (const BenchmarkModel& m : hclib_suite()) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
 }  // namespace cuttlefish::workloads

@@ -37,4 +37,10 @@ const std::vector<BenchmarkModel>& hclib_suite();
 /// Lookup by name (aborts if missing — benches use fixed names).
 const BenchmarkModel& find_benchmark(const std::string& name);
 
+/// Nullable lookup across both suites, OpenMP first (the HClib ports share
+/// their OpenMP twin's phase-model builder, so either match resolves the
+/// builder). Used by the sweep cache's spec decoder, where an unknown name
+/// means "cannot re-simulate", not a programming error.
+const BenchmarkModel* find_benchmark_or_null(const std::string& name);
+
 }  // namespace cuttlefish::workloads

@@ -1,0 +1,554 @@
+#include "exp/result_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <random>
+
+#include "exp/spec_digest.hpp"
+#include "exp/sweep.hpp"
+#include "sim/machine_config.hpp"
+#include "workloads/suite.hpp"
+
+namespace cuttlefish::exp {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh store directory per test, removed on teardown.
+class TempStore {
+ public:
+  explicit TempStore(const std::string& tag) {
+    root_ = fs::temp_directory_path() /
+            ("cuttlefish_cache_test_" + tag + "_" +
+             std::to_string(::getpid()));
+    fs::remove_all(root_);
+  }
+  ~TempStore() { fs::remove_all(root_); }
+
+  std::string path() const { return root_.string(); }
+  fs::path dir() const { return root_; }
+
+  /// The store's shard files, sorted for determinism.
+  std::vector<fs::path> shards() const {
+    std::vector<fs::path> out;
+    if (!fs::exists(root_)) return out;
+    for (const auto& e : fs::directory_iterator(root_)) {
+      if (e.path().filename().string().rfind("shard-", 0) == 0) {
+        out.push_back(e.path());
+      }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  fs::path root_;
+};
+
+bool same_result_bytes(const RunResult& a, const RunResult& b) {
+  return encode_result(a) == encode_result(b);
+}
+
+bool tables_identical(const std::vector<RunResult>& a,
+                      const std::vector<RunResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!same_result_bytes(a[i], b[i])) return false;
+  }
+  return true;
+}
+
+/// The grid used by most tests: two models, Default + paired policy.
+SweepGrid make_grid(const sim::MachineConfig& machine, int reps,
+                    uint64_t seed0 = 900) {
+  SweepGrid grid(machine);
+  RunOptions opt;
+  for (const char* name : {"SOR-irt", "Heat-irt"}) {
+    const auto& model = workloads::find_benchmark(name);
+    const int base = grid.add_default(std::string(name) + "/Default", model,
+                                      opt, reps, seed0);
+    grid.add_policy(std::string(name) + "/Cuttlefish", model,
+                    core::PolicyKind::kFull, opt, reps, seed0, base);
+  }
+  return grid;
+}
+
+RunSpec canonical_spec(const sim::MachineConfig& machine) {
+  RunSpec spec;
+  spec.machine = &machine;
+  spec.model = &workloads::find_benchmark("SOR-irt");
+  spec.kind = RunKind::kPolicy;
+  spec.policy = core::PolicyKind::kFull;
+  spec.seed = 42;
+  return spec;
+}
+
+// ---- digest ------------------------------------------------------------
+
+// Golden pin: the canonical encoding (and therefore every cached digest)
+// must not change silently. If this fails you changed the spec layout or
+// the hash — bump kSpecFormatVersion so existing stores are orphaned
+// cleanly, then re-pin.
+TEST(exp_cache, GoldenSpecDigestIsPinned) {
+  ASSERT_EQ(kSpecFormatVersion, 1u);
+  const sim::MachineConfig machine = sim::haswell_2650v3();
+  const RunSpec spec = canonical_spec(machine);
+  EXPECT_EQ(digest_spec(spec).hex(), "fce1f874499e1f84f46736b6799f8168");
+}
+
+TEST(exp_cache, GoldenBytesDigestIsPinned) {
+  // Pins the Murmur3 construction itself, independent of spec layout.
+  const char data[] = "cuttlefish";
+  EXPECT_EQ(digest_bytes(data, sizeof(data) - 1).hex(),
+            "5075fc5b56881fe8c910f0f15c64fe10");
+}
+
+TEST(exp_cache, DigestIsSensitiveToEveryInputClass) {
+  const sim::MachineConfig machine = sim::haswell_2650v3();
+  const RunSpec base = canonical_spec(machine);
+  const SpecDigest d0 = digest_spec(base);
+
+  RunSpec seed = base;
+  seed.seed = 43;
+  EXPECT_NE(digest_spec(seed), d0);
+
+  RunSpec policy = base;
+  policy.policy = core::PolicyKind::kCoreOnly;
+  EXPECT_NE(digest_spec(policy), d0);
+
+  RunSpec fixed = base;
+  fixed.kind = RunKind::kFixed;
+  fixed.cf = FreqMHz{2300};
+  fixed.uf = FreqMHz{2700};
+  EXPECT_NE(digest_spec(fixed), d0);
+
+  RunSpec knob = base;
+  knob.options.controller.tinv_s = 0.025;
+  EXPECT_NE(digest_spec(knob), d0);
+
+  RunSpec model = base;
+  model.model = &workloads::find_benchmark("Heat-irt");
+  EXPECT_NE(digest_spec(model), d0);
+
+  sim::MachineConfig other = machine;
+  other.dram_bw_gbs += 1.0;
+  RunSpec machine_spec = base;
+  machine_spec.machine = &other;
+  EXPECT_NE(digest_spec(machine_spec), d0);
+
+  // Grid bookkeeping (point/rep/baseline indices) is NOT part of the
+  // result function: the same cell in a reshaped grid must still hit.
+  RunSpec bookkeeping = base;
+  bookkeeping.point = 17;
+  bookkeeping.rep = 3;
+  bookkeeping.baseline_point = 4;
+  EXPECT_EQ(digest_spec(bookkeeping), d0);
+  // ...and so is options.seed, which run_spec overwrites with spec.seed.
+  RunSpec opt_seed = base;
+  opt_seed.options.seed = 999;
+  EXPECT_EQ(digest_spec(opt_seed), d0);
+}
+
+TEST(exp_cache, SpecBlobRoundTripsAndReRunsIdentically) {
+  const sim::MachineConfig machine = sim::haswell_2650v3();
+  for (const RunKind kind :
+       {RunKind::kDefault, RunKind::kFixed, RunKind::kPolicy}) {
+    RunSpec spec = canonical_spec(machine);
+    spec.kind = kind;
+    if (kind == RunKind::kFixed) {
+      spec.cf = FreqMHz{1900};
+      spec.uf = FreqMHz{2400};
+    }
+    const std::string blob = encode_spec(spec);
+    const auto decoded = decode_spec(blob.data(), blob.size());
+    ASSERT_NE(decoded, nullptr);
+    // Re-encoding the decoded spec reproduces the canonical bytes...
+    EXPECT_EQ(encode_spec(decoded->spec), blob);
+    // ...and running it reproduces the original result byte-for-byte
+    // (the property `cuttlefishctl cache verify` relies on).
+    EXPECT_TRUE(same_result_bytes(run_spec(spec), run_spec(decoded->spec)));
+  }
+}
+
+TEST(exp_cache, DecodeRejectsMalformedBlobs) {
+  const sim::MachineConfig machine = sim::haswell_2650v3();
+  std::string blob = encode_spec(canonical_spec(machine));
+  EXPECT_EQ(decode_spec(blob.data(), blob.size() - 1), nullptr);
+  EXPECT_EQ(decode_spec(blob.data(), 0), nullptr);
+  std::string wrong_magic = blob;
+  wrong_magic[0] ^= 0xff;
+  EXPECT_EQ(decode_spec(wrong_magic.data(), wrong_magic.size()), nullptr);
+  // A future format version must be refused, not misparsed.
+  std::string wrong_version = blob;
+  wrong_version[4] = char(0x7f);
+  EXPECT_EQ(decode_spec(wrong_version.data(), wrong_version.size()),
+            nullptr);
+}
+
+TEST(exp_cache, ResultCodecRoundTripsByteExactly) {
+  const sim::MachineConfig machine = sim::haswell_2650v3();
+  RunSpec spec = canonical_spec(machine);
+  spec.options.capture_timeline = true;
+  const RunResult original = run_spec(spec);
+  ASSERT_FALSE(original.timeline.empty());
+  ASSERT_FALSE(original.nodes.empty());
+
+  const std::string bytes = encode_result(original);
+  RunResult decoded;
+  ASSERT_TRUE(decode_result(bytes.data(), bytes.size(), &decoded));
+  EXPECT_EQ(encode_result(decoded), bytes);
+  EXPECT_EQ(decoded.timeline.size(), original.timeline.size());
+  EXPECT_EQ(decoded.nodes.size(), original.nodes.size());
+  EXPECT_EQ(decoded.stats.ticks, original.stats.ticks);
+
+  // Truncations and garbage must fail cleanly, never misdecode.
+  for (const size_t cut : {size_t{0}, size_t{4}, bytes.size() - 1}) {
+    RunResult out;
+    EXPECT_FALSE(decode_result(bytes.data(), cut, &out)) << cut;
+  }
+}
+
+// ---- cache hit path ----------------------------------------------------
+
+TEST(exp_cache, WarmRunIsAllHitsAndByteIdentical) {
+  const sim::MachineConfig machine = sim::haswell_2650v3();
+  const SweepGrid grid = make_grid(machine, 2);
+  const auto uncached = run_sweep(grid, nullptr);
+
+  TempStore store("warm");
+  SweepRunStats cold_stats;
+  {
+    ResultCache cache(store.path());
+    const auto cold = run_sweep(grid, nullptr, &cache, &cold_stats);
+    EXPECT_TRUE(tables_identical(uncached, cold));
+  }
+  EXPECT_EQ(cold_stats.cache_hits, 0u);
+  EXPECT_EQ(cold_stats.cache_misses, grid.size());
+
+  // Reopen from disk: everything must be served from the store.
+  ResultCache cache(store.path());
+  EXPECT_EQ(cache.size(), grid.size());
+  SweepRunStats warm_stats;
+  const auto warm = run_sweep(grid, nullptr, &cache, &warm_stats);
+  EXPECT_EQ(warm_stats.cache_hits, grid.size());
+  EXPECT_EQ(warm_stats.cache_misses, 0u);
+  EXPECT_TRUE(tables_identical(uncached, warm));
+
+  const auto last = cache.last_run();
+  EXPECT_TRUE(last.present);
+  EXPECT_EQ(last.hits, grid.size());
+  EXPECT_EQ(last.misses, 0u);
+}
+
+TEST(exp_cache, PartialOverlapHitsExactlyTheSharedCells) {
+  const sim::MachineConfig machine = sim::haswell_2650v3();
+  TempStore store("overlap");
+  ResultCache cache(store.path());
+
+  // Seed the store with a 2-rep grid...
+  const SweepGrid small = make_grid(machine, 2);
+  SweepRunStats first;
+  run_sweep(small, nullptr, &cache, &first);
+  EXPECT_EQ(first.cache_misses, small.size());
+
+  // ...then run the 3-rep superset: reps 0-1 of every point hit, rep 2
+  // misses, and the result table still matches an uncached run exactly.
+  const SweepGrid big = make_grid(machine, 3);
+  SweepRunStats second;
+  const auto cached = run_sweep(big, nullptr, &cache, &second);
+  EXPECT_EQ(second.cache_hits, small.size());
+  EXPECT_EQ(second.cache_misses, big.size() - small.size());
+  EXPECT_TRUE(tables_identical(run_sweep(big, nullptr), cached));
+}
+
+TEST(exp_cache, FuzzRandomGridsAgainstOneStore) {
+  const sim::MachineConfig machine = sim::haswell_2650v3();
+  TempStore store("fuzz");
+  ResultCache cache(store.path());
+  std::mt19937 rng(20260807);
+
+  const std::vector<std::string> models{"SOR-irt", "Heat-irt", "AMG"};
+  const std::vector<core::PolicyKind> policies{
+      core::PolicyKind::kFull, core::PolicyKind::kCoreOnly,
+      core::PolicyKind::kUncoreOnly};
+  for (int round = 0; round < 6; ++round) {
+    SweepGrid grid(machine);
+    RunOptions opt;
+    const int n_points = 1 + static_cast<int>(rng() % 3);
+    for (int p = 0; p < n_points; ++p) {
+      const auto& model = workloads::find_benchmark(
+          models[rng() % models.size()]);
+      const int reps = 1 + static_cast<int>(rng() % 3);
+      // Deliberately overlapping seed bases so rounds share cells.
+      const uint64_t seed0 = 900 + rng() % 3;
+      if (rng() % 2 == 0) {
+        grid.add_default("p" + std::to_string(p), model, opt, reps, seed0);
+      } else {
+        grid.add_policy("p" + std::to_string(p), model,
+                        policies[rng() % policies.size()], opt, reps, seed0);
+      }
+    }
+    SweepRunStats stats;
+    const auto cached = run_sweep(grid, nullptr, &cache, &stats);
+    EXPECT_TRUE(tables_identical(run_sweep(grid, nullptr), cached))
+        << "round " << round;
+    EXPECT_EQ(stats.cache_hits + stats.cache_misses, grid.size());
+  }
+}
+
+// ---- corruption --------------------------------------------------------
+
+TEST(exp_cache, CorruptShardIsDetectedAndReSimulated) {
+  const sim::MachineConfig machine = sim::haswell_2650v3();
+  const SweepGrid grid = make_grid(machine, 2);
+  const auto uncached = run_sweep(grid, nullptr);
+
+  TempStore store("corrupt");
+  {
+    ResultCache cache(store.path());
+    run_sweep(grid, nullptr, &cache, nullptr);
+  }
+  const auto shards = store.shards();
+  ASSERT_EQ(shards.size(), 1u);
+
+  // Flip one byte in the middle of the shard: the scan must reject the
+  // damaged record (and, append-only, everything after it) rather than
+  // serve wrong bytes.
+  {
+    std::fstream f(shards[0],
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(0, std::ios::end);
+    const auto size = f.tellg();
+    f.seekp(static_cast<std::streamoff>(size) / 2);
+    char byte = 0;
+    f.seekg(f.tellp());
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0xff);
+    f.seekp(static_cast<std::streamoff>(size) / 2);
+    f.write(&byte, 1);
+  }
+  ResultCache cache(store.path());
+  EXPECT_LT(cache.size(), grid.size());
+  EXPECT_GT(cache.stats().skipped_records, 0u);
+  SweepRunStats stats;
+  const auto healed = run_sweep(grid, nullptr, &cache, &stats);
+  EXPECT_GT(stats.cache_misses, 0u);
+  EXPECT_TRUE(tables_identical(uncached, healed));
+}
+
+TEST(exp_cache, TruncatedShardLosesTailNotCorrectness) {
+  const sim::MachineConfig machine = sim::haswell_2650v3();
+  const SweepGrid grid = make_grid(machine, 2);
+  const auto uncached = run_sweep(grid, nullptr);
+
+  TempStore store("trunc");
+  {
+    ResultCache cache(store.path());
+    run_sweep(grid, nullptr, &cache, nullptr);
+  }
+  const auto shards = store.shards();
+  ASSERT_EQ(shards.size(), 1u);
+  fs::resize_file(shards[0], fs::file_size(shards[0]) / 2);
+
+  ResultCache cache(store.path());
+  const size_t survivors = cache.size();
+  EXPECT_LT(survivors, grid.size());
+  SweepRunStats stats;
+  const auto healed = run_sweep(grid, nullptr, &cache, &stats);
+  EXPECT_EQ(stats.cache_hits, survivors);
+  EXPECT_TRUE(tables_identical(uncached, healed));
+}
+
+// ---- stats / gc --------------------------------------------------------
+
+TEST(exp_cache, StatsAndGcDropOldestShardsFirst) {
+  const sim::MachineConfig machine = sim::haswell_2650v3();
+  TempStore store("gc");
+  ResultCache cache(store.path());
+
+  // Two batches -> two shards, inserted in a known order.
+  const SweepGrid first = make_grid(machine, 1, 900);
+  run_sweep(first, nullptr, &cache, nullptr);
+  const SweepGrid second = make_grid(machine, 1, 7777);
+  run_sweep(second, nullptr, &cache, nullptr);
+
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.entries, first.size() + second.size());
+  EXPECT_EQ(stats.shards, 2u);
+  EXPECT_GT(stats.bytes, 0u);
+
+  // gc to half the store: the oldest shard (the first batch) goes.
+  const uint64_t removed = cache.gc(stats.bytes / 2);
+  EXPECT_GT(removed, 0u);
+  stats = cache.stats();
+  EXPECT_EQ(stats.shards, 1u);
+  EXPECT_LE(stats.bytes, removed);  // halved store is <= what was removed
+  EXPECT_FALSE(cache.contains(digest_spec(first.specs()[0])));
+  EXPECT_TRUE(cache.contains(digest_spec(second.specs()[0])));
+
+  // gc to zero empties the store.
+  cache.gc(0);
+  EXPECT_EQ(cache.stats().shards, 0u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(exp_cache, EntryViewExposesSpecAndResult) {
+  const sim::MachineConfig machine = sim::haswell_2650v3();
+  const SweepGrid grid = make_grid(machine, 1);
+  TempStore store("entry");
+  ResultCache cache(store.path());
+  run_sweep(grid, nullptr, &cache, nullptr);
+
+  ASSERT_EQ(cache.size(), grid.size());
+  for (size_t i = 0; i < cache.size(); ++i) {
+    ResultCache::EntryView view;
+    ASSERT_TRUE(cache.entry(i, &view));
+    const auto decoded =
+        decode_spec(view.spec_blob.data(), view.spec_blob.size());
+    ASSERT_NE(decoded, nullptr);
+    EXPECT_EQ(digest_spec(decoded->spec), view.digest);
+  }
+  ResultCache::EntryView out_of_range;
+  EXPECT_FALSE(cache.entry(cache.size(), &out_of_range));
+}
+
+// ---- shard tables ------------------------------------------------------
+
+TEST(exp_cache, ShardMergeIsByteIdenticalForSeveralPartitions) {
+  const sim::MachineConfig machine = sim::haswell_2650v3();
+  const SweepGrid grid = make_grid(machine, 3);
+  const auto serial = run_sweep(grid, nullptr);
+
+  for (const int n : {1, 2, 3, 5}) {
+    std::vector<ShardTable> tables;
+    size_t covered = 0;
+    for (int i = 0; i < n; ++i) {
+      ShardTable t;
+      t.grid_size = grid.size();
+      t.shard_index = i;
+      t.shard_count = n;
+      t.rows = run_sweep_shard(grid, i, n);
+      covered += t.rows.size();
+      tables.push_back(std::move(t));
+    }
+    EXPECT_EQ(covered, grid.size());
+    std::string error;
+    const auto merged = merge_shard_tables(tables, &error);
+    ASSERT_TRUE(merged.has_value()) << "N=" << n << ": " << error;
+    EXPECT_TRUE(tables_identical(serial, *merged)) << "N=" << n;
+  }
+}
+
+TEST(exp_cache, ShardTableSurvivesTheFileRoundTrip) {
+  const sim::MachineConfig machine = sim::haswell_2650v3();
+  const SweepGrid grid = make_grid(machine, 2);
+  const auto serial = run_sweep(grid, nullptr);
+  TempStore store("table");
+  fs::create_directories(store.dir());
+
+  std::vector<ShardTable> loaded;
+  for (int i = 0; i < 2; ++i) {
+    ShardTable t;
+    t.grid_size = grid.size();
+    t.shard_index = i;
+    t.shard_count = 2;
+    t.rows = run_sweep_shard(grid, i, 2);
+    const std::string path =
+        (store.dir() / ("s" + std::to_string(i) + ".tbl")).string();
+    ASSERT_TRUE(save_shard_table(path, t));
+    ShardTable back;
+    std::string error;
+    ASSERT_TRUE(load_shard_table(path, &back, &error)) << error;
+    EXPECT_EQ(back.grid_size, t.grid_size);
+    EXPECT_EQ(back.shard_index, i);
+    loaded.push_back(std::move(back));
+  }
+  std::string error;
+  const auto merged = merge_shard_tables(loaded, &error);
+  ASSERT_TRUE(merged.has_value()) << error;
+  EXPECT_TRUE(tables_identical(serial, *merged));
+}
+
+TEST(exp_cache, MergeRejectsBadShardSets) {
+  const sim::MachineConfig machine = sim::haswell_2650v3();
+  const SweepGrid grid = make_grid(machine, 1);
+  const auto make_table = [&](int i, int n) {
+    ShardTable t;
+    t.grid_size = grid.size();
+    t.shard_index = i;
+    t.shard_count = n;
+    t.rows = run_sweep_shard(grid, i, n);
+    return t;
+  };
+  std::string error;
+
+  // Missing shard: coverage is incomplete.
+  EXPECT_FALSE(merge_shard_tables({make_table(0, 2)}, &error).has_value());
+  EXPECT_FALSE(error.empty());
+
+  // Duplicate shard: an index is covered twice.
+  EXPECT_FALSE(merge_shard_tables({make_table(0, 2), make_table(0, 2),
+                                   make_table(1, 2)},
+                                  &error)
+                   .has_value());
+
+  // Disagreeing shard_count.
+  EXPECT_FALSE(merge_shard_tables({make_table(0, 2), make_table(1, 3)},
+                                  &error)
+                   .has_value());
+
+  // A row the shard does not own (partition membership violation).
+  ShardTable bad = make_table(0, 2);
+  ASSERT_FALSE(bad.rows.empty());
+  bad.rows[0].first += 1;  // now an odd index in the even shard
+  EXPECT_FALSE(
+      merge_shard_tables({bad, make_table(1, 2)}, &error).has_value());
+}
+
+TEST(exp_cache, CorruptShardTableFileIsRejected) {
+  const sim::MachineConfig machine = sim::haswell_2650v3();
+  const SweepGrid grid = make_grid(machine, 1);
+  ShardTable t;
+  t.grid_size = grid.size();
+  t.shard_index = 0;
+  t.shard_count = 1;
+  t.rows = run_sweep_shard(grid, 0, 1);
+  TempStore store("badtable");
+  fs::create_directories(store.dir());
+  const std::string path = (store.dir() / "t.tbl").string();
+  ASSERT_TRUE(save_shard_table(path, t));
+
+  // Flip a payload byte: the trailing checksum must catch it.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(fs::file_size(path)) / 2);
+    char byte = 0x55;
+    f.write(&byte, 1);
+  }
+  ShardTable back;
+  std::string error;
+  EXPECT_FALSE(load_shard_table(path, &back, &error));
+  EXPECT_FALSE(error.empty());
+
+  // Truncation too.
+  fs::resize_file(path, fs::file_size(path) / 2);
+  EXPECT_FALSE(load_shard_table(path, &back, &error));
+  EXPECT_FALSE(load_shard_table((store.dir() / "absent.tbl").string(),
+                                &back, &error));
+}
+
+TEST(exp_cache, ShardOwnsPartitionsExactlyOnce) {
+  for (const int n : {1, 2, 3, 7}) {
+    for (uint64_t idx = 0; idx < 50; ++idx) {
+      int owners = 0;
+      for (int i = 0; i < n; ++i) owners += shard_owns(idx, i, n) ? 1 : 0;
+      EXPECT_EQ(owners, 1) << "index " << idx << " N=" << n;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cuttlefish::exp
