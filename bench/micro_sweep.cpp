@@ -40,9 +40,12 @@
 #include <sstream>
 #include <thread>
 
+#include <cmath>
+
 #include "bench_util.hpp"
 #include "exp/result_cache.hpp"
 #include "exp/spec_digest.hpp"
+#include "hal/fault_injection.hpp"
 
 using namespace cuttlefish;
 
@@ -55,9 +58,9 @@ double now_s() {
 }
 
 exp::SweepGrid build_fig10_grid(const sim::MachineConfig& machine, int runs,
-                                uint64_t seed0) {
+                                uint64_t seed0,
+                                const exp::RunOptions opt = {}) {
   exp::SweepGrid grid(machine);
-  const exp::RunOptions opt;
   for (const auto& model : workloads::openmp_suite()) {
     const int base =
         grid.add_default(model.name + "/Default", model, opt, runs, seed0);
@@ -204,9 +207,84 @@ int fail_usage(const char* prog, const std::string& msg) {
   std::fprintf(stderr, "%s: %s\n", prog, msg.c_str());
   std::fprintf(stderr,
                "usage: %s [--baseline FILE] [--cache-dir DIR] "
-               "[--table-out FILE] [--merge FILE]... [bench flags]\n",
+               "[--table-out FILE] [--merge FILE]... "
+               "[--faults transient:SEED|persistent|chaos:SEED] "
+               "[bench flags]\n",
                prog);
   return 2;
+}
+
+/// Chaos-smoke mode: the whole grid re-run under a seeded fault schedule.
+/// `transient:SEED` asserts the recovery contract — every burst heals
+/// within the in-call retry budget, so the faulted table must be
+/// bit-identical to the fault-free one (exit 1 on any drift).
+/// `persistent` / `chaos:SEED` assert survival: heavy, unhealed fault
+/// load, every co-simulation still runs to completion without crashing.
+int run_faults_mode(const sim::MachineConfig& machine,
+                    const exp::SweepGrid& clean_grid,
+                    const benchharness::BenchArgs& args, uint64_t seed0,
+                    const char* prog, const std::string& spec) {
+  std::string mode = spec;
+  uint64_t fault_seed = 7;
+  if (const auto colon = spec.find(':'); colon != std::string::npos) {
+    mode = spec.substr(0, colon);
+    fault_seed = std::strtoull(spec.c_str() + colon + 1, nullptr, 10);
+  }
+  hal::FaultSchedule schedule;
+  if (mode == "transient") {
+    schedule = hal::FaultSchedule::transient_only(fault_seed);
+  } else if (mode == "persistent") {
+    schedule = hal::FaultSchedule::persistent_sensor_failure();
+  } else if (mode == "chaos") {
+    schedule = hal::FaultSchedule::chaos(fault_seed);
+  } else {
+    return fail_usage(prog, "--faults expects transient:SEED, persistent "
+                            "or chaos:SEED, got '" + spec + "'");
+  }
+
+  const double t0 = now_s();
+  const std::vector<exp::RunResult> clean = exp::run_sweep(clean_grid, nullptr);
+  const double clean_wall = now_s() - t0;
+  const uint64_t clean_digest = digest(clean_grid, clean);
+  std::printf("  fault-free: %7.3fs wall, digest %s\n", clean_wall,
+              digest_hex(clean_digest).c_str());
+
+  exp::RunOptions opt;
+  opt.faults = &schedule;
+  const exp::SweepGrid faulted_grid =
+      build_fig10_grid(machine, args.runs, seed0, opt);
+  const double t1 = now_s();
+  const std::vector<exp::RunResult> faulted =
+      exp::run_sweep(faulted_grid, nullptr);
+  const double faulted_wall = now_s() - t1;
+  const uint64_t faulted_digest = digest(faulted_grid, faulted);
+
+  // Survival: every co-simulation completed with sane results.
+  for (const exp::RunResult& r : faulted) {
+    if (!(r.time_s > 0.0) || !std::isfinite(r.time_s) ||
+        !std::isfinite(r.energy_j)) {
+      std::fprintf(stderr,
+                   "FAIL: a faulted co-simulation produced a degenerate "
+                   "result (time %.3f, energy %.3f)\n",
+                   r.time_s, r.energy_j);
+      return 1;
+    }
+  }
+  const bool identical = faulted_digest == clean_digest;
+  std::printf("  %s faults: %7.3fs wall, digest %s (%s fault-free)\n",
+              mode.c_str(), faulted_wall,
+              digest_hex(faulted_digest).c_str(),
+              identical ? "identical to" : "differs from");
+  if (mode == "transient" && !identical) {
+    std::fprintf(stderr,
+                 "FAIL: transient schedule (seed %" PRIu64 ") drifted the "
+                 "sweep digest — recovery is not bit-exact\n",
+                 fault_seed);
+    return 1;
+  }
+  std::printf("  chaos-smoke %s: OK (%zu co-simulations survived)\n",
+              mode.c_str(), faulted.size());
+  return 0;
 }
 
 /// Shard mode: run only the owned subset, write the partial table, done.
@@ -300,6 +378,7 @@ int main(int argc, char** argv) {
   std::string baseline_path;
   std::string cache_dir;
   std::string table_out;
+  std::string faults_spec;
   std::vector<std::string> merge_paths;
   std::vector<char*> filtered{argv, argv + argc};
   for (size_t i = 1; i < filtered.size();) {
@@ -308,6 +387,7 @@ int main(int argc, char** argv) {
     if (arg == "--baseline") dest = &baseline_path;
     if (arg == "--cache-dir") dest = &cache_dir;
     if (arg == "--table-out") dest = &table_out;
+    if (arg == "--faults") dest = &faults_spec;
     if (dest == nullptr && arg != "--merge") {
       ++i;
       continue;
@@ -346,6 +426,16 @@ int main(int argc, char** argv) {
               "(%d seeds per point, %s mode)\n",
               grid.points().size(), grid.size(), args.runs,
               smoke ? "smoke" : "full");
+
+  if (!faults_spec.empty()) {
+    if (args.shard_count > 1 || !merge_paths.empty() || !cache_dir.empty() ||
+        !baseline_path.empty()) {
+      return fail_usage(argv[0],
+                        "--faults runs standalone (no shard/merge/cache/"
+                        "baseline)");
+    }
+    return run_faults_mode(machine, grid, args, seed0, argv[0], faults_spec);
+  }
 
   if (args.shard_count > 1) return run_shard_mode(grid, args, table_out);
   if (!merge_paths.empty()) {

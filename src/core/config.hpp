@@ -1,6 +1,7 @@
 #pragma once
 
 #include "common/tipi.hpp"
+#include "hal/health.hpp"
 
 /// Controller configuration, split from core/controller.hpp so the
 /// user-facing headers (core/api.hpp, core/session.hpp) can carry an
@@ -35,6 +36,17 @@ struct ControllerConfig {
   bool insertion_narrowing = true;
   /// §4.5 revalidation propagation (ablatable).
   bool revalidation = true;
+  /// Fault tolerance (docs/FAULTS.md): in-call retry budget, quarantine
+  /// threshold and probe backoff for the per-device health trackers.
+  hal::RetryPolicy resilience;
+  /// Daemon watchdog: a tick is an overrun when its wall time exceeds
+  /// tinv_s * watchdog_overrun_factor; after `watchdog_overrun_limit`
+  /// consecutive overruns (or `watchdog_exception_limit` controller
+  /// exceptions) the daemon safe-stops the controller into monitor mode
+  /// instead of letting a wedged backend starve the host.
+  double watchdog_overrun_factor = 1.0;
+  int watchdog_overrun_limit = 8;
+  int watchdog_exception_limit = 3;
 };
 
 }  // namespace cuttlefish::core

@@ -26,7 +26,10 @@ Controller::Controller(hal::PlatformInterface& platform, ControllerConfig cfg)
       cf_explorer_(cf_ladder_, cfg.explore_step),
       uf_explorer_(uf_ladder_, cfg.explore_step),
       cf_propagator_(Domain::kCore, cfg.revalidation),
-      uf_propagator_(Domain::kUncore, cfg.revalidation) {
+      uf_propagator_(Domain::kUncore, cfg.revalidation),
+      sensor_health_(cfg.resilience),
+      cf_health_(cfg.resilience),
+      uf_health_(cfg.resilience) {
   CF_ASSERT(cfg.tinv_s > 0.0, "Tinv must be positive");
   CF_ASSERT(cfg.jpi_samples > 0, "jpi_samples must be positive");
   apply_capabilities();
@@ -100,6 +103,164 @@ void Controller::apply_capabilities() {
   }
 }
 
+/// Pure re-statement of apply_capabilities()'s narrowing rules over the
+/// *runtime* device view (construction capabilities minus quarantined
+/// devices), so mid-flight quarantine re-runs exactly the same ladder:
+/// kFull -> kCoreOnly / kUncoreOnly -> kMonitor.
+PolicyKind Controller::runtime_narrowed_policy(bool jpi_ok) const {
+  if (safe_mode_ || !jpi_ok) return PolicyKind::kMonitor;
+  const PolicyKind policy = cfg_.policy;
+  if (policy == PolicyKind::kFull) {
+    if (!can_set_cf_ && !can_set_uf_) return PolicyKind::kMonitor;
+    if (!can_set_uf_) return PolicyKind::kCoreOnly;
+    if (!can_set_cf_) return PolicyKind::kUncoreOnly;
+    return PolicyKind::kFull;
+  }
+  if (policy == PolicyKind::kCoreOnly && !can_set_cf_) {
+    return PolicyKind::kMonitor;
+  }
+  if (policy == PolicyKind::kUncoreOnly && !can_set_uf_) {
+    return PolicyKind::kMonitor;
+  }
+  return policy;
+}
+
+void Controller::refresh_effective() {
+  using hal::Capability;
+  can_set_cf_ = caps_.has(Capability::kCoreDvfs) && !cf_quarantined_;
+  can_set_uf_ = caps_.has(Capability::kUncoreUfs) && !uf_quarantined_;
+  const bool jpi_ok = caps_.has(Capability::kEnergySensor) &&
+                      caps_.has(Capability::kInstructionSensor) &&
+                      !sensors_quarantined_;
+  effective_ = runtime_narrowed_policy(jpi_ok);
+}
+
+void Controller::note_quarantine(Domain domain, hal::CapabilitySet lost) {
+  if (quarantined_domains_ == 0) {
+    // First quarantine: preserve the exploration state so a full heal
+    // warm-restarts from here instead of re-exploring from scratch.
+    recovery_snap_ = snapshot();
+    have_recovery_snap_ = true;
+  }
+  quarantined_domains_ += 1;
+  stats_.quarantines += 1;
+  refresh_effective();
+  if (trace_ != nullptr) {
+    trace_->record({stats_.ticks, TraceEvent::kCapabilityDegraded, -1, domain,
+                    kNoLevel, kNoLevel, kNoLevel, lost.bits()});
+  }
+  CF_LOG_WARN("controller: %s quarantined (lost %s); policy narrowed to %s",
+              to_string(domain), lost.to_string().c_str(),
+              to_string(effective_));
+}
+
+void Controller::note_heal(Domain domain, hal::CapabilitySet regained) {
+  quarantined_domains_ -= 1;
+  stats_.recoveries += 1;
+  refresh_effective();
+  if (trace_ != nullptr) {
+    trace_->record({stats_.ticks, TraceEvent::kCapabilityRestored, -1,
+                    domain, kNoLevel, kNoLevel, kNoLevel, regained.bits()});
+  }
+  CF_LOG_WARN("controller: %s healed (regained %s); policy re-widened to %s",
+              to_string(domain), regained.to_string().c_str(),
+              to_string(effective_));
+  if (quarantined_domains_ == 0 && have_recovery_snap_) {
+    // Everything healed: warm-restart exploration from the pre-fault
+    // snapshot (restore() re-baselines the sensors and discards the
+    // boundary-spanning sample like a region switch would).
+    restore(recovery_snap_);
+    have_recovery_snap_ = false;
+  }
+}
+
+/// Probe quarantined devices on their backoff schedule. Sensor probes
+/// are one extra sample; actuator probes re-assert the last requested
+/// level (or the maximum before any write landed) so a successful probe
+/// leaves the hardware where the controller believes it is.
+void Controller::quarantine_maintenance() {
+  using hal::Capability;
+  if (sensors_quarantined_ && sensor_health_.should_probe(stats_.ticks)) {
+    const hal::SampleOutcome probe = platform_->sample_sensors();
+    if (probe.io.failed()) {
+      sensor_health_.record_failure(stats_.ticks);
+    } else if (sensor_health_.record_success(stats_.ticks)) {
+      sensors_quarantined_ = false;
+      note_heal(Domain::kCore,
+                caps_ & hal::CapabilitySet::all_sensors());
+    }
+  }
+  if (cf_quarantined_ && cf_health_.should_probe(stats_.ticks)) {
+    const Level level =
+        set_cf_ != kNoLevel ? set_cf_ : cf_ladder_.max_level();
+    if (platform_->apply_core_frequency(cf_ladder_.at(level)).failed()) {
+      cf_health_.record_failure(stats_.ticks);
+    } else {
+      set_cf_ = level;
+      if (cf_health_.record_success(stats_.ticks)) {
+        cf_quarantined_ = false;
+        note_heal(Domain::kCore,
+                  hal::CapabilitySet{}.with(Capability::kCoreDvfs));
+      }
+    }
+  }
+  if (uf_quarantined_ && uf_health_.should_probe(stats_.ticks)) {
+    const Level level =
+        set_uf_ != kNoLevel ? set_uf_ : uf_ladder_.max_level();
+    if (platform_->apply_uncore_frequency(uf_ladder_.at(level)).failed()) {
+      uf_health_.record_failure(stats_.ticks);
+    } else {
+      set_uf_ = level;
+      if (uf_health_.record_success(stats_.ticks)) {
+        uf_quarantined_ = false;
+        note_heal(Domain::kUncore,
+                  hal::CapabilitySet{}.with(Capability::kUncoreUfs));
+      }
+    }
+  }
+}
+
+hal::SampleOutcome Controller::sample_with_retry() {
+  hal::SampleOutcome out = platform_->sample_sensors();
+  for (int attempt = 0;
+       out.io.failed() && attempt < cfg_.resilience.max_retries; ++attempt) {
+    stats_.io_retries += 1;
+    out = platform_->sample_sensors();
+  }
+  return out;
+}
+
+bool Controller::try_actuate(Domain domain, Level level) {
+  using hal::Capability;
+  const bool core = domain == Domain::kCore;
+  const FreqMHz f = core ? cf_ladder_.at(level) : uf_ladder_.at(level);
+  auto write = [&] {
+    return core ? platform_->apply_core_frequency(f)
+                : platform_->apply_uncore_frequency(f);
+  };
+  hal::IoOutcome io = write();
+  for (int attempt = 0;
+       io.failed() && attempt < cfg_.resilience.max_retries; ++attempt) {
+    stats_.io_retries += 1;
+    io = write();
+  }
+  hal::DeviceHealth& health = core ? cf_health_ : uf_health_;
+  if (io.failed()) {
+    stats_.actuator_write_errors += 1;
+    if (health.record_failure(stats_.ticks)) {
+      (core ? cf_quarantined_ : uf_quarantined_) = true;
+      note_quarantine(domain,
+                      hal::CapabilitySet{}.with(core ? Capability::kCoreDvfs
+                                                     : Capability::kUncoreUfs));
+    }
+    return false;
+  }
+  // kUnsupported counts as accepted: a deliberately absent or masked
+  // domain is not ill health (the capability bit already reflects it).
+  health.record_success(stats_.ticks);
+  return true;
+}
+
 ControllerSnapshot Controller::snapshot() const {
   ControllerSnapshot snap;
   snap.slab_width = cfg_.tipi_slab_width;
@@ -145,14 +306,14 @@ bool Controller::restore(const ControllerSnapshot& snap) {
   // prev_node_ makes it a transition, so its JPI sample is discarded like
   // any other TIPI-range change (Algorithm 2 line 6).
   prev_node_ = nullptr;
-  last_ = platform_->read_sample().totals();
+  last_ = platform_->sample_sensors().sample.totals();
   return true;
 }
 
 void Controller::reset_exploration() {
   list_.clear();
   prev_node_ = nullptr;
-  last_ = platform_->read_sample().totals();
+  last_ = platform_->sample_sensors().sample.totals();
 }
 
 void Controller::record_region_event(TraceEvent event, int64_t region_id,
@@ -160,6 +321,20 @@ void Controller::record_region_event(TraceEvent event, int64_t region_id,
   if (trace_ == nullptr) return;
   trace_->record({stats_.ticks, event, region_id, Domain::kCore, kNoLevel,
                   kNoLevel, kNoLevel, payload});
+}
+
+void Controller::record_runtime_event(TraceEvent event, uint32_t payload) {
+  if (trace_ == nullptr) return;
+  trace_->record({stats_.ticks, event, -1, Domain::kCore, kNoLevel, kNoLevel,
+                  kNoLevel, payload});
+}
+
+void Controller::enter_safe_mode() {
+  if (safe_mode_) return;
+  safe_mode_ = true;
+  effective_ = PolicyKind::kMonitor;
+  record_runtime_event(TraceEvent::kSafeStop);
+  CF_LOG_ERROR("controller: safe-stopped into monitor mode");
 }
 
 void Controller::begin() {
@@ -174,15 +349,17 @@ void Controller::begin() {
   set_frequencies(cf_ladder_.max_level(), uf_ladder_.max_level());
   prev_cf_ = cf_ladder_.max_level();
   prev_uf_ = uf_ladder_.max_level();
-  last_ = platform_->read_sample().totals();
+  last_ = platform_->sample_sensors().sample.totals();
   prev_node_ = nullptr;
 }
 
 void Controller::set_frequencies(Level cf, Level uf) {
-  // Domains without an actuator capability are skipped entirely: no
-  // write, no freq_writes accounting, no trace noise.
-  if (can_set_cf_ && cf != set_cf_) {
-    platform_->set_core_frequency(cf_ladder_.at(cf));
+  // Domains without an actuator capability (or in quarantine) are
+  // skipped entirely: no write, no freq_writes accounting, no trace
+  // noise. A write that fails after its in-call retries leaves set_*
+  // untouched — the controller's view never silently diverges from the
+  // hardware — and feeds the health tracker instead of the trace.
+  if (can_set_cf_ && cf != set_cf_ && try_actuate(Domain::kCore, cf)) {
     set_cf_ = cf;
     stats_.freq_writes += 1;
     if (trace_ != nullptr) {
@@ -190,8 +367,7 @@ void Controller::set_frequencies(Level cf, Level uf) {
                       Domain::kCore, kNoLevel, kNoLevel, cf});
     }
   }
-  if (can_set_uf_ && uf != set_uf_) {
-    platform_->set_uncore_frequency(uf_ladder_.at(uf));
+  if (can_set_uf_ && uf != set_uf_ && try_actuate(Domain::kUncore, uf)) {
     set_uf_ = uf;
     stats_.freq_writes += 1;
     if (trace_ != nullptr) {
@@ -304,10 +480,46 @@ void Controller::run_uncore_only(TipiNode& node, double jpi, bool record,
 }
 
 void Controller::tick() {
+  if (safe_mode_) {
+    // Parked by the watchdog: keep the tick count advancing (region and
+    // telemetry bookkeeping stays consistent) but touch no hardware.
+    stats_.ticks += 1;
+    stats_.idle_ticks += 1;
+    return;
+  }
+  if (quarantined_domains_ > 0) {
+    quarantine_maintenance();
+    if (sensors_quarantined_) {
+      // No usable counters: the interval is accounted idle. Probes above
+      // keep testing the stack on its backoff schedule; a heal resumes
+      // normal ticks from the recovery snapshot.
+      stats_.ticks += 1;
+      stats_.idle_ticks += 1;
+      return;
+    }
+  }
+
   // One batched virtual read per tick (Algorithm 1 line 6): every counter
   // arrives in a single SensorSample instead of scattered per-counter
-  // register round trips.
-  const hal::SensorTotals totals = platform_->read_sample().totals();
+  // register round trips. Transient read failures are retried in-call
+  // (same tick, same virtual time); a tick whose read still fails is
+  // dropped whole — stale counters must never enter the JPI tables.
+  const hal::SampleOutcome sampled = sample_with_retry();
+  if (sampled.io.failed()) {
+    stats_.ticks += 1;
+    stats_.sensor_read_errors += 1;
+    // The next successful interval spans the outage; treat it like a
+    // region boundary so its sample is discarded as a transition.
+    prev_node_ = nullptr;
+    if (sensor_health_.record_failure(stats_.ticks)) {
+      sensors_quarantined_ = true;
+      note_quarantine(Domain::kCore,
+                      caps_ & hal::CapabilitySet::all_sensors());
+    }
+    return;
+  }
+  sensor_health_.record_success(stats_.ticks);
+  const hal::SensorTotals totals = sampled.sample.totals();
   const uint64_t d_instr = totals.instructions - last_.instructions;
   const uint64_t d_tor = totals.tor_inserts - last_.tor_inserts;
   const double d_energy = totals.energy_joules - last_.energy_joules;

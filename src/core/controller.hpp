@@ -11,6 +11,7 @@
 #include "core/snapshot.hpp"
 #include "core/tipi_list.hpp"
 #include "core/trace.hpp"
+#include "hal/health.hpp"
 #include "hal/platform.hpp"
 
 namespace cuttlefish::core {
@@ -22,6 +23,14 @@ struct ControllerStats {
   uint64_t samples_recorded = 0; // JPI readings that entered a table
   uint64_t freq_writes = 0;      // actuator writes actually issued
   uint64_t nodes_inserted = 0;
+  // Fault tolerance (docs/FAULTS.md). Appended after the original six:
+  // the sweep result codec serialises fields explicitly, so extending the
+  // struct is codec- and digest-compatible.
+  uint64_t sensor_read_errors = 0;    // ticks lost to failed sensor reads
+  uint64_t actuator_write_errors = 0; // writes failed after retries
+  uint64_t io_retries = 0;            // in-call retries issued
+  uint64_t quarantines = 0;           // device quarantine transitions
+  uint64_t recoveries = 0;            // quarantined devices healed
 };
 
 /// One record per tick for figure generation and debugging.
@@ -94,6 +103,32 @@ class Controller {
   void record_region_event(TraceEvent event, int64_t region_id,
                            uint32_t payload = 0);
 
+  /// Append a machine-wide runtime record (tick overrun, watchdog
+  /// diagnostics) to the attached trace; `payload` is event-specific.
+  void record_runtime_event(TraceEvent event, uint32_t payload = 0);
+
+  /// Permanently park the controller in monitor mode: every subsequent
+  /// tick is counted idle and nothing is read or written. The daemon
+  /// watchdog's terminal action when the backend wedges (repeated tick
+  /// overruns or controller exceptions); irreversible by design — a
+  /// backend sick enough to trip it is not trusted again this session.
+  void enter_safe_mode();
+  bool safe_mode() const { return safe_mode_; }
+
+  /// Per-device health trackers (sensor stack + one per actuator
+  /// domain). Drive the retry/quarantine/re-narrowing machinery of
+  /// docs/FAULTS.md; exposed for health reports and tests.
+  const hal::DeviceHealth& sensor_health() const { return sensor_health_; }
+  const hal::DeviceHealth& core_actuator_health() const {
+    return cf_health_;
+  }
+  const hal::DeviceHealth& uncore_actuator_health() const {
+    return uf_health_;
+  }
+  /// True while any device is quarantined (the effective policy is then
+  /// narrowed below the construction-time value).
+  bool any_quarantine() const { return quarantined_domains_ > 0; }
+
   /// Optional per-tick capture (Fig. 2 timelines, tests). Not owned.
   void set_telemetry(std::vector<TickTelemetry>* sink) { telemetry_ = sink; }
 
@@ -104,6 +139,13 @@ class Controller {
  private:
   void apply_capabilities();
   void note_degradation(Domain domain, hal::CapabilitySet lost);
+  void refresh_effective();
+  PolicyKind runtime_narrowed_policy(bool jpi_ok) const;
+  void note_quarantine(Domain domain, hal::CapabilitySet lost);
+  void note_heal(Domain domain, hal::CapabilitySet regained);
+  void quarantine_maintenance();
+  hal::SampleOutcome sample_with_retry();
+  bool try_actuate(Domain domain, Level level);
   void run_full_policy(TipiNode& node, double jpi, bool record,
                        Level& cf_next, Level& uf_next);
   void run_core_only(TipiNode& node, double jpi, bool record,
@@ -134,6 +176,20 @@ class Controller {
   BoundPropagator uf_propagator_;
   SortedTipiList list_;
   ControllerStats stats_;
+
+  // Fault-tolerance state (docs/FAULTS.md): per-device health, runtime
+  // quarantine flags and the exploration snapshot taken on the first
+  // quarantine so a full heal warm-restarts instead of re-exploring.
+  hal::DeviceHealth sensor_health_;
+  hal::DeviceHealth cf_health_;
+  hal::DeviceHealth uf_health_;
+  bool sensors_quarantined_ = false;
+  bool cf_quarantined_ = false;
+  bool uf_quarantined_ = false;
+  int quarantined_domains_ = 0;
+  ControllerSnapshot recovery_snap_;
+  bool have_recovery_snap_ = false;
+  bool safe_mode_ = false;
 
   hal::SensorTotals last_{};
   TipiNode* prev_node_ = nullptr;

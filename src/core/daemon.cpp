@@ -4,6 +4,7 @@
 #include <sched.h>
 
 #include <chrono>
+#include <exception>
 
 #include "common/log.hpp"
 
@@ -34,6 +35,14 @@ void Daemon::stop() {
   shutdown_.store(true);
   if (thread_.joinable()) thread_.join();
   running_.store(false);
+}
+
+void Daemon::safe_stop(const char* why) {
+  if (wd_safe_stopped_.exchange(true, std::memory_order_relaxed)) return;
+  controller_.enter_safe_mode();
+  CF_LOG_ERROR("daemon: watchdog safe-stop (%s); controller parked in "
+               "monitor mode",
+               why);
 }
 
 void Daemon::drain_command() {
@@ -84,10 +93,67 @@ void Daemon::loop() {
     drain_command();
   }
 
-  controller_.begin();
+  try {
+    controller_.begin();
+  } catch (const std::exception& e) {
+    wd_exceptions_.fetch_add(1, std::memory_order_relaxed);
+    CF_LOG_ERROR("daemon: controller begin() threw: %s", e.what());
+    safe_stop("begin() exception");
+  } catch (...) {
+    wd_exceptions_.fetch_add(1, std::memory_order_relaxed);
+    CF_LOG_ERROR("daemon: controller begin() threw");
+    safe_stop("begin() exception");
+  }
+
+  const double budget_s =
+      tinv_s_ * controller_.config().watchdog_overrun_factor;
+  const int overrun_limit = controller_.config().watchdog_overrun_limit;
+  const int exception_limit = controller_.config().watchdog_exception_limit;
+  int consecutive_overruns = 0;
+  int exceptions_seen = 0;
+  bool skip_pending = false;
   while (!shutdown_.load()) {
     std::this_thread::sleep_for(tinv);
-    controller_.tick();
+    if (skip_pending) {
+      // Re-phase after an overrun: skipping one interval keeps a single
+      // slow tick from cascading into a permanently late loop.
+      skip_pending = false;
+      wd_skipped_.fetch_add(1, std::memory_order_relaxed);
+      drain_command();
+      continue;
+    }
+    const auto tick_start = std::chrono::steady_clock::now();
+    try {
+      controller_.tick();
+    } catch (const std::exception& e) {
+      wd_exceptions_.fetch_add(1, std::memory_order_relaxed);
+      CF_LOG_ERROR("daemon: controller tick threw: %s", e.what());
+      if (++exceptions_seen >= exception_limit) {
+        safe_stop("repeated controller exceptions");
+      }
+    } catch (...) {
+      wd_exceptions_.fetch_add(1, std::memory_order_relaxed);
+      CF_LOG_ERROR("daemon: controller tick threw");
+      if (++exceptions_seen >= exception_limit) {
+        safe_stop("repeated controller exceptions");
+      }
+    }
+    const double tick_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      tick_start)
+            .count();
+    if (!wd_safe_stopped_.load(std::memory_order_relaxed) &&
+        tick_s > budget_s) {
+      wd_overruns_.fetch_add(1, std::memory_order_relaxed);
+      controller_.record_runtime_event(
+          TraceEvent::kTickOverrun, static_cast<uint32_t>(tick_s * 1e3));
+      skip_pending = true;
+      if (++consecutive_overruns >= overrun_limit) {
+        safe_stop("persistent tick overruns");
+      }
+    } else {
+      consecutive_overruns = 0;
+    }
     drain_command();
   }
 

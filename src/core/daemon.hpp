@@ -10,6 +10,15 @@
 
 namespace cuttlefish::core {
 
+/// Watchdog counters, readable while the daemon runs (each counter is an
+/// independent atomic snapshot; no cross-field consistency implied).
+struct WatchdogStats {
+  uint64_t overruns = 0;       // ticks whose wall time exceeded the budget
+  uint64_t skipped_ticks = 0;  // intervals skipped to re-phase after one
+  uint64_t exceptions = 0;     // controller exceptions caught by the loop
+  bool safe_stopped = false;   // watchdog parked the controller
+};
+
 /// Wall-clock wrapper around the tick engine: the paper's daemon thread.
 /// Spawned by a cuttlefish::Session, it pins every actuatable domain to
 /// max (capability-degraded backends may have none), sleeps through the
@@ -40,6 +49,16 @@ class Daemon {
 
   const Controller& controller() const { return controller_; }
 
+  /// Watchdog snapshot (see docs/FAULTS.md): tick overruns, skipped
+  /// intervals, caught controller exceptions and whether the loop
+  /// safe-stopped the controller into monitor mode.
+  WatchdogStats watchdog() const {
+    return {wd_overruns_.load(std::memory_order_relaxed),
+            wd_skipped_.load(std::memory_order_relaxed),
+            wd_exceptions_.load(std::memory_order_relaxed),
+            wd_safe_stopped_.load(std::memory_order_relaxed)};
+  }
+
   /// Execute `fn` on the controller from the daemon thread, between two
   /// ticks; blocks until done. When the daemon thread is not running
   /// (never started, or already past its final drain) the closure runs
@@ -50,6 +69,7 @@ class Daemon {
  private:
   void loop();
   void drain_command();
+  void safe_stop(const char* why);
 
   Controller controller_;
   double tinv_s_;
@@ -58,6 +78,13 @@ class Daemon {
   std::thread thread_;
   std::atomic<bool> shutdown_{false};
   std::atomic<bool> running_{false};
+
+  // Watchdog state. The counters are written by the daemon thread and
+  // read by watchdog(); the consecutive-overrun counter is loop-local.
+  std::atomic<uint64_t> wd_overruns_{0};
+  std::atomic<uint64_t> wd_skipped_{0};
+  std::atomic<uint64_t> wd_exceptions_{0};
+  std::atomic<bool> wd_safe_stopped_{false};
 
   /// One command in flight at a time; submit_mutex_ serialises callers,
   /// cmd_mutex_ + cmd_cv_ handshake with the daemon thread.

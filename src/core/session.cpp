@@ -56,6 +56,15 @@ class SelfDrivingSimPlatform final : public hal::PlatformInterface {
   }
   hal::SensorTotals read_sensors() override { return inner_.read_sensors(); }
   hal::SensorSample read_sample() override { return inner_.read_sample(); }
+  hal::IoOutcome apply_core_frequency(FreqMHz f) override {
+    return inner_.apply_core_frequency(f);
+  }
+  hal::IoOutcome apply_uncore_frequency(FreqMHz f) override {
+    return inner_.apply_uncore_frequency(f);
+  }
+  hal::SampleOutcome sample_sensors() override {
+    return inner_.sample_sensors();
+  }
 
  private:
   exp::RealtimeSimPlatform inner_;

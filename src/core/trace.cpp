@@ -19,6 +19,9 @@ const char* to_string(TraceEvent event) {
     case TraceEvent::kRegionEnter: return "region-enter";
     case TraceEvent::kRegionExit: return "region-exit";
     case TraceEvent::kRegionWarmStart: return "region-warm-start";
+    case TraceEvent::kCapabilityRestored: return "capability-restored";
+    case TraceEvent::kTickOverrun: return "tick-overrun";
+    case TraceEvent::kSafeStop: return "safe-stop";
   }
   return "?";
 }
@@ -61,10 +64,22 @@ std::string DecisionTrace::to_text(const FreqLadder& cf_ladder,
       os << '\n';
       continue;
     }
+    if (r.event == TraceEvent::kTickOverrun) {
+      os << "  elapsed " << r.aux << " ms\n";
+      continue;
+    }
+    if (r.event == TraceEvent::kSafeStop) {
+      os << '\n';
+      continue;
+    }
     if (r.slab >= 0) os << "  slab " << r.slab;
     os << "  " << to_string(r.domain);
     if (r.event == TraceEvent::kCapabilityDegraded) {
       os << "  lost " << hal::CapabilitySet{r.aux}.to_string() << '\n';
+      continue;
+    }
+    if (r.event == TraceEvent::kCapabilityRestored) {
+      os << "  regained " << hal::CapabilitySet{r.aux}.to_string() << '\n';
       continue;
     }
     if (r.lb != kNoLevel && r.rb != kNoLevel) {

@@ -29,6 +29,15 @@ enum class TraceEvent {
   kRegionEnter,      // named region entered (cold: no cached profile)
   kRegionExit,       // named region exited; state snapshotted to profile
   kRegionWarmStart,  // entry replayed a cached profile (aux: node count)
+  /// Fault tolerance (docs/FAULTS.md). kCapabilityRestored mirrors
+  /// kCapabilityDegraded when a quarantined device heals (aux: the
+  /// regained hal::CapabilitySet bits). kTickOverrun is recorded by the
+  /// daemon watchdog when a tick's wall time exceeded the profiling
+  /// interval (aux: elapsed ms); kSafeStop when the watchdog or an
+  /// operator permanently parks the controller in monitor mode.
+  kCapabilityRestored,
+  kTickOverrun,
+  kSafeStop,
 };
 
 const char* to_string(TraceEvent event);

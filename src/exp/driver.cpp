@@ -1,6 +1,9 @@
 #include "exp/driver.hpp"
 
+#include <optional>
+
 #include "common/assert.hpp"
+#include "hal/fault_injection.hpp"
 #include "sim/firmware_governor.hpp"
 #include "sim/sim_machine.hpp"
 #include "sim/sim_platform.hpp"
@@ -97,10 +100,18 @@ RunResult run_policy(const sim::MachineConfig& machine_cfg,
                      const sim::PhaseProgram& program,
                      core::PolicyKind policy, const RunOptions& options) {
   sim::SimMachine machine(machine_cfg, program, options.seed);
-  sim::SimPlatform platform(machine);
+  sim::SimPlatform base(machine);
+  // Fault injection wraps the platform, not the machine: the workload and
+  // power model stay byte-identical, only the controller's I/O is faulted.
+  std::optional<hal::FaultInjectionPlatform> faulty;
+  hal::PlatformInterface* platform = &base;
+  if (options.faults != nullptr) {
+    faulty.emplace(base, *options.faults);
+    platform = &*faulty;
+  }
   core::ControllerConfig ctl_cfg = options.controller;
   ctl_cfg.policy = policy;
-  core::Controller controller(platform, ctl_cfg);
+  core::Controller controller(*platform, ctl_cfg);
 
   RunResult result;
   QuantumRunner runner(machine, ctl_cfg.tinv_s, options.capture_timeline,

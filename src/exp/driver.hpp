@@ -7,6 +7,10 @@
 #include "sim/machine_config.hpp"
 #include "sim/phase_workload.hpp"
 
+namespace cuttlefish::hal {
+class FaultSchedule;
+}
+
 namespace cuttlefish::exp {
 
 /// One Tinv-quantum sample of a run (drives Fig. 2 style timelines).
@@ -45,6 +49,11 @@ struct RunOptions {
   /// sets the sampling quantum of Default and fixed runs so timelines are
   /// comparable.
   core::ControllerConfig controller;
+  /// Deterministic fault schedule injected between the controller and the
+  /// simulated platform (policy runs only; borrowed, may be null). Runs
+  /// with a schedule are never served from or written to the sweep result
+  /// cache — fault behaviour is not part of a spec's identity.
+  const hal::FaultSchedule* faults = nullptr;
 };
 
 /// The paper's Default baseline: performance governor (CF pinned at max)

@@ -99,4 +99,23 @@ hal::SensorSample RealtimeSimPlatform::read_sample() {
   return platform_.read_sample();
 }
 
+// The error-aware virtuals must forward under the same mutex as the
+// legacy forms — the adapting defaults in PlatformInterface would call
+// this class's own locked set_*/read_* and stay correct, but forwarding
+// the outcome forms directly preserves the inner platform's outcomes.
+hal::IoOutcome RealtimeSimPlatform::apply_core_frequency(FreqMHz f) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return platform_.apply_core_frequency(f);
+}
+
+hal::IoOutcome RealtimeSimPlatform::apply_uncore_frequency(FreqMHz f) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return platform_.apply_uncore_frequency(f);
+}
+
+hal::SampleOutcome RealtimeSimPlatform::sample_sensors() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return platform_.sample_sensors();
+}
+
 }  // namespace cuttlefish::exp

@@ -57,6 +57,9 @@ class RealtimeSimPlatform final : public hal::PlatformInterface {
   FreqMHz uncore_frequency() const override;
   hal::SensorTotals read_sensors() override;
   hal::SensorSample read_sample() override;
+  hal::IoOutcome apply_core_frequency(FreqMHz f) override;
+  hal::IoOutcome apply_uncore_frequency(FreqMHz f) override;
+  hal::SampleOutcome sample_sensors() override;
 
  private:
   void advance_loop();

@@ -194,28 +194,37 @@ void run_indices(const SweepGrid& grid, const std::vector<uint64_t>& indices,
   }
   const std::vector<RunSpec>& specs = grid.specs();
   std::vector<uint64_t> misses;
+  std::vector<uint64_t> persistable;  // misses minus fault-injected specs
   std::vector<SpecDigest> miss_digests;
   std::vector<std::string> miss_blobs;
   size_t hits = 0;
   for (const uint64_t idx : indices) {
+    if (specs[idx].options.faults != nullptr) {
+      // Fault-injected specs bypass the cache entirely: the schedule is
+      // not part of the digest identity, so serving a clean cached result
+      // (or persisting a faulted one under the clean key) would be wrong.
+      misses.push_back(idx);
+      continue;
+    }
     std::string blob = encode_spec(specs[idx]);
     const SpecDigest digest = digest_bytes(blob.data(), blob.size());
     if (cache->lookup(digest, &(*results)[idx])) {
       ++hits;
     } else {
       misses.push_back(idx);
+      persistable.push_back(idx);
       miss_digests.push_back(digest);
       miss_blobs.push_back(std::move(blob));
     }
   }
   run_subset(grid, misses, scheduler, results);
-  if (!misses.empty()) {
+  if (!persistable.empty()) {
     std::vector<ResultCache::Insert> batch;
-    batch.reserve(misses.size());
-    for (size_t i = 0; i < misses.size(); ++i) {
+    batch.reserve(persistable.size());
+    for (size_t i = 0; i < persistable.size(); ++i) {
       batch.push_back(ResultCache::Insert{miss_digests[i],
                                           std::move(miss_blobs[i]),
-                                          &(*results)[misses[i]]});
+                                          &(*results)[persistable[i]]});
     }
     cache->insert_batch(batch);
   }

@@ -55,11 +55,26 @@ const FreqLadder& ComposedPlatform::uncore_ladder() const {
 }
 
 void ComposedPlatform::set_core_frequency(FreqMHz f) {
-  if (core_) core_->set(f);
+  (void)apply_core_frequency(f);
 }
 
 void ComposedPlatform::set_uncore_frequency(FreqMHz f) {
-  if (uncore_) uncore_->set(f);
+  (void)apply_uncore_frequency(f);
+}
+
+IoOutcome ComposedPlatform::apply_core_frequency(FreqMHz f) {
+  // A missing part is a deliberate no-op, not a failure: the capability
+  // bit is already absent, so callers never mistake it for ill health.
+  return core_ ? core_->apply(f) : IoOutcome::unsupported();
+}
+
+IoOutcome ComposedPlatform::apply_uncore_frequency(FreqMHz f) {
+  return uncore_ ? uncore_->apply(f) : IoOutcome::unsupported();
+}
+
+SampleOutcome ComposedPlatform::sample_sensors() {
+  return sensors_ ? sensors_->sample()
+                  : SampleOutcome{SensorSample{}, IoOutcome::unsupported()};
 }
 
 FreqMHz ComposedPlatform::core_frequency() const {
@@ -106,6 +121,33 @@ void CapabilityFilter::set_core_frequency(FreqMHz f) {
 
 void CapabilityFilter::set_uncore_frequency(FreqMHz f) {
   if (allowed_.has(Capability::kUncoreUfs)) inner_->set_uncore_frequency(f);
+}
+
+IoOutcome CapabilityFilter::apply_core_frequency(FreqMHz f) {
+  // A masked domain reports unsupported, not error — forcing degraded
+  // operation must not read as device failure to the health tracker.
+  if (!allowed_.has(Capability::kCoreDvfs)) return IoOutcome::unsupported();
+  return inner_->apply_core_frequency(f);
+}
+
+IoOutcome CapabilityFilter::apply_uncore_frequency(FreqMHz f) {
+  if (!allowed_.has(Capability::kUncoreUfs)) return IoOutcome::unsupported();
+  return inner_->apply_uncore_frequency(f);
+}
+
+SampleOutcome CapabilityFilter::sample_sensors() {
+  SampleOutcome out = inner_->sample_sensors();
+  if (!allowed_.has(Capability::kEnergySensor)) {
+    out.sample.energy_joules = 0.0;
+  }
+  if (!allowed_.has(Capability::kInstructionSensor)) {
+    out.sample.instructions = 0;
+  }
+  if (!allowed_.has(Capability::kTorSensor)) {
+    out.sample.tor_local = 0;
+    out.sample.tor_remote = 0;
+  }
+  return out;
 }
 
 FreqMHz CapabilityFilter::core_frequency() const {

@@ -23,6 +23,14 @@ class SensorStack {
   virtual SensorSample read_sample() {
     return SensorSample::from_totals(read());
   }
+
+  /// Error-aware batched sample: read_sample() plus whether the
+  /// underlying device I/O actually succeeded. The default claims
+  /// success (legacy stacks have no failure channel); the built-in
+  /// stacks override it with their real outcomes.
+  virtual SampleOutcome sample() {
+    return SampleOutcome{read_sample(), IoOutcome::success()};
+  }
 };
 
 /// The actuator half, one instance per frequency domain. Implementations
@@ -35,6 +43,16 @@ class FrequencyActuator {
   virtual const FreqLadder& ladder() const = 0;
   virtual void set(FreqMHz f) = 0;
   virtual FreqMHz current() const = 0;
+
+  /// Error-aware write: set() plus whether the device accepted it. The
+  /// default claims success for legacy actuators; the built-in actuators
+  /// override it (and implement set() on top), only advancing current()
+  /// when the write actually landed — so a failed actuation never
+  /// silently diverges the controller's view of the hardware.
+  virtual IoOutcome apply(FreqMHz f) {
+    set(f);
+    return IoOutcome::success();
+  }
 };
 
 /// PlatformInterface assembled from parts, any of which may be absent.
@@ -59,6 +77,9 @@ class ComposedPlatform : public PlatformInterface {
   FreqMHz uncore_frequency() const override;
   SensorTotals read_sensors() override;
   SensorSample read_sample() override;
+  IoOutcome apply_core_frequency(FreqMHz f) override;
+  IoOutcome apply_uncore_frequency(FreqMHz f) override;
+  SampleOutcome sample_sensors() override;
 
  private:
   std::unique_ptr<SensorStack> sensors_;
@@ -93,6 +114,9 @@ class CapabilityFilter final : public PlatformInterface {
   FreqMHz uncore_frequency() const override;
   SensorTotals read_sensors() override;
   SensorSample read_sample() override;
+  IoOutcome apply_core_frequency(FreqMHz f) override;
+  IoOutcome apply_uncore_frequency(FreqMHz f) override;
+  SampleOutcome sample_sensors() override;
 
  private:
   PlatformInterface* inner_;

@@ -1,7 +1,9 @@
 #include "hal/cpufreq.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -39,10 +41,19 @@ std::string CpufreqActuator::cpu_dir(int cpu) const {
 
 bool CpufreqActuator::write_file(const std::string& path,
                                  const std::string& value) const {
+  errno = 0;
   std::ofstream out(path);
-  if (!out) return false;
+  if (!out) {
+    last_errno_ = errno != 0 ? errno : EIO;
+    return false;
+  }
   out << value << '\n';
-  return static_cast<bool>(out);
+  out.flush();
+  if (!out) {
+    last_errno_ = errno != 0 ? errno : EIO;
+    return false;
+  }
+  return true;
 }
 
 std::optional<std::string> CpufreqActuator::read_file(
@@ -64,7 +75,8 @@ int CpufreqActuator::set_governor(const std::string& governor_name) {
     if (set_governor(cpu, governor_name)) {
       ++ok;
     } else {
-      CF_LOG_WARN("cpufreq: governor write failed for cpu %d", cpu);
+      CF_LOG_WARN("cpufreq: governor write failed for cpu %d: %s", cpu,
+                  std::strerror(last_errno_));
     }
   }
   return ok;
@@ -81,7 +93,8 @@ int CpufreqActuator::set_frequency(FreqMHz f) {
     if (write_file(cpu_dir(cpu) + "/scaling_setspeed", khz)) {
       ++ok;
     } else {
-      CF_LOG_WARN("cpufreq: setspeed write failed for cpu %d", cpu);
+      CF_LOG_WARN("cpufreq: setspeed write failed for cpu %d: %s", cpu,
+                  std::strerror(last_errno_));
     }
   }
   return ok;
@@ -147,17 +160,22 @@ CpufreqCoreActuator::~CpufreqCoreActuator() {
   // Hand frequency scaling back to the OS exactly as we found it.
   for (const auto& [cpu, governor] : saved_governors_) {
     if (!actuator_.set_governor(cpu, governor)) {
-      CF_LOG_WARN("cpufreq: could not restore governor '%s' on cpu %d",
-                  governor.c_str(), cpu);
+      CF_LOG_WARN("cpufreq: could not restore governor '%s' on cpu %d: %s",
+                  governor.c_str(), cpu,
+                  std::strerror(actuator_.last_errno()));
     }
   }
 }
 
-void CpufreqCoreActuator::set(FreqMHz f) {
+IoOutcome CpufreqCoreActuator::apply(FreqMHz f) {
   if (actuator_.set_frequency(f) == 0) {
-    CF_LOG_WARN("cpufreq: no CPU accepted %d MHz", f.value);
+    const int err = actuator_.last_errno() != 0 ? actuator_.last_errno() : EIO;
+    CF_LOG_WARN("cpufreq: no CPU accepted %d MHz: %s", f.value,
+                std::strerror(err));
+    return IoOutcome::failure(err);
   }
   current_ = f;
+  return IoOutcome::success();
 }
 
 }  // namespace cuttlefish::hal

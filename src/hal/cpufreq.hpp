@@ -48,6 +48,11 @@ class CpufreqActuator {
   std::optional<FreqMHz> min_frequency(int cpu) const;
   std::optional<FreqMHz> max_frequency(int cpu) const;
 
+  /// errno of the most recent failed sysfs write (0 when none failed
+  /// yet). Lets callers report *why* an actuation was rejected — EROFS
+  /// for a tree gone read-only, EACCES for permissions, and so on.
+  int last_errno() const { return last_errno_; }
+
  private:
   std::string cpu_dir(int cpu) const;
   bool write_file(const std::string& path, const std::string& value) const;
@@ -55,6 +60,7 @@ class CpufreqActuator {
 
   std::string root_;
   std::vector<int> cpus_;
+  mutable int last_errno_ = 0;
 };
 
 /// A 100 MHz-step ladder spanning cpuinfo_min..max_freq of cpu0, rounded
@@ -78,8 +84,11 @@ class CpufreqCoreActuator final : public FrequencyActuator {
   CpufreqCoreActuator& operator=(const CpufreqCoreActuator&) = delete;
 
   const FreqLadder& ladder() const override { return ladder_; }
-  void set(FreqMHz f) override;
+  void set(FreqMHz f) override { (void)apply(f); }
   FreqMHz current() const override { return current_; }
+  /// Fails (with the sysfs errno) when no CPU accepted the write;
+  /// current() advances only on success.
+  IoOutcome apply(FreqMHz f) override;
 
   CpufreqActuator& raw() { return actuator_; }
 

@@ -3,8 +3,10 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "common/log.hpp"
 #include "hal/msr.hpp"
@@ -36,17 +38,31 @@ LinuxMsrDevice::~LinuxMsrDevice() {
 }
 
 bool LinuxMsrDevice::read(uint32_t address, uint64_t& value) {
-  if (fd_ < 0) return false;
+  if (fd_ < 0) {
+    errno = EBADF;
+    return false;
+  }
   const ssize_t n = ::pread(fd_, &value, sizeof(value),
                             static_cast<off_t>(address));
-  return n == static_cast<ssize_t>(sizeof(value));
+  if (n == static_cast<ssize_t>(sizeof(value))) return true;
+  if (n >= 0) errno = EIO;  // short read: no errno from the kernel
+  return false;
 }
 
 bool LinuxMsrDevice::write(uint32_t address, uint64_t value) {
-  if (fd_ < 0 || !writable_) return false;
+  if (fd_ < 0) {
+    errno = EBADF;
+    return false;
+  }
+  if (!writable_) {
+    errno = EROFS;
+    return false;
+  }
   const ssize_t n = ::pwrite(fd_, &value, sizeof(value),
                              static_cast<off_t>(address));
-  return n == static_cast<ssize_t>(sizeof(value));
+  if (n == static_cast<ssize_t>(sizeof(value))) return true;
+  if (n >= 0) errno = EIO;
+  return false;
 }
 
 int online_cpu_count() {
@@ -80,32 +96,53 @@ MsrSensorStack::MsrSensorStack(MsrDevice& device) : device_(&device) {
   }
 }
 
-SensorSample MsrSensorStack::read_sample() {
+SampleOutcome MsrSensorStack::sample() {
   // One pass over the three registers per sample: exactly one pread per
   // present counter per Tinv, issued back to back. The hardware aggregate
   // has no MISS_LOCAL/MISS_REMOTE split, so everything lands in
-  // tor_local.
-  SensorSample sample;
+  // tor_local. A probed-present register that stops responding turns the
+  // outcome into a failure (carrying errno) while the affected fields
+  // keep their previous value, so the sample never regresses.
+  SampleOutcome out;
+  out.sample = last_sample_;
   uint64_t value = 0;
-  if (caps_.has(Capability::kEnergySensor) &&
-      device_->read(msr::kPkgEnergyStatus, value)) {
-    const auto now = static_cast<uint32_t>(value);
-    energy_acc_j_ +=
-        static_cast<double>(rapl_delta_units(last_energy_raw_, now)) *
-        energy_unit_j_;
-    last_energy_raw_ = now;
+  if (caps_.has(Capability::kEnergySensor)) {
+    if (device_->read(msr::kPkgEnergyStatus, value)) {
+      const auto now = static_cast<uint32_t>(value);
+      energy_acc_j_ +=
+          static_cast<double>(rapl_delta_units(last_energy_raw_, now)) *
+          energy_unit_j_;
+      last_energy_raw_ = now;
+      out.sample.energy_joules = energy_acc_j_;
+    } else {
+      out.io = IoOutcome::failure(errno);
+      CF_LOG_WARN("MSR_PKG_ENERGY_STATUS read failed: %s",
+                  std::strerror(errno));
+    }
   }
-  sample.energy_joules = energy_acc_j_;
-  if (caps_.has(Capability::kInstructionSensor) &&
-      device_->read(msr::kInstRetiredAggregate, value)) {
-    sample.instructions = value;
+  if (caps_.has(Capability::kInstructionSensor)) {
+    if (device_->read(msr::kInstRetiredAggregate, value)) {
+      out.sample.instructions = value;
+    } else {
+      out.io = IoOutcome::failure(errno);
+      CF_LOG_WARN("INST_RETIRED aggregate read failed: %s",
+                  std::strerror(errno));
+    }
   }
-  if (caps_.has(Capability::kTorSensor) &&
-      device_->read(msr::kTorInsertsAggregate, value)) {
-    sample.tor_local = value;
+  if (caps_.has(Capability::kTorSensor)) {
+    if (device_->read(msr::kTorInsertsAggregate, value)) {
+      out.sample.tor_local = value;
+    } else {
+      out.io = IoOutcome::failure(errno);
+      CF_LOG_WARN("TOR_INSERTS aggregate read failed: %s",
+                  std::strerror(errno));
+    }
   }
-  return sample;
+  last_sample_ = out.sample;
+  return out;
 }
+
+SensorSample MsrSensorStack::read_sample() { return sample().sample; }
 
 SensorTotals MsrSensorStack::read() { return read_sample().totals(); }
 
@@ -113,25 +150,32 @@ MsrCoreActuator::MsrCoreActuator(std::vector<MsrDevice*> devices,
                                  FreqLadder ladder)
     : devices_(std::move(devices)), ladder_(ladder), current_(ladder.max()) {}
 
-void MsrCoreActuator::set(FreqMHz f) {
+IoOutcome MsrCoreActuator::apply(FreqMHz f) {
   const uint64_t value = encode_perf_ctl(f);
+  int first_error = 0;
   for (MsrDevice* device : devices_) {
     if (!device->write(msr::kIa32PerfCtl, value)) {
-      CF_LOG_WARN("IA32_PERF_CTL write failed");
+      if (first_error == 0) first_error = errno != 0 ? errno : EIO;
+      CF_LOG_WARN("IA32_PERF_CTL write failed: %s", std::strerror(errno));
     }
   }
+  if (first_error != 0) return IoOutcome::failure(first_error);
   current_ = f;
+  return IoOutcome::success();
 }
 
 MsrUncoreActuator::MsrUncoreActuator(MsrDevice& device, FreqLadder ladder)
     : device_(&device), ladder_(ladder), current_(ladder.max()) {}
 
-void MsrUncoreActuator::set(FreqMHz f) {
+IoOutcome MsrUncoreActuator::apply(FreqMHz f) {
   if (!device_->write(msr::kUncoreRatioLimit,
                       encode_uncore_ratio_limit(f, f))) {
-    CF_LOG_WARN("UNCORE_RATIO_LIMIT write failed");
+    const int err = errno != 0 ? errno : EIO;
+    CF_LOG_WARN("UNCORE_RATIO_LIMIT write failed: %s", std::strerror(err));
+    return IoOutcome::failure(err);
   }
   current_ = f;
+  return IoOutcome::success();
 }
 
 bool LinuxMsrPlatform::available() {
@@ -176,11 +220,24 @@ LinuxMsrPlatform::LinuxMsrPlatform(FreqLadder core, FreqLadder uncore)
 }
 
 void LinuxMsrPlatform::set_core_frequency(FreqMHz f) {
-  if (core_) core_->set(f);
+  (void)apply_core_frequency(f);
 }
 
 void LinuxMsrPlatform::set_uncore_frequency(FreqMHz f) {
-  if (uncore_) uncore_->set(f);
+  (void)apply_uncore_frequency(f);
+}
+
+IoOutcome LinuxMsrPlatform::apply_core_frequency(FreqMHz f) {
+  return core_ ? core_->apply(f) : IoOutcome::unsupported();
+}
+
+IoOutcome LinuxMsrPlatform::apply_uncore_frequency(FreqMHz f) {
+  return uncore_ ? uncore_->apply(f) : IoOutcome::unsupported();
+}
+
+SampleOutcome LinuxMsrPlatform::sample_sensors() {
+  return sensors_ ? sensors_->sample()
+                  : SampleOutcome{SensorSample{}, IoOutcome::unsupported()};
 }
 
 FreqMHz LinuxMsrPlatform::core_frequency() const {
@@ -192,11 +249,11 @@ FreqMHz LinuxMsrPlatform::uncore_frequency() const {
 }
 
 SensorTotals LinuxMsrPlatform::read_sensors() {
-  return sensors_ ? sensors_->read() : SensorTotals{};
+  return sample_sensors().sample.totals();
 }
 
 SensorSample LinuxMsrPlatform::read_sample() {
-  return sensors_ ? sensors_->read_sample() : SensorSample{};
+  return sample_sensors().sample;
 }
 
 }  // namespace cuttlefish::hal

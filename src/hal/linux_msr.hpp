@@ -53,6 +53,10 @@ class MsrSensorStack final : public SensorStack {
   CapabilitySet capabilities() const override { return caps_; }
   SensorTotals read() override;
   SensorSample read_sample() override;
+  /// One pass over the present counters, reporting failure (with errno)
+  /// when any probed-present register stops responding mid-run; failed
+  /// fields keep their previous value so the sample stays monotonic.
+  SampleOutcome sample() override;
 
  private:
   MsrDevice* device_;
@@ -60,6 +64,7 @@ class MsrSensorStack final : public SensorStack {
   double energy_unit_j_ = 0.0;
   uint32_t last_energy_raw_ = 0;
   double energy_acc_j_ = 0.0;
+  SensorSample last_sample_{};
 };
 
 /// Core-domain DVFS over IA32_PERF_CTL, written on every CPU (the paper
@@ -70,8 +75,11 @@ class MsrCoreActuator final : public FrequencyActuator {
   MsrCoreActuator(std::vector<MsrDevice*> devices, FreqLadder ladder);
 
   const FreqLadder& ladder() const override { return ladder_; }
-  void set(FreqMHz f) override;
+  void set(FreqMHz f) override { (void)apply(f); }
   FreqMHz current() const override { return current_; }
+  /// Fails (with the first failing CPU's errno) unless every per-CPU
+  /// IA32_PERF_CTL write landed; current() advances only on success.
+  IoOutcome apply(FreqMHz f) override;
 
  private:
   std::vector<MsrDevice*> devices_;
@@ -87,8 +95,9 @@ class MsrUncoreActuator final : public FrequencyActuator {
   MsrUncoreActuator(MsrDevice& device, FreqLadder ladder);
 
   const FreqLadder& ladder() const override { return ladder_; }
-  void set(FreqMHz f) override;
+  void set(FreqMHz f) override { (void)apply(f); }
   FreqMHz current() const override { return current_; }
+  IoOutcome apply(FreqMHz f) override;
 
  private:
   MsrDevice* device_;
@@ -121,6 +130,9 @@ class LinuxMsrPlatform final : public PlatformInterface {
 
   SensorTotals read_sensors() override;
   hal::SensorSample read_sample() override;
+  IoOutcome apply_core_frequency(FreqMHz f) override;
+  IoOutcome apply_uncore_frequency(FreqMHz f) override;
+  SampleOutcome sample_sensors() override;
 
  private:
   FreqLadder core_ladder_;

@@ -38,6 +38,48 @@ struct SensorSample {
   }
 };
 
+/// Structured result of one HAL I/O operation (an actuator write or a
+/// batched sensor read). The pre-fault-tolerance contract was
+/// warn-and-forget: a failed MSR or sysfs write logged a line and the
+/// controller kept believing the actuation happened. Outcomes make the
+/// failure visible to the caller so per-device health tracking, bounded
+/// retry, and quarantine (core::Controller) can react instead — see
+/// docs/FAULTS.md.
+struct IoOutcome {
+  enum class Status : uint8_t {
+    kOk,           // operation completed
+    kUnsupported,  // capability absent / filtered: a deliberate no-op
+    kError,        // operation attempted and failed (see `error`)
+  };
+
+  Status status = Status::kOk;
+  /// errno of the failing syscall when status == kError, 0 otherwise.
+  int error = 0;
+
+  /// kUnsupported counts as ok: a domain that was configured away is not
+  /// unhealthy, and retrying it would be pointless.
+  bool ok() const { return status != Status::kError; }
+  bool failed() const { return status == Status::kError; }
+
+  static constexpr IoOutcome success() { return {}; }
+  static constexpr IoOutcome unsupported() {
+    return {Status::kUnsupported, 0};
+  }
+  static constexpr IoOutcome failure(int err) {
+    return {Status::kError, err};
+  }
+};
+
+/// A batched sensor read plus its outcome. On failure `sample` carries
+/// the backend's best effort (typically the previous good reading or
+/// zeros); callers that care about correctness must check `io` first —
+/// the controller discards the interval like a TIPI transition rather
+/// than difference a stale sample.
+struct SampleOutcome {
+  SensorSample sample{};
+  IoOutcome io{};
+};
+
 /// The hardware contract Cuttlefish is written against. Implementations
 /// are pluggable backends (hal/registry.hpp probes and ranks them):
 /// sim::SimPlatform (register-accurate emulation of the paper's 20-core
@@ -77,6 +119,28 @@ class PlatformInterface {
   /// preads) — see docs/ARCHITECTURE.md "The co-simulation hot path".
   virtual SensorSample read_sample() {
     return SensorSample::from_totals(read_sensors());
+  }
+
+  // ---- error-aware contract (fault tolerance, docs/FAULTS.md) ----------
+  //
+  // The outcome-returning forms are what the controller actually calls:
+  // one batched sensor read and one write per changed domain per tick,
+  // each reporting success/unsupported/error instead of warn-and-forget.
+  // The defaults adapt the legacy virtuals so third-party platforms keep
+  // working unchanged (their operations simply always report success);
+  // the built-in backends override these with their real outcomes and
+  // implement the void forms on top, so neither path recurses.
+
+  virtual IoOutcome apply_core_frequency(FreqMHz f) {
+    set_core_frequency(f);
+    return IoOutcome::success();
+  }
+  virtual IoOutcome apply_uncore_frequency(FreqMHz f) {
+    set_uncore_frequency(f);
+    return IoOutcome::success();
+  }
+  virtual SampleOutcome sample_sensors() {
+    return SampleOutcome{read_sample(), IoOutcome::success()};
   }
 };
 

@@ -1,9 +1,13 @@
 #include "hal/powercap.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <optional>
+
+#include "common/log.hpp"
 
 namespace cuttlefish::hal {
 
@@ -12,11 +16,18 @@ namespace fs = std::filesystem;
 namespace {
 
 std::optional<uint64_t> read_u64(const std::string& path) {
+  errno = 0;
   std::ifstream in(path);
-  if (!in) return std::nullopt;
+  if (!in) {
+    if (errno == 0) errno = EIO;
+    return std::nullopt;
+  }
   uint64_t value = 0;
   in >> value;
-  if (!in) return std::nullopt;
+  if (!in) {
+    if (errno == 0) errno = EIO;  // short/garbled read, no kernel errno
+    return std::nullopt;
+  }
   return value;
 }
 
@@ -62,8 +73,10 @@ CapabilitySet PowercapSensorStack::capabilities() const {
                      : CapabilitySet::none();
 }
 
-SensorTotals PowercapSensorStack::read() {
-  SensorTotals totals;
+SensorTotals PowercapSensorStack::read() { return sample().sample.totals(); }
+
+SampleOutcome PowercapSensorStack::sample() {
+  SampleOutcome out;
   for (Zone& zone : zones_) {
     const auto energy = read_u64(zone.energy_path);
     if (energy) {
@@ -79,10 +92,17 @@ SensorTotals PowercapSensorStack::read() {
       }
       zone.acc_j += static_cast<double>(delta_uj) * 1e-6;
       zone.last_uj = now;
+    } else {
+      // A probed zone stopped responding: report the failure but keep
+      // accumulating from the preserved per-zone state, so the total
+      // stays monotonic across the outage.
+      out.io = IoOutcome::failure(errno);
+      CF_LOG_WARN("powercap: %s read failed: %s", zone.energy_path.c_str(),
+                  std::strerror(errno));
     }
-    totals.energy_joules += zone.acc_j;
+    out.sample.energy_joules += zone.acc_j;
   }
-  return totals;
+  return out;
 }
 
 }  // namespace cuttlefish::hal

@@ -31,9 +31,13 @@ class PowercapSensorStack final : public SensorStack {
   const std::string& root() const { return root_; }
 
   CapabilitySet capabilities() const override;
-  // read_sample() is inherited: read() is already a single pass over the
-  // package zones, so the adapting default is the batched path.
+  // read_sample() is inherited: sample() is already a single pass over
+  // the package zones, so the adapting default is the batched path.
   SensorTotals read() override;
+  /// Reports failure (with errno) when any probed zone's energy_uj stops
+  /// responding mid-run; the per-zone accumulators are preserved so the
+  /// totals stay monotonic across the outage.
+  SampleOutcome sample() override;
 
  private:
   struct Zone {

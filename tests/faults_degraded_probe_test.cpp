@@ -1,0 +1,305 @@
+// Degraded probe paths against fake device trees that fail mid-run: MSR
+// register files truncated under an open descriptor, powercap zones whose
+// energy_uj vanishes, cpufreq setspeed paths that stop being writable
+// files, and device-level write errors propagating errno through the
+// actuators. Every failure must surface as an IoOutcome (never a crash)
+// and every stale field must hold its last good value.
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "hal/cpufreq.hpp"
+#include "hal/linux_msr.hpp"
+#include "hal/msr.hpp"
+#include "hal/powercap.hpp"
+
+namespace cuttlefish::hal {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A fake /dev/cpu tree: regular files stand in for the msr character
+/// devices, with register values stored at their pread offsets — exactly
+/// how LinuxMsrDevice addresses them.
+class FakeMsrTree {
+ public:
+  FakeMsrTree() {
+    root_ = fs::temp_directory_path() /
+            ("cuttlefish_faults_msr_" + std::to_string(::getpid()));
+    fs::remove_all(root_);
+    fs::create_directories(root_ / "0");
+    // Seed every register the sensor stack probes.
+    poke(0, msr::kRaplPowerUnit, encode_rapl_power_unit(14));
+    poke(0, msr::kPkgEnergyStatus, 16384);  // 1 J at ESU 14
+    poke_counters(0, /*instructions=*/5000, /*tor_low=*/0x10);
+    // Pad past the last register so no probe pread comes back short.
+    EXPECT_EQ(::truncate(device_path(0).c_str(), 0x800), 0);
+    ::setenv("CUTTLEFISH_MSR_ROOT", root_.c_str(), 1);
+  }
+  ~FakeMsrTree() {
+    ::unsetenv("CUTTLEFISH_MSR_ROOT");
+    fs::remove_all(root_);
+  }
+
+  std::string device_path(int cpu) const {
+    return (root_ / std::to_string(cpu) / "msr").string();
+  }
+
+  void poke(int cpu, uint32_t address, uint64_t value) {
+    const int fd =
+        ::open(device_path(cpu).c_str(), O_WRONLY | O_CREAT, 0644);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::pwrite(fd, &value, sizeof(value),
+                       static_cast<off_t>(address)),
+              static_cast<ssize_t>(sizeof(value)));
+    ::close(fd);
+  }
+
+  /// TOR_INSERTS (0x700) and INST_RETIRED (0x701) are adjacent register
+  /// numbers; in a regular-file stand-in their byte-offset preads share
+  /// bytes (a real msr device addresses whole registers, so they never
+  /// would). One combined image keeps both reads consistent: the TOR read
+  /// sees (instructions << 8) | tor_low, the instruction read sees
+  /// `instructions`.
+  void poke_counters(int cpu, uint64_t instructions, uint8_t tor_low) {
+    poke(cpu, msr::kTorInsertsAggregate, (instructions << 8) | tor_low);
+  }
+  static uint64_t tor_value(uint64_t instructions, uint8_t tor_low) {
+    return (instructions << 8) | tor_low;
+  }
+
+  /// The mid-run fault: the open descriptor survives, but every pread
+  /// beyond the new EOF comes back short.
+  void truncate_device(int cpu) {
+    ASSERT_EQ(::truncate(device_path(cpu).c_str(), 0), 0);
+  }
+  /// Heal: restore the zero padding past the last register.
+  void pad_device(int cpu) {
+    ASSERT_EQ(::truncate(device_path(cpu).c_str(), 0x800), 0);
+  }
+
+ private:
+  fs::path root_;
+};
+
+TEST(DegradedMsrProbe, SampleSurvivesRegistersVanishingMidRun) {
+  FakeMsrTree tree;
+  LinuxMsrDevice device(0);
+  ASSERT_TRUE(device.ok());
+  MsrSensorStack stack(device);
+  ASSERT_TRUE(stack.capabilities().has(Capability::kEnergySensor));
+  ASSERT_TRUE(stack.capabilities().has(Capability::kInstructionSensor));
+  ASSERT_TRUE(stack.capabilities().has(Capability::kTorSensor));
+
+  // Healthy: the counters advance.
+  tree.poke(0, msr::kPkgEnergyStatus, 2 * 16384);  // +1 J
+  tree.poke_counters(0, /*instructions=*/6000, /*tor_low=*/0x20);
+  const SampleOutcome good = stack.sample();
+  EXPECT_TRUE(good.io.ok());
+  EXPECT_DOUBLE_EQ(good.sample.energy_joules, 1.0);
+  EXPECT_EQ(good.sample.instructions, 6000u);
+  EXPECT_EQ(good.sample.tor_local, FakeMsrTree::tor_value(6000, 0x20));
+
+  // The registers vanish under the open descriptor: failure with errno,
+  // stale fields, no crash.
+  tree.truncate_device(0);
+  const SampleOutcome failed = stack.sample();
+  EXPECT_TRUE(failed.io.failed());
+  EXPECT_EQ(failed.io.error, EIO);
+  EXPECT_DOUBLE_EQ(failed.sample.energy_joules, 1.0);
+  EXPECT_EQ(failed.sample.instructions, 6000u);
+  EXPECT_EQ(failed.sample.tor_local, FakeMsrTree::tor_value(6000, 0x20));
+
+  // The device heals (same raw energy, so no phantom delta) and the
+  // stream resumes monotonically.
+  tree.poke(0, msr::kPkgEnergyStatus, 2 * 16384);
+  tree.poke_counters(0, /*instructions=*/7000, /*tor_low=*/0x30);
+  tree.pad_device(0);
+  const SampleOutcome healed = stack.sample();
+  EXPECT_TRUE(healed.io.ok());
+  EXPECT_DOUBLE_EQ(healed.sample.energy_joules, 1.0);
+  EXPECT_EQ(healed.sample.instructions, 7000u);
+  EXPECT_EQ(healed.sample.tor_local, FakeMsrTree::tor_value(7000, 0x30));
+}
+
+TEST(DegradedMsrProbe, MissingDeviceNodeProbesEmptyNotCrashing) {
+  FakeMsrTree tree;
+  LinuxMsrDevice device(7);  // only CPU 0 exists in the fake tree
+  EXPECT_FALSE(device.ok());
+  uint64_t value = 0;
+  EXPECT_FALSE(device.read(msr::kRaplPowerUnit, value));
+  EXPECT_EQ(errno, EBADF);
+  MsrSensorStack stack(device);
+  EXPECT_TRUE(stack.capabilities().empty());
+}
+
+/// MsrDevice decorator whose writes start failing on demand, with a
+/// chosen errno — the device-level half of the degraded actuator path.
+class FlakyWriteMsrDevice final : public MsrDevice {
+ public:
+  explicit FlakyWriteMsrDevice(MsrDevice& inner) : inner_(&inner) {}
+  void break_writes(int err) { err_ = err; }
+  bool read(uint32_t address, uint64_t& value) override {
+    return inner_->read(address, value);
+  }
+  bool write(uint32_t address, uint64_t value) override {
+    if (err_ != 0) {
+      errno = err_;
+      return false;
+    }
+    return inner_->write(address, value);
+  }
+
+ private:
+  MsrDevice* inner_;
+  int err_ = 0;
+};
+
+TEST(DegradedMsrProbe, ActuatorsPropagateDeviceErrnoAndHoldCurrent) {
+  FakeMsrTree tree;
+  LinuxMsrDevice raw(0);
+  ASSERT_TRUE(raw.ok());
+  ASSERT_TRUE(raw.writable());
+  FlakyWriteMsrDevice device(raw);
+  const FreqLadder ladder(FreqMHz{1200}, FreqMHz{2300}, 100);
+
+  MsrCoreActuator core({&device}, ladder);
+  EXPECT_TRUE(core.apply(FreqMHz{2000}).ok());
+  EXPECT_EQ(core.current(), FreqMHz{2000});
+
+  device.break_writes(ENODEV);
+  const IoOutcome failed = core.apply(FreqMHz{1500});
+  EXPECT_TRUE(failed.failed());
+  EXPECT_EQ(failed.error, ENODEV);
+  EXPECT_EQ(core.current(), FreqMHz{2000});  // never advances on failure
+
+  MsrUncoreActuator uncore(device, ladder);
+  const IoOutcome ufail = uncore.apply(FreqMHz{1800});
+  EXPECT_TRUE(ufail.failed());
+  EXPECT_EQ(ufail.error, ENODEV);
+
+  device.break_writes(0);
+  EXPECT_TRUE(core.apply(FreqMHz{1500}).ok());
+  EXPECT_EQ(core.current(), FreqMHz{1500});
+  EXPECT_TRUE(uncore.apply(FreqMHz{1800}).ok());
+}
+
+/// Fake /sys/class/powercap tree (one package zone).
+class FakePowercapTree {
+ public:
+  FakePowercapTree() {
+    root_ = fs::temp_directory_path() /
+            ("cuttlefish_faults_powercap_" + std::to_string(::getpid()));
+    fs::remove_all(root_);
+    dir_ = root_ / "intel-rapl:0";
+    fs::create_directories(dir_);
+    write_value("max_energy_range_uj", 262'143'328'850ull);
+    write_value("energy_uj", 1'000'000);  // 1 J
+  }
+  ~FakePowercapTree() { fs::remove_all(root_); }
+
+  std::string root() const { return root_.string(); }
+  void set_energy(uint64_t uj) { write_value("energy_uj", uj); }
+  void drop_energy_file() { fs::remove(dir_ / "energy_uj"); }
+
+ private:
+  void write_value(const std::string& name, uint64_t value) {
+    std::ofstream out(dir_ / name);
+    out << value << '\n';
+  }
+  fs::path root_;
+  fs::path dir_;
+};
+
+TEST(DegradedPowercapProbe, VanishingZoneKeepsTheAccumulator) {
+  FakePowercapTree tree;
+  PowercapSensorStack stack(tree.root());
+  ASSERT_TRUE(stack.available());
+
+  tree.set_energy(1'500'000);  // +0.5 J over the construction baseline
+  const SampleOutcome good = stack.sample();
+  EXPECT_TRUE(good.io.ok());
+  EXPECT_NEAR(good.sample.energy_joules, 0.5, 1e-9);
+
+  // The zone vanishes mid-run: failure with errno, accumulator held.
+  tree.drop_energy_file();
+  const SampleOutcome failed = stack.sample();
+  EXPECT_TRUE(failed.io.failed());
+  EXPECT_NE(failed.io.error, 0);
+  EXPECT_NEAR(failed.sample.energy_joules, 0.5, 1e-9);
+
+  // The zone comes back: accumulation resumes from the held baseline.
+  tree.set_energy(2'000'000);  // +0.5 J since the last good read
+  const SampleOutcome healed = stack.sample();
+  EXPECT_TRUE(healed.io.ok());
+  EXPECT_NEAR(healed.sample.energy_joules, 1.0, 1e-9);
+}
+
+/// Fake cpufreq tree; breaking a CPU replaces its scaling_setspeed file
+/// with a directory, which fails opens for writing even when the test
+/// runs as root (chmod alone would not — root bypasses mode bits).
+class FakeCpufreqTree {
+ public:
+  explicit FakeCpufreqTree(int cpus) {
+    root_ = fs::temp_directory_path() /
+            ("cuttlefish_faults_cpufreq_" + std::to_string(::getpid()));
+    fs::remove_all(root_);
+    for (int cpu = 0; cpu < cpus; ++cpu) {
+      const fs::path dir = cpu_dir(cpu);
+      fs::create_directories(dir);
+      write(dir / "scaling_governor", "performance");
+      write(dir / "scaling_setspeed", "<unsupported>");
+      write(dir / "scaling_cur_freq", "2300000");
+      write(dir / "cpuinfo_min_freq", "1200000");
+      write(dir / "cpuinfo_max_freq", "2300000");
+    }
+  }
+  ~FakeCpufreqTree() { fs::remove_all(root_); }
+
+  std::string root() const { return root_.string(); }
+  void break_setspeed(int cpu) {
+    const fs::path path = cpu_dir(cpu) / "scaling_setspeed";
+    fs::remove(path);
+    fs::create_directories(path);
+  }
+
+ private:
+  fs::path cpu_dir(int cpu) const {
+    return root_ / ("cpu" + std::to_string(cpu)) / "cpufreq";
+  }
+  static void write(const fs::path& path, const std::string& value) {
+    std::ofstream out(path);
+    out << value << '\n';
+  }
+  fs::path root_;
+};
+
+TEST(DegradedCpufreqProbe, ApplyFailsWithErrnoWhenSetspeedBreaksMidRun) {
+  FakeCpufreqTree tree(2);
+  CpufreqActuator probe(tree.root());
+  ASSERT_TRUE(probe.available());
+  ASSERT_EQ(probe.cpu_count(), 2);
+  const FreqLadder ladder(FreqMHz{1200}, FreqMHz{2300}, 100);
+  CpufreqCoreActuator actuator(CpufreqActuator(tree.root()), ladder);
+
+  EXPECT_TRUE(actuator.apply(FreqMHz{1800}).ok());
+  EXPECT_EQ(actuator.current(), FreqMHz{1800});
+
+  // Both CPUs' setspeed paths break mid-run.
+  tree.break_setspeed(0);
+  tree.break_setspeed(1);
+  const IoOutcome failed = actuator.apply(FreqMHz{1500});
+  EXPECT_TRUE(failed.failed());
+  EXPECT_EQ(failed.error, EISDIR);
+  EXPECT_EQ(actuator.current(), FreqMHz{1800});
+}
+
+}  // namespace
+}  // namespace cuttlefish::hal
