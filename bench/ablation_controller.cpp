@@ -1,0 +1,139 @@
+// Controller-strategy ablation: every registered policy kind from the
+// controller factory (docs/CONTROLLERS.md) against the same seed-paired
+// Default baseline — energy savings, slowdown and EDP savings per
+// benchmark plus the geometric means. This is the PR-8 seam payoff
+// figure: the Algorithm-1 ladder (Cuttlefish) and the model-predictive
+// strategy (Cuttlefish-MPC) run the identical co-simulations, so the
+// deltas isolate the decision policy.
+//
+// CF_BENCH_SMOKE=1 shrinks to a 3-benchmark / 2-seed grid for CI;
+// --policy NAME restricts the comparison to one registered kind;
+// --json-out writes the per-policy geomeans (BENCH_ablation.json in CI).
+
+#include "bench_util.hpp"
+
+using namespace cuttlefish;
+
+int main(int argc, char** argv) {
+  const bool smoke = std::getenv("CF_BENCH_SMOKE") != nullptr;
+  const auto args = benchharness::parse_args(argc, argv, smoke ? 2 : 5,
+                                             /*has_reps=*/true,
+                                             /*has_shards=*/false,
+                                             /*has_policy=*/true);
+  const uint64_t seed0 = benchharness::seed_base(args, 1000);
+  const sim::MachineConfig machine = sim::haswell_2650v3();
+
+  // Smoke keeps one benchmark per phase-structure class: converged
+  // steady phases (HPCCG), many short ranges (SOR-irt) and a memory-
+  // bound mix (MiniFE).
+  std::vector<workloads::BenchmarkModel> suite;
+  if (smoke) {
+    for (const char* name : {"HPCCG", "SOR-irt", "MiniFE"}) {
+      suite.push_back(workloads::find_benchmark(name));
+    }
+  } else {
+    suite = workloads::openmp_suite();
+  }
+
+  // Monitor profiles without actuating (savings are 0 by construction),
+  // so it only appears when explicitly requested via --policy monitor.
+  std::vector<core::PolicyInfo> policies;
+  for (const core::PolicyInfo& info : core::registered_policies()) {
+    if (args.policy) {
+      if (info.kind == *args.policy) policies.push_back(info);
+    } else if (info.kind != core::PolicyKind::kMonitor) {
+      policies.push_back(info);
+    }
+  }
+
+  exp::SweepGrid grid(machine);
+  struct Cell {
+    const workloads::BenchmarkModel* model;
+    const core::PolicyInfo* info;
+    int point;
+  };
+  std::vector<Cell> cells;
+  const exp::RunOptions opt;
+  for (const auto& model : suite) {
+    const int base = grid.add_default(model.name + "/Default", model, opt,
+                                      args.runs, seed0);
+    for (const core::PolicyInfo& info : policies) {
+      cells.push_back({&model, &info,
+                       grid.add_policy(model.name + "/" + info.display, model,
+                                       info.kind, opt, args.runs, seed0,
+                                       base)});
+    }
+  }
+  const std::vector<exp::RunResult> results =
+      exp::run_sweep(grid, args.workers);
+  const std::vector<exp::PointSummary> summary = exp::summarize(grid, results);
+
+  CsvWriter csv("ablation_controller.csv",
+                {"benchmark", "policy", "energy_savings_pct",
+                 "energy_savings_ci", "slowdown_pct", "slowdown_ci",
+                 "edp_savings_pct", "edp_savings_ci", "samples_recorded"});
+
+  std::printf("Controller ablation: registered strategies vs Default "
+              "(%d runs per point%s)\n",
+              args.runs, smoke ? ", smoke grid" : "");
+  benchharness::print_rule(110);
+  std::printf("%-10s %-18s %22s %22s %22s %10s\n", "Benchmark", "Policy",
+              "Energy savings %", "Slowdown %", "EDP savings %", "Samples");
+  benchharness::print_rule(110);
+
+  std::map<std::string, std::vector<double>> geo_savings, geo_slowdown,
+      geo_edp;
+  for (const Cell& cell : cells) {
+    const exp::PointSummary& s = summary[static_cast<size_t>(cell.point)];
+    double samples = 0.0;
+    for (int r = 0; r < args.runs; ++r) {
+      const exp::RunResult& run =
+          results[static_cast<size_t>(grid.spec_index(cell.point, r))];
+      samples += static_cast<double>(run.stats.samples_recorded);
+    }
+    samples /= static_cast<double>(args.runs);
+    std::printf(
+        "%-10s %-18s %22s %22s %22s %10.0f\n", cell.model->name.c_str(),
+        cell.info->display,
+        benchharness::pm(s.energy_savings_pct.mean, s.energy_savings_pct.ci95)
+            .c_str(),
+        benchharness::pm(s.slowdown_pct.mean, s.slowdown_pct.ci95).c_str(),
+        benchharness::pm(s.edp_savings_pct.mean, s.edp_savings_pct.ci95)
+            .c_str(),
+        samples);
+    csv.row({cell.model->name, cell.info->display,
+             CsvWriter::num(s.energy_savings_pct.mean),
+             CsvWriter::num(s.energy_savings_pct.ci95),
+             CsvWriter::num(s.slowdown_pct.mean),
+             CsvWriter::num(s.slowdown_pct.ci95),
+             CsvWriter::num(s.edp_savings_pct.mean),
+             CsvWriter::num(s.edp_savings_pct.ci95),
+             CsvWriter::num(samples)});
+    geo_savings[cell.info->display].push_back(s.energy_savings_pct.mean);
+    geo_slowdown[cell.info->display].push_back(s.slowdown_pct.mean);
+    geo_edp[cell.info->display].push_back(s.edp_savings_pct.mean);
+  }
+
+  benchharness::print_rule(110);
+  std::printf("Geometric means (positive EDP savings = better than "
+              "Default):\n");
+  benchharness::JsonWriter json;
+  json.field("smoke", smoke);
+  json.field("runs", args.runs);
+  json.field("benchmarks", static_cast<int64_t>(suite.size()));
+  for (const core::PolicyInfo& info : policies) {
+    const double e = exp::geomean_savings_pct(geo_savings[info.display]);
+    const double d = exp::geomean_slowdown_pct(geo_slowdown[info.display]);
+    const double p = exp::geomean_savings_pct(geo_edp[info.display]);
+    std::printf("%-18s energy %6.1f%%   slowdown %5.1f%%   EDP %6.1f%%\n",
+                info.display, e, d, p);
+    benchharness::JsonWriter row;
+    row.field("energy_savings_pct", e, 4);
+    row.field("slowdown_pct", d, 4);
+    row.field("edp_savings_pct", p, 4);
+    json.raw(info.display, row.compact());
+  }
+  std::printf("CSV written to ablation_controller.csv\n");
+  if (!args.json_out.empty()) json.write(args.json_out);
+  return 0;
+}

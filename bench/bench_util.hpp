@@ -14,6 +14,10 @@
 //                  implement the shard protocol, e.g. micro_sweep; the
 //                  partition is deterministic, so N processes cover a grid
 //                  exactly once and merge byte-identically)
+//   --policy NAME  restrict a policy-comparison bench to one registered
+//                  controller kind (benches that opt in, e.g.
+//                  ablation_controller; unknown names are rejected with
+//                  the registered list)
 //   --json-out F   write a machine-readable JSON summary to F
 
 #include <cinttypes>
@@ -22,12 +26,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/csv.hpp"
 #include "common/stats.hpp"
+#include "core/controller_factory.hpp"
 #include "exp/calibrate.hpp"
 #include "exp/driver.hpp"
 #include "exp/metrics.hpp"
@@ -44,6 +50,9 @@ struct BenchArgs {
   int shard_index = 0;     // --shard i/N; 0/1 = unsharded
   int shard_count = 1;
   std::string json_out;    // empty = no JSON summary
+  // --policy NAME, validated against the controller-factory registry.
+  // nullopt = bench compares every kind it knows about.
+  std::optional<core::PolicyKind> policy;
 };
 
 /// Seed base helper: the paper benches keep their historical bases (so
@@ -55,7 +64,8 @@ inline uint64_t seed_base(const BenchArgs& args, uint64_t fallback) {
 [[noreturn]] inline void usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s [N | --runs N] [--seeds B (nonzero)] "
-               "[--workers N] [--shard i/N] [--json-out FILE]\n",
+               "[--workers N] [--shard i/N] [--policy NAME] "
+               "[--json-out FILE]\n",
                prog);
   std::exit(2);
 }
@@ -130,9 +140,11 @@ inline void parse_shard(const char* prog, const char* text, int* index,
 /// Benches without seeded replicates (exhaustive/analytic sweeps) pass
 /// has_reps = false, which rejects --runs/--seeds loudly instead of
 /// accepting a flag that would silently do nothing; likewise has_shards
-/// marks the benches that implement the --shard partition protocol.
+/// marks the benches that implement the --shard partition protocol and
+/// has_policy the benches that can restrict to one controller kind.
 inline BenchArgs parse_args(int argc, char** argv, int default_runs,
-                            bool has_reps = true, bool has_shards = false) {
+                            bool has_reps = true, bool has_shards = false,
+                            bool has_policy = false) {
   BenchArgs args;
   args.runs = default_runs;
   for (int i = 1; i < argc; ++i) {
@@ -176,6 +188,20 @@ inline BenchArgs parse_args(int argc, char** argv, int default_runs,
                "process");
       }
       parse_shard(argv[0], v, &args.shard_index, &args.shard_count);
+    } else if (arg == "--policy") {
+      const char* v = value();
+      if (!has_policy) {
+        reject(argv[0], arg,
+               "not supported — this bench does not compare controller "
+               "policies");
+      }
+      const auto kind = core::policy_kind_from_string(v);
+      if (!kind) {
+        reject(argv[0], arg,
+               std::string("unknown policy '") + v +
+                   "' (registered: " + core::known_policy_names() + ")");
+      }
+      args.policy = *kind;
     } else if (arg == "--json-out") {
       args.json_out = value();
     } else if (i == 1 && arg[0] >= '0' && arg[0] <= '9') {

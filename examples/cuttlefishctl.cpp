@@ -3,8 +3,11 @@
 //
 //   cuttlefishctl backends                   registry: probe + capabilities
 //   cuttlefishctl probe                      host + simulator summary
+//   cuttlefishctl policies                   registered controller kinds +
+//                                            required capabilities
 //   cuttlefishctl demo  <benchmark> [policy] co-simulated run + results
-//   cuttlefishctl trace <benchmark> [lines]  decision log of a run
+//   cuttlefishctl trace <benchmark> [policy] [lines]
+//                                            decision log of a run
 //   cuttlefishctl list                       available benchmarks
 //   cuttlefishctl regions [profiles.json]    cached region profiles (no
 //                                            file: run a warm-start demo)
@@ -18,15 +21,17 @@
 //                                            retry, quarantine, re-narrow,
 //                                            heal, warm restart
 //
-// policy: full (default) | core | uncore | monitor
+// policy: full (default) | core | uncore | monitor | mpc — any name
+// `cuttlefishctl policies` lists.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "core/api.hpp"
-#include "core/controller.hpp"
+#include "core/controller_factory.hpp"
 #include "core/env_config.hpp"
 #include "core/region.hpp"
 #include "core/session.hpp"
@@ -110,12 +115,25 @@ int cmd_list() {
 
 core::PolicyKind parse_policy_arg(const char* arg) {
   if (arg == nullptr) return core::PolicyKind::kFull;
-  const auto parsed = core::parse_policy(arg);
+  const auto parsed = core::policy_kind_from_string(arg);
   if (!parsed) {
-    std::fprintf(stderr, "unknown policy '%s', using full\n", arg);
+    std::fprintf(stderr, "unknown policy '%s' (registered: %s), using full\n",
+                 arg, core::known_policy_names().c_str());
     return core::PolicyKind::kFull;
   }
   return *parsed;
+}
+
+int cmd_policies() {
+  std::printf("%-8s %-18s %-44s %s\n", "name", "display", "requires",
+              "description");
+  for (const core::PolicyInfo& info : core::registered_policies()) {
+    std::printf("%-8s %-18s %-44s %s\n", info.name, info.display,
+                info.requires_caps, info.description);
+  }
+  std::printf("\nselect with `demo/trace <benchmark> <name>` or "
+              "CUTTLEFISH_POLICY=<name>\n");
+  return 0;
 }
 
 int cmd_demo(const char* bench, const char* policy_arg) {
@@ -157,8 +175,17 @@ int cmd_demo(const char* bench, const char* policy_arg) {
   return 0;
 }
 
-int cmd_trace(const char* bench, const char* lines_arg) {
+// trace <benchmark> [policy] [lines]: the optional middle argument is a
+// registered policy name; a bare integer there is taken as the line
+// count (the historical two-argument form).
+int cmd_trace(const char* bench, const char* policy_arg,
+              const char* lines_arg) {
   const auto& model = workloads::find_benchmark(bench);
+  if (policy_arg != nullptr && lines_arg == nullptr &&
+      !core::policy_kind_from_string(policy_arg)) {
+    lines_arg = policy_arg;
+    policy_arg = nullptr;
+  }
   const int max_lines = lines_arg != nullptr ? std::atoi(lines_arg) : 40;
   const sim::MachineConfig machine = sim::haswell_2650v3();
   sim::PhaseProgram program = exp::build_calibrated(model, machine, 1);
@@ -166,17 +193,19 @@ int cmd_trace(const char* bench, const char* lines_arg) {
   sim::SimMachine sim_machine(machine, program, 1);
   sim::SimPlatform platform(sim_machine);
   core::ControllerConfig cfg;
-  core::Controller controller(platform, cfg);
+  cfg.policy = parse_policy_arg(policy_arg);
+  const std::unique_ptr<core::IController> controller =
+      core::make_controller(platform, cfg);
   core::DecisionTrace trace(65536);
-  controller.set_trace(&trace);
+  controller->set_trace(&trace);
 
   for (double t = 0.0; t < cfg.warmup_s; t += cfg.tinv_s) {
     sim_machine.advance(cfg.tinv_s);
   }
-  controller.begin();
+  controller->begin();
   while (!sim_machine.workload_done()) {
     sim_machine.advance(cfg.tinv_s);
-    controller.tick();
+    controller->tick();
   }
 
   const std::string text =
@@ -422,17 +451,18 @@ int cmd_faults(const char* bench) {
   }
 
   core::ControllerConfig cfg;
-  core::Controller controller(faulty, cfg);
+  const std::unique_ptr<core::IController> controller =
+      core::make_controller(faulty, cfg);
   core::DecisionTrace trace(1 << 16);
-  controller.set_trace(&trace);
+  controller->set_trace(&trace);
 
   for (double t = 0.0; t < cfg.warmup_s; t += cfg.tinv_s) {
     sim_machine.advance(cfg.tinv_s);
   }
-  controller.begin();
+  controller->begin();
   while (!sim_machine.workload_done()) {
     sim_machine.advance(cfg.tinv_s);
-    controller.tick();
+    controller->tick();
   }
 
   std::printf("\ncapability lifecycle (%s on the simulated Haswell):\n",
@@ -449,7 +479,7 @@ int cmd_faults(const char* bench) {
                 hal::CapabilitySet(rec.aux).to_string().c_str());
   }
 
-  const core::ControllerStats& stats = controller.stats();
+  const core::ControllerStats& stats = controller->stats();
   const hal::FaultStats& injected = faulty.fault_stats();
   std::printf("\ninjector:   %llu sensor errors, %llu actuator errors\n",
               static_cast<unsigned long long>(injected.sensor_errors),
@@ -463,7 +493,7 @@ int cmd_faults(const char* bench) {
               static_cast<unsigned long long>(stats.quarantines),
               static_cast<unsigned long long>(stats.recoveries));
   std::printf("final policy: %s (requested %s)\n",
-              core::to_string(controller.effective_policy()),
+              core::to_string(controller->effective_policy()),
               core::to_string(cfg.policy));
   std::printf(
       "\n(the transient blip cost retries but no decisions; the uncore\n"
@@ -474,10 +504,10 @@ int cmd_faults(const char* bench) {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: cuttlefishctl backends | probe | list | demo "
-               "<benchmark> [full|core|uncore|monitor] | trace <benchmark> "
-               "[lines] | regions [profiles.json] | cache "
-               "stats|verify|gc <dir> | faults [benchmark]\n");
+               "usage: cuttlefishctl backends | probe | list | policies | "
+               "demo <benchmark> [full|core|uncore|monitor|mpc] | trace "
+               "<benchmark> [policy] [lines] | regions [profiles.json] | "
+               "cache stats|verify|gc <dir> | faults [benchmark]\n");
 }
 
 }  // namespace
@@ -491,11 +521,13 @@ int main(int argc, char** argv) {
   if (cmd == "backends") return cmd_backends();
   if (cmd == "probe") return cmd_probe();
   if (cmd == "list") return cmd_list();
+  if (cmd == "policies") return cmd_policies();
   if (cmd == "demo" && argc >= 3) {
     return cmd_demo(argv[2], argc >= 4 ? argv[3] : nullptr);
   }
   if (cmd == "trace" && argc >= 3) {
-    return cmd_trace(argv[2], argc >= 4 ? argv[3] : nullptr);
+    return cmd_trace(argv[2], argc >= 4 ? argv[3] : nullptr,
+                     argc >= 5 ? argv[4] : nullptr);
   }
   if (cmd == "regions") {
     return cmd_regions(argc >= 3 ? argv[2] : nullptr);

@@ -113,7 +113,7 @@ int main() {
   for (int i = 0; i < 300 && !platform.workload_done(); ++i) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
-  const core::Controller* ctl = session.controller();
+  const core::IController* ctl = session.controller();
   std::printf("\nCuttlefish state after the run:\n");
   for (const core::TipiNode* n = ctl->list().head(); n != nullptr;
        n = n->next) {

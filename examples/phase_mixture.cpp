@@ -25,7 +25,7 @@ using namespace cuttlefish;
 
 namespace {
 
-void print_nodes(const core::Controller& controller,
+void print_nodes(const core::IController& controller,
                  const sim::MachineConfig& machine) {
   std::printf("%-14s %8s %10s %10s %8s %8s\n", "TIPI range", "ticks",
               "CF window", "UF window", "CFopt", "UFopt");

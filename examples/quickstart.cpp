@@ -67,7 +67,7 @@ int main() {
       std::this_thread::sleep_for(std::chrono::milliseconds(20));
     }
     // Peek at the controller while the region is still open.
-    const core::Controller* ctl = session.controller();
+    const core::IController* ctl = session.controller();
     std::printf("discovered TIPI ranges:\n");
     for (const core::TipiNode* n = ctl->list().head(); n != nullptr;
          n = n->next) {

@@ -61,7 +61,7 @@ int main() {
     while (!platform.workload_done()) {
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
     }
-    const core::Controller* ctl = session.controller();
+    const core::IController* ctl = session.controller();
     const core::TipiNode* n = ctl->list().head();
     if (n != nullptr && n->cf.complete()) {
       std::printf("\ncompute-bound MAP %s: CFopt %.1f GHz",

@@ -55,7 +55,7 @@ bool active() {
   return g_default != nullptr && g_default->active();
 }
 
-const core::Controller* session_controller() {
+const core::IController* session_controller() {
   std::lock_guard<std::mutex> lock(g_mutex);
   return g_default != nullptr ? g_default->controller() : nullptr;
 }

@@ -52,7 +52,7 @@ bool active();
 /// The running default session's controller (nullptr when inactive);
 /// exposed for introspection (examples print discovered TIPI ranges and
 /// optima).
-const core::Controller* session_controller();
+const core::IController* session_controller();
 
 /// Registry name of the backend driving the active default session
 /// ("explicit" when the caller supplied the platform; "" when inactive).

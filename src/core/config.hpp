@@ -9,13 +9,19 @@
 /// (TIPI list, explorer, HAL platform).
 namespace cuttlefish::core {
 
-/// Which frequency domains the controller adapts (paper §5): the full
-/// library adapts both; the -Core and -Uncore build variants pin the other
-/// domain at its maximum. kMonitor profiles TIPI/JPI without exploring or
-/// actuating — the terminal degradation when the backend lacks the
-/// sensors or actuators a policy needs (it can also be requested
-/// explicitly for pure profiling sessions).
-enum class PolicyKind { kFull, kCoreOnly, kUncoreOnly, kMonitor };
+/// Which exploration strategy the controller runs and which frequency
+/// domains it adapts (paper §5): the full library adapts both; the -Core
+/// and -Uncore build variants pin the other domain at its maximum.
+/// kMonitor profiles TIPI/JPI without exploring or actuating — the
+/// terminal degradation when the backend lacks the sensors or actuators a
+/// policy needs (it can also be requested explicitly for pure profiling
+/// sessions). kMpc replaces the ladder descent with a model-predictive
+/// strategy (core/controller_mpc.hpp): fit a per-phase plant model from a
+/// few design-point JPI measurements, actuate the predicted optimum after
+/// a bounded verification probe. New kinds register in
+/// core/controller_factory.hpp; existing enum values are stable (they are
+/// serialized into spec digests and profile files).
+enum class PolicyKind { kFull, kCoreOnly, kUncoreOnly, kMonitor, kMpc };
 
 const char* to_string(PolicyKind kind);
 
@@ -36,6 +42,13 @@ struct ControllerConfig {
   bool insertion_narrowing = true;
   /// §4.5 revalidation propagation (ablatable).
   bool revalidation = true;
+  /// kMpc only: design points measured per domain before the plant model
+  /// is fit (spread across the ladder, endpoints included).
+  int mpc_design_points = 4;
+  /// kMpc only: the verification probe accepts the predicted optimum when
+  /// its measured JPI is within (1 + margin) of the best design point;
+  /// otherwise the controller falls back to the best measured level.
+  double mpc_verify_margin = 0.02;
   /// Fault tolerance (docs/FAULTS.md): in-call retry budget, quarantine
   /// threshold and probe backoff for the per-device health trackers.
   hal::RetryPolicy resilience;

@@ -11,6 +11,7 @@ const char* to_string(PolicyKind kind) {
     case PolicyKind::kCoreOnly: return "Cuttlefish-Core";
     case PolicyKind::kUncoreOnly: return "Cuttlefish-Uncore";
     case PolicyKind::kMonitor: return "Cuttlefish-Monitor";
+    case PolicyKind::kMpc: return "Cuttlefish-MPC";
   }
   return "?";
 }
@@ -64,8 +65,22 @@ void Controller::apply_capabilities() {
   // A full request keeps whichever domain is still actuatable; an
   // explicit -Core/-Uncore request never switches to the *other* domain
   // (the user asked for that one to stay pinned at max) — it drops
-  // straight to monitor instead.
-  if (effective_ == PolicyKind::kFull) {
+  // straight to monitor instead. An MPC request narrows like kFull but
+  // keeps its own kind while at least one actuator remains: the strategy
+  // consults can_set_cf_/can_set_uf_ per domain itself.
+  if (effective_ == PolicyKind::kMpc) {
+    if (!can_set_uf_) {
+      note_degradation(Domain::kUncore,
+                       hal::CapabilitySet{}.with(Capability::kUncoreUfs));
+    }
+    if (!can_set_cf_) {
+      note_degradation(Domain::kCore,
+                       hal::CapabilitySet{}.with(Capability::kCoreDvfs));
+    }
+    if (!can_set_cf_ && !can_set_uf_) {
+      effective_ = PolicyKind::kMonitor;
+    }
+  } else if (effective_ == PolicyKind::kFull) {
     if (!can_set_uf_) {
       note_degradation(Domain::kUncore,
                        hal::CapabilitySet{}.with(Capability::kUncoreUfs));
@@ -110,6 +125,10 @@ void Controller::apply_capabilities() {
 PolicyKind Controller::runtime_narrowed_policy(bool jpi_ok) const {
   if (safe_mode_ || !jpi_ok) return PolicyKind::kMonitor;
   const PolicyKind policy = cfg_.policy;
+  if (policy == PolicyKind::kMpc) {
+    return can_set_cf_ || can_set_uf_ ? PolicyKind::kMpc
+                                      : PolicyKind::kMonitor;
+  }
   if (policy == PolicyKind::kFull) {
     if (!can_set_cf_ && !can_set_uf_) return PolicyKind::kMonitor;
     if (!can_set_uf_) return PolicyKind::kCoreOnly;
@@ -385,6 +404,13 @@ void Controller::trace_window(TraceEvent event, const TipiNode& node,
                   st.opt});
 }
 
+void Controller::trace_opt_found(const TipiNode& node, Domain domain) {
+  if (trace_ == nullptr) return;
+  const DomainState& st = domain_state(node, domain);
+  trace_->record({stats_.ticks, TraceEvent::kOptFound, node.slab, domain,
+                  st.lb, st.rb, st.opt});
+}
+
 void Controller::trace_explore(const TipiNode& node, Domain domain,
                                const ExploreResult& result) {
   if (trace_ == nullptr) return;
@@ -479,6 +505,51 @@ void Controller::run_uncore_only(TipiNode& node, double jpi, bool record,
   }
 }
 
+void Controller::on_node_inserted(TipiNode& node) {
+  // Algorithm 1 lines 8-12: arm the exploration window of the policy's
+  // primary domain (the uncore-only variant explores UF directly with the
+  // core pinned; everything else starts with the CF descent).
+  if (effective_ == PolicyKind::kUncoreOnly) {
+    init_uf_window(node, cf_ladder_, uf_ladder_, cfg_.jpi_samples,
+                   std::nullopt, cfg_.insertion_narrowing);
+    trace_window(TraceEvent::kUfWindowInit, node, Domain::kUncore);
+    if (node.uf.complete()) {
+      uf_propagator_.on_opt_found(node, node.uf.opt);
+    }
+  } else {
+    init_cf_window(node, cf_ladder_, cfg_.jpi_samples,
+                   cfg_.insertion_narrowing);
+    trace_window(TraceEvent::kCfWindowInit, node, Domain::kCore);
+    if (node.cf.complete()) {
+      cf_propagator_.on_opt_found(node, node.cf.opt);
+    }
+  }
+}
+
+void Controller::decide(TipiNode& node, double jpi, bool record,
+                        Level& cf_next, Level& uf_next) {
+  switch (effective_) {
+    case PolicyKind::kFull:
+      run_full_policy(node, jpi, record, cf_next, uf_next);
+      break;
+    case PolicyKind::kCoreOnly:
+      run_core_only(node, jpi, record, cf_next, uf_next);
+      break;
+    case PolicyKind::kUncoreOnly:
+      run_uncore_only(node, jpi, record, cf_next, uf_next);
+      break;
+    case PolicyKind::kMonitor:
+      // Profile only: the TIPI list and telemetry fill in, but no windows
+      // open and both domains stay at their (unactuated) maxima.
+      break;
+    case PolicyKind::kMpc:
+      // kMpc is implemented by ControllerMpc's override; a plain
+      // Controller configured with it (use the factory instead) profiles
+      // like kMonitor rather than running a strategy it doesn't have.
+      break;
+  }
+}
+
 void Controller::tick() {
   if (safe_mode_) {
     // Parked by the watchdog: keep the tick count advancing (region and
@@ -552,21 +623,7 @@ void Controller::tick() {
       trace_->record({stats_.ticks, TraceEvent::kNodeInserted, slab,
                       Domain::kCore, kNoLevel, kNoLevel, kNoLevel});
     }
-    if (effective_ == PolicyKind::kUncoreOnly) {
-      init_uf_window(*node, cf_ladder_, uf_ladder_, cfg_.jpi_samples,
-                     std::nullopt, cfg_.insertion_narrowing);
-      trace_window(TraceEvent::kUfWindowInit, *node, Domain::kUncore);
-      if (node->uf.complete()) {
-        uf_propagator_.on_opt_found(*node, node->uf.opt);
-      }
-    } else if (effective_ != PolicyKind::kMonitor) {
-      init_cf_window(*node, cf_ladder_, cfg_.jpi_samples,
-                     cfg_.insertion_narrowing);
-      trace_window(TraceEvent::kCfWindowInit, *node, Domain::kCore);
-      if (node->cf.complete()) {
-        cf_propagator_.on_opt_found(*node, node->cf.opt);
-      }
-    }
+    if (effective_ != PolicyKind::kMonitor) on_node_inserted(*node);
   } else {
     transition = node != prev_node_;
   }
@@ -576,21 +633,7 @@ void Controller::tick() {
   Level cf_next = cf_ladder_.max_level();
   Level uf_next = uf_ladder_.max_level();
   const bool record = !transition;
-  switch (effective_) {
-    case PolicyKind::kFull:
-      run_full_policy(*node, jpi, record, cf_next, uf_next);
-      break;
-    case PolicyKind::kCoreOnly:
-      run_core_only(*node, jpi, record, cf_next, uf_next);
-      break;
-    case PolicyKind::kUncoreOnly:
-      run_uncore_only(*node, jpi, record, cf_next, uf_next);
-      break;
-    case PolicyKind::kMonitor:
-      // Profile only: the TIPI list and telemetry fill in, but no windows
-      // open and both domains stay at their (unactuated) maxima.
-      break;
-  }
+  decide(*node, jpi, record, cf_next, uf_next);
 
   // Algorithm 1 line 33-35.
   set_frequencies(cf_next, uf_next);

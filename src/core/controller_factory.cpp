@@ -1,0 +1,82 @@
+#include "core/controller_factory.hpp"
+
+#include "common/assert.hpp"
+#include "core/controller.hpp"
+#include "core/controller_mpc.hpp"
+#include "core/env_config.hpp"
+
+namespace cuttlefish::core {
+
+const std::vector<PolicyInfo>& registered_policies() {
+  static const std::vector<PolicyInfo> kRegistry = {
+      {PolicyKind::kFull, "full", "Cuttlefish",
+       "Algorithm-1 ladder descent over both domains (the paper's policy)",
+       "JPI sensors + core DVFS + uncore UFS"},
+      {PolicyKind::kCoreOnly, "core", "Cuttlefish-Core",
+       "ladder descent over core DVFS only; uncore pinned at max",
+       "JPI sensors + core DVFS"},
+      {PolicyKind::kUncoreOnly, "uncore", "Cuttlefish-Uncore",
+       "ladder descent over uncore UFS only; core pinned at max",
+       "JPI sensors + uncore UFS"},
+      {PolicyKind::kMonitor, "monitor", "Cuttlefish-Monitor",
+       "profile TIPI/JPI without exploring or actuating",
+       "JPI sensors"},
+      {PolicyKind::kMpc, "mpc", "Cuttlefish-MPC",
+       "model-predictive: quadratic plant fit over design points, "
+       "verified jump to the predicted optimum",
+       "JPI sensors + at least one of core DVFS / uncore UFS"},
+  };
+  return kRegistry;
+}
+
+const PolicyInfo& policy_info(PolicyKind kind) {
+  for (const PolicyInfo& info : registered_policies()) {
+    if (info.kind == kind) return info;
+  }
+  CF_ASSERT(false, "PolicyKind missing from the factory registry");
+  return registered_policies().front();
+}
+
+const char* policy_name(PolicyKind kind) { return policy_info(kind).name; }
+
+std::optional<PolicyKind> policy_kind_from_string(const std::string& text) {
+  // parse_policy already covers the canonical short names plus the legacy
+  // spellings; the registry adds the display names on top.
+  if (const auto parsed = parse_policy(text)) return parsed;
+  for (const PolicyInfo& info : registered_policies()) {
+    if (text == info.display) return info.kind;
+  }
+  return std::nullopt;
+}
+
+std::string known_policy_names() {
+  std::string names;
+  for (const PolicyInfo& info : registered_policies()) {
+    if (!names.empty()) names += ", ";
+    names += info.name;
+  }
+  return names;
+}
+
+std::unique_ptr<IController> make_controller(hal::PlatformInterface& platform,
+                                             ControllerConfig cfg) {
+  switch (cfg.policy) {
+    case PolicyKind::kMpc:
+      return std::make_unique<ControllerMpc>(platform, cfg);
+    case PolicyKind::kFull:
+    case PolicyKind::kCoreOnly:
+    case PolicyKind::kUncoreOnly:
+    case PolicyKind::kMonitor:
+      break;
+  }
+  return std::make_unique<Controller>(platform, cfg);
+}
+
+std::unique_ptr<IController> make_controller(PolicyKind kind,
+                                             hal::PlatformInterface& platform,
+                                             ControllerConfig cfg) {
+  cfg.policy = kind;
+  return make_controller(platform, cfg);
+}
+
+}  // namespace cuttlefish::core

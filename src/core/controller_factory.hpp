@@ -1,0 +1,62 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/icontroller.hpp"
+
+namespace cuttlefish::hal {
+class PlatformInterface;
+}
+
+namespace cuttlefish::core {
+
+/// One registered controller strategy (docs/CONTROLLERS.md). `name` is
+/// the canonical short spelling used by Options/CUTTLEFISH_POLICY/--policy
+/// and the spec-digest codec; `display` is to_string(kind);
+/// `requires_caps` is a human-readable summary of the backend
+/// capabilities the strategy needs to run un-degraded (shown by
+/// `cuttlefishctl policies`).
+struct PolicyInfo {
+  PolicyKind kind;
+  const char* name;
+  const char* display;
+  const char* description;
+  const char* requires_caps;
+};
+
+/// The registry, in PolicyKind order. Adding a strategy means adding an
+/// enum value, a row here and a branch in make_controller — the
+/// policy-tier tests cross-check all three stay in sync.
+const std::vector<PolicyInfo>& registered_policies();
+
+/// Registry lookup by kind; never null for a valid kind.
+const PolicyInfo& policy_info(PolicyKind kind);
+
+/// Canonical short name ("full", "core", "uncore", "monitor", "mpc").
+const char* policy_name(PolicyKind kind);
+
+/// String -> kind round-trip. Accepts the canonical short names, the
+/// legacy spellings core::parse_policy knows ("Full", "cuttlefish", ...)
+/// and the display names ("Cuttlefish-MPC"). Unknown text -> nullopt.
+std::optional<PolicyKind> policy_kind_from_string(const std::string& text);
+
+/// Comma-separated canonical names, for unknown-policy diagnostics.
+std::string known_policy_names();
+
+/// Construct the controller registered for cfg.policy. Every
+/// implementation honours the IController contract: capability
+/// narrowing, fault quarantine and snapshot round-trips behave
+/// identically across kinds.
+std::unique_ptr<IController> make_controller(hal::PlatformInterface& platform,
+                                             ControllerConfig cfg = {});
+
+/// Same, overriding cfg.policy with an explicit kind.
+std::unique_ptr<IController> make_controller(PolicyKind kind,
+                                             hal::PlatformInterface& platform,
+                                             ControllerConfig cfg = {});
+
+}  // namespace cuttlefish::core

@@ -12,7 +12,7 @@ namespace cuttlefish::core {
 
 Daemon::Daemon(hal::PlatformInterface& platform, ControllerConfig cfg,
                int pin_cpu)
-    : controller_(platform, cfg),
+    : controller_(make_controller(platform, cfg)),
       tinv_s_(cfg.tinv_s),
       warmup_s_(cfg.warmup_s),
       pin_cpu_(pin_cpu) {}
@@ -39,7 +39,7 @@ void Daemon::stop() {
 
 void Daemon::safe_stop(const char* why) {
   if (wd_safe_stopped_.exchange(true, std::memory_order_relaxed)) return;
-  controller_.enter_safe_mode();
+  controller_->enter_safe_mode();
   CF_LOG_ERROR("daemon: watchdog safe-stop (%s); controller parked in "
                "monitor mode",
                why);
@@ -49,20 +49,21 @@ void Daemon::drain_command() {
   if (!cmd_pending_.load(std::memory_order_acquire)) return;
   std::lock_guard<std::mutex> lock(cmd_mutex_);
   if (cmd_ != nullptr) {
-    (*cmd_)(controller_);
+    (*cmd_)(*controller_);
     cmd_ = nullptr;
   }
   cmd_pending_.store(false, std::memory_order_release);
   cmd_cv_.notify_all();
 }
 
-void Daemon::run_on_controller(const std::function<void(Controller&)>& fn) {
+void Daemon::run_on_controller(
+    const std::function<void(IController&)>& fn) {
   std::lock_guard<std::mutex> serial(submit_mutex_);
   std::unique_lock<std::mutex> lock(cmd_mutex_);
   if (!accepting_) {
     // Thread not running (or past its final drain): the controller is
     // quiescent, so the closure is safe to run right here.
-    fn(controller_);
+    fn(*controller_);
     return;
   }
   cmd_ = &fn;
@@ -94,7 +95,7 @@ void Daemon::loop() {
   }
 
   try {
-    controller_.begin();
+    controller_->begin();
   } catch (const std::exception& e) {
     wd_exceptions_.fetch_add(1, std::memory_order_relaxed);
     CF_LOG_ERROR("daemon: controller begin() threw: %s", e.what());
@@ -106,9 +107,9 @@ void Daemon::loop() {
   }
 
   const double budget_s =
-      tinv_s_ * controller_.config().watchdog_overrun_factor;
-  const int overrun_limit = controller_.config().watchdog_overrun_limit;
-  const int exception_limit = controller_.config().watchdog_exception_limit;
+      tinv_s_ * controller_->config().watchdog_overrun_factor;
+  const int overrun_limit = controller_->config().watchdog_overrun_limit;
+  const int exception_limit = controller_->config().watchdog_exception_limit;
   int consecutive_overruns = 0;
   int exceptions_seen = 0;
   bool skip_pending = false;
@@ -124,7 +125,7 @@ void Daemon::loop() {
     }
     const auto tick_start = std::chrono::steady_clock::now();
     try {
-      controller_.tick();
+      controller_->tick();
     } catch (const std::exception& e) {
       wd_exceptions_.fetch_add(1, std::memory_order_relaxed);
       CF_LOG_ERROR("daemon: controller tick threw: %s", e.what());
@@ -145,7 +146,7 @@ void Daemon::loop() {
     if (!wd_safe_stopped_.load(std::memory_order_relaxed) &&
         tick_s > budget_s) {
       wd_overruns_.fetch_add(1, std::memory_order_relaxed);
-      controller_.record_runtime_event(
+      controller_->record_runtime_event(
           TraceEvent::kTickOverrun, static_cast<uint32_t>(tick_s * 1e3));
       skip_pending = true;
       if (++consecutive_overruns >= overrun_limit) {
@@ -163,7 +164,7 @@ void Daemon::loop() {
   {
     std::lock_guard<std::mutex> lock(cmd_mutex_);
     if (cmd_ != nullptr) {
-      (*cmd_)(controller_);
+      (*cmd_)(*controller_);
       cmd_ = nullptr;
     }
     cmd_pending_.store(false, std::memory_order_release);

@@ -6,7 +6,10 @@
 #include <mutex>
 #include <thread>
 
-#include "core/controller.hpp"
+#include <memory>
+
+#include "core/controller_factory.hpp"
+#include "core/icontroller.hpp"
 
 namespace cuttlefish::core {
 
@@ -47,7 +50,7 @@ class Daemon {
   void stop();
   bool running() const { return running_.load(); }
 
-  const Controller& controller() const { return controller_; }
+  const IController& controller() const { return *controller_; }
 
   /// Watchdog snapshot (see docs/FAULTS.md): tick overruns, skipped
   /// intervals, caught controller exceptions and whether the loop
@@ -64,14 +67,16 @@ class Daemon {
   /// (never started, or already past its final drain) the closure runs
   /// directly on the calling thread — the controller is quiescent then.
   /// Commands are serialised; callers never run concurrently.
-  void run_on_controller(const std::function<void(Controller&)>& fn);
+  void run_on_controller(const std::function<void(IController&)>& fn);
 
  private:
   void loop();
   void drain_command();
   void safe_stop(const char* why);
 
-  Controller controller_;
+  /// Built by the controller factory from cfg.policy, so the daemon
+  /// runs whichever strategy the session configured.
+  std::unique_ptr<IController> controller_;
   double tinv_s_;
   double warmup_s_;
   int pin_cpu_;
@@ -91,7 +96,7 @@ class Daemon {
   std::mutex submit_mutex_;
   std::mutex cmd_mutex_;
   std::condition_variable cmd_cv_;
-  const std::function<void(Controller&)>* cmd_ = nullptr;
+  const std::function<void(IController&)>* cmd_ = nullptr;
   std::atomic<bool> cmd_pending_{false};
   /// True while the daemon thread will still reach a drain point; flipped
   /// under cmd_mutex_ at the loop's final drain so a late submitter can

@@ -35,6 +35,7 @@ std::optional<PolicyKind> parse_policy(const std::string& text) {
   if (text == "core" || text == "Core") return PolicyKind::kCoreOnly;
   if (text == "uncore" || text == "Uncore") return PolicyKind::kUncoreOnly;
   if (text == "monitor" || text == "Monitor") return PolicyKind::kMonitor;
+  if (text == "mpc" || text == "Mpc" || text == "MPC") return PolicyKind::kMpc;
   return std::nullopt;
 }
 

@@ -12,7 +12,7 @@ namespace cuttlefish::core {
 /// wants the same switches without rebuilding, so cuttlefish::start()
 /// applies these on top of the caller-provided Options:
 ///
-///   CUTTLEFISH_POLICY        full | core | uncore | monitor
+///   CUTTLEFISH_POLICY        full | core | uncore | monitor | mpc
 ///   CUTTLEFISH_TINV_MS       profiling interval in milliseconds (> 0)
 ///   CUTTLEFISH_WARMUP_S      warm-up duration in seconds (>= 0)
 ///   CUTTLEFISH_JPI_SAMPLES   readings per frequency (> 0)

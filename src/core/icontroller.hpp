@@ -1,0 +1,127 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/frequency.hpp"
+#include "common/tipi.hpp"
+#include "core/config.hpp"
+#include "core/snapshot.hpp"
+#include "core/trace.hpp"
+#include "hal/capability.hpp"
+#include "hal/health.hpp"
+
+namespace cuttlefish::core {
+
+class SortedTipiList;
+
+struct ControllerStats {
+  uint64_t ticks = 0;
+  uint64_t idle_ticks = 0;       // intervals with no retired instructions
+  uint64_t transitions = 0;      // TIPI-range changes (samples discarded)
+  uint64_t samples_recorded = 0; // JPI readings that entered a table
+  uint64_t freq_writes = 0;      // actuator writes actually issued
+  uint64_t nodes_inserted = 0;
+  // Fault tolerance (docs/FAULTS.md). Appended after the original six:
+  // the sweep result codec serialises fields explicitly, so extending the
+  // struct is codec- and digest-compatible.
+  uint64_t sensor_read_errors = 0;    // ticks lost to failed sensor reads
+  uint64_t actuator_write_errors = 0; // writes failed after retries
+  uint64_t io_retries = 0;            // in-call retries issued
+  uint64_t quarantines = 0;           // device quarantine transitions
+  uint64_t recoveries = 0;            // quarantined devices healed
+};
+
+/// One record per tick for figure generation and debugging.
+struct TickTelemetry {
+  double tipi = 0.0;
+  double jpi = 0.0;
+  int64_t slab = 0;
+  bool transition = false;
+  FreqMHz cf_set{0};
+  FreqMHz uf_set{0};
+};
+
+/// The controller seam (docs/CONTROLLERS.md): everything the embedding
+/// layers — core::Daemon, core::Session, the exp:: co-simulation driver,
+/// the tools — need from a policy, with none of the exploration machinery.
+/// Implementations are registered in core/controller_factory.hpp keyed by
+/// PolicyKind; core::Controller (the paper's Algorithm 1 ladder descent)
+/// is the Default registration, core::ControllerMpc the model-predictive
+/// one.
+///
+/// Contract, shared by every implementation:
+///  - Thread-free: the caller owns the cadence. One tick() = one Tinv
+///    interval; begin() is called once after warm-up, before the first
+///    tick.
+///  - Capability honest: the effective policy is the configured one
+///    narrowed to the backend's capability set at construction, and
+///    re-narrowed at runtime when devices are quarantined (docs/FAULTS.md).
+///  - Snapshot round-trippable: snapshot()/restore() carry the whole
+///    exploration state as plain data so named regions warm-start across
+///    re-entry and policy processes can hand state over.
+class IController {
+ public:
+  virtual ~IController() = default;
+
+  /// Pin both domains to their maxima and baseline the sensors. Call once
+  /// after the warm-up period, immediately before the first tick().
+  virtual void begin() = 0;
+
+  /// One pass of the policy's loop body (one Tinv interval elapsed).
+  virtual void tick() = 0;
+
+  virtual const ControllerConfig& config() const = 0;
+  virtual const SortedTipiList& list() const = 0;
+  virtual const ControllerStats& stats() const = 0;
+  virtual const TipiSlabber& slabber() const = 0;
+
+  /// The backend's capability set, read once at construction.
+  virtual hal::CapabilitySet capabilities() const = 0;
+  /// The policy actually run: config().policy narrowed to what the
+  /// backend can support. Equal to config().policy on full-capability
+  /// backends.
+  virtual PolicyKind effective_policy() const = 0;
+  /// True when effective_policy() differs from the request or a sensor
+  /// loss (e.g. TOR -> single-slab TIPI) was recorded.
+  virtual bool degraded() const = 0;
+
+  /// Capture the exploration state as plain data (region exit snapshot).
+  virtual ControllerSnapshot snapshot() const = 0;
+  /// Replace the exploration state with a previously captured snapshot
+  /// and re-baseline the sensors. Returns false — and resets to a cold
+  /// state instead — when the snapshot's shape does not match.
+  virtual bool restore(const ControllerSnapshot& snap) = 0;
+  /// Drop all exploration state (cold region entry): empty TIPI list,
+  /// sensors re-baselined.
+  virtual void reset_exploration() = 0;
+
+  /// Append a region lifecycle record (enter/exit/warm-start) to the
+  /// attached trace.
+  virtual void record_region_event(TraceEvent event, int64_t region_id,
+                                   uint32_t payload = 0) = 0;
+  /// Append a machine-wide runtime record (tick overrun, watchdog
+  /// diagnostics) to the attached trace.
+  virtual void record_runtime_event(TraceEvent event, uint32_t payload = 0) = 0;
+
+  /// Permanently park the controller in monitor mode (daemon watchdog's
+  /// terminal action); irreversible by design.
+  virtual void enter_safe_mode() = 0;
+  virtual bool safe_mode() const = 0;
+
+  /// Per-device health trackers (docs/FAULTS.md); exposed for health
+  /// reports and tests.
+  virtual const hal::DeviceHealth& sensor_health() const = 0;
+  virtual const hal::DeviceHealth& core_actuator_health() const = 0;
+  virtual const hal::DeviceHealth& uncore_actuator_health() const = 0;
+  /// True while any device is quarantined.
+  virtual bool any_quarantine() const = 0;
+
+  /// Optional per-tick capture (Fig. 2 timelines, tests). Not owned.
+  virtual void set_telemetry(std::vector<TickTelemetry>* sink) = 0;
+  /// Optional decision log (diagnostics / auditing). Not owned; null
+  /// disables tracing at zero cost.
+  virtual void set_trace(DecisionTrace* trace) = 0;
+};
+
+}  // namespace cuttlefish::core

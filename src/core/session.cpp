@@ -13,7 +13,8 @@
 
 #include "common/log.hpp"
 #include "core/api.hpp"
-#include "core/controller.hpp"
+#include "core/controller_factory.hpp"
+#include "core/icontroller.hpp"
 #include "core/daemon.hpp"
 #include "core/env_config.hpp"
 #include "exp/realtime.hpp"
@@ -417,6 +418,8 @@ bool snapshot_content_ok(const core::ControllerSnapshot& snap,
       return false;
     }
     if (live_policy != nullptr) {
+      // kMpc and kMonitor impose no armed requirement: MPC re-arms
+      // unarmed domains lazily on its first decide() for the node.
       if ((*live_policy == core::PolicyKind::kFull ||
            *live_policy == core::PolicyKind::kCoreOnly) &&
           !armed(node.cf)) {
@@ -474,7 +477,7 @@ struct Session::Impl {
   hal::PlatformInterface* platform = nullptr;
   std::string backend_name;
   std::unique_ptr<core::Daemon> daemon;    // wall-clock mode
-  std::unique_ptr<core::Controller> manual;  // Options::manual_tick mode
+  std::unique_ptr<core::IController> manual;  // Options::manual_tick mode
   bool manual_armed = false;
   core::DecisionTrace* trace = nullptr;
 
@@ -499,12 +502,12 @@ struct Session::Impl {
 
   bool live() const { return daemon != nullptr || manual != nullptr; }
 
-  const core::Controller* controller_ptr() const {
+  const core::IController* controller_ptr() const {
     if (daemon != nullptr) return &daemon->controller();
     return manual.get();
   }
 
-  void with_controller(const std::function<void(core::Controller&)>& fn) {
+  void with_controller(const std::function<void(core::IController&)>& fn) {
     if (daemon != nullptr) {
       daemon->run_on_controller(fn);
     } else if (manual != nullptr) {
@@ -540,7 +543,7 @@ struct Session::Impl {
       pin = -1;
     }
     if (options.manual_tick) {
-      manual = std::make_unique<core::Controller>(pf, cfg);
+      manual = core::make_controller(pf, cfg);
       if (trace != nullptr) manual->set_trace(trace);
       if (options.telemetry != nullptr) {
         manual->set_telemetry(options.telemetry);
@@ -550,7 +553,7 @@ struct Session::Impl {
       if (trace != nullptr || options.telemetry != nullptr) {
         // The daemon thread is not running yet, so this attaches
         // directly — before begin() replays any degradation records.
-        daemon->run_on_controller([&](core::Controller& c) {
+        daemon->run_on_controller([&](core::IController& c) {
           if (trace != nullptr) c.set_trace(trace);
           if (options.telemetry != nullptr) {
             c.set_telemetry(options.telemetry);
@@ -623,7 +626,7 @@ void Session::stop() {
     // warm-starts next time: the innermost frame snapshots the live
     // state, outer frames keep the state captured when they were
     // suspended.
-    impl_->with_controller([&](core::Controller& c) {
+    impl_->with_controller([&](core::IController& c) {
       for (size_t i = impl_->stack.size(); i-- > 0;) {
         Impl::Frame& frame = impl_->stack[i];
         RegionProfile& prof = impl_->profiles[frame.name];
@@ -653,7 +656,7 @@ std::string Session::backend() const {
   return impl_->backend_name;
 }
 
-const core::Controller* Session::controller() const {
+const core::IController* Session::controller() const {
   if (impl_ == nullptr) return nullptr;
   std::lock_guard<std::mutex> lock(impl_->mutex);
   return impl_->controller_ptr();
@@ -662,7 +665,7 @@ const core::Controller* Session::controller() const {
 bool Session::degraded() const {
   if (impl_ == nullptr) return false;
   std::lock_guard<std::mutex> lock(impl_->mutex);
-  const core::Controller* ctl = impl_->controller_ptr();
+  const core::IController* ctl = impl_->controller_ptr();
   // degraded() reads construction-time state, safe beside a live daemon.
   return ctl != nullptr && ctl->degraded();
 }
@@ -688,7 +691,7 @@ bool Session::enter_region(const std::string& name) {
   prof.entries += 1;
   const bool warm = prof.has_snapshot;
   bool warm_ok = false;
-  impl_->with_controller([&](core::Controller& c) {
+  impl_->with_controller([&](core::IController& c) {
     core::ControllerSnapshot current = c.snapshot();
     if (impl_->stack.empty()) {
       impl_->ambient = std::move(current);
@@ -726,7 +729,7 @@ void Session::exit_region(const std::string& name) {
   const Impl::Frame frame = std::move(impl_->stack.back());
   impl_->stack.pop_back();
   RegionProfile& prof = impl_->profiles[name];
-  impl_->with_controller([&](core::Controller& c) {
+  impl_->with_controller([&](core::IController& c) {
     prof.snap = c.snapshot();
     prof.has_snapshot = true;
     c.record_region_event(core::TraceEvent::kRegionExit, frame.id);
@@ -841,7 +844,7 @@ bool Session::load_profiles(const std::string& path) {
   core::PolicyKind live_policy{};
   bool have_shape = false;
   if (impl_->live()) {
-    impl_->with_controller([&](core::Controller& c) {
+    impl_->with_controller([&](core::IController& c) {
       live_shape = c.snapshot();
       live_policy = c.effective_policy();
     });

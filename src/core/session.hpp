@@ -19,7 +19,7 @@
 namespace cuttlefish {
 
 namespace core {
-class Controller;
+class IController;
 class DecisionTrace;
 struct TickTelemetry;
 }  // namespace core
@@ -126,7 +126,7 @@ class Session {
 
   /// The session's controller (nullptr when inactive); exposed for
   /// introspection (examples print discovered TIPI ranges and optima).
-  const core::Controller* controller() const;
+  const core::IController* controller() const;
 
   /// True when the controller narrowed its policy below the request or
   /// recorded a sensor loss (see Controller::degraded()).

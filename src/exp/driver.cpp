@@ -1,8 +1,10 @@
 #include "exp/driver.hpp"
 
+#include <memory>
 #include <optional>
 
 #include "common/assert.hpp"
+#include "core/controller_factory.hpp"
 #include "hal/fault_injection.hpp"
 #include "sim/firmware_governor.hpp"
 #include "sim/sim_machine.hpp"
@@ -111,7 +113,10 @@ RunResult run_policy(const sim::MachineConfig& machine_cfg,
   }
   core::ControllerConfig ctl_cfg = options.controller;
   ctl_cfg.policy = policy;
-  core::Controller controller(*platform, ctl_cfg);
+  // The factory picks the registered strategy for the kind (Default's
+  // ladder descent, MPC's plant-model jumps, ...).
+  const std::unique_ptr<core::IController> controller =
+      core::make_controller(*platform, ctl_cfg);
 
   RunResult result;
   QuantumRunner runner(machine, ctl_cfg.tinv_s, options.capture_timeline,
@@ -126,16 +131,17 @@ RunResult run_policy(const sim::MachineConfig& machine_cfg,
     if (!alive) break;
   }
   if (alive) {
-    controller.begin();
+    controller->begin();
     while (runner.step()) {
-      controller.tick();
+      controller->tick();
     }
     // Account the final partial quantum's sensor data.
-    controller.tick();
+    controller->tick();
   }
 
-  result.stats = controller.stats();
-  for (const core::TipiNode* node = controller.list().head(); node != nullptr;
+  result.stats = controller->stats();
+  for (const core::TipiNode* node = controller->list().head();
+       node != nullptr;
        node = node->next) {
     result.nodes.push_back(NodeSummary{node->slab, node->ticks, node->cf.opt,
                                        node->uf.opt});

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "common/assert.hpp"
+#include "core/controller_factory.hpp"
 #include "exp/blob.hpp"
 #include "workloads/suite.hpp"
 
@@ -152,9 +153,12 @@ std::string encode_spec(const RunSpec& spec) {
   w.f64(model.default_time_s);
   w.u8(model.memory_bound ? 1 : 0);
 
-  // Run variant + seed.
+  // Run variant + seed. The policy's canonical registry name rides along
+  // with the enum byte (v2): the kind is part of the result's identity,
+  // and the string keeps digests honest across any enum renumbering.
   w.u8(static_cast<uint8_t>(spec.kind));
   w.u8(static_cast<uint8_t>(spec.policy));
+  w.str(core::policy_name(spec.policy));
   w.i32(spec.cf.value);
   w.i32(spec.uf.value);
   w.u64(spec.seed);
@@ -166,6 +170,7 @@ std::string encode_spec(const RunSpec& spec) {
   w.u8(spec.options.capture_timeline ? 1 : 0);
   const core::ControllerConfig& c = spec.options.controller;
   w.u8(static_cast<uint8_t>(c.policy));
+  w.str(core::policy_name(c.policy));
   w.f64(c.tinv_s);
   w.f64(c.warmup_s);
   w.i32(c.jpi_samples);
@@ -173,6 +178,8 @@ std::string encode_spec(const RunSpec& spec) {
   w.i32(c.explore_step);
   w.u8(c.insertion_narrowing ? 1 : 0);
   w.u8(c.revalidation ? 1 : 0);
+  w.i32(c.mpc_design_points);
+  w.f64(c.mpc_verify_margin);
   return w.take();
 }
 
@@ -228,6 +235,12 @@ std::unique_ptr<DecodedSpec> decode_spec(const void* data, size_t size) {
   spec.machine = &out->machine;
   spec.kind = static_cast<RunKind>(r.u8());
   spec.policy = static_cast<core::PolicyKind>(r.u8());
+  // v2 cross-check: the explicit name string must resolve to the enum
+  // byte, or the blob is from a renumbered (incompatible) build.
+  const auto named_policy = core::policy_kind_from_string(r.str());
+  if (!r.ok() || !named_policy || *named_policy != spec.policy) {
+    return nullptr;
+  }
   spec.cf = FreqMHz{r.i32()};
   spec.uf = FreqMHz{r.i32()};
   spec.seed = r.u64();
@@ -235,6 +248,10 @@ std::unique_ptr<DecodedSpec> decode_spec(const void* data, size_t size) {
   spec.options.seed = spec.seed;
   core::ControllerConfig& c = spec.options.controller;
   c.policy = static_cast<core::PolicyKind>(r.u8());
+  const auto named_cfg_policy = core::policy_kind_from_string(r.str());
+  if (!r.ok() || !named_cfg_policy || *named_cfg_policy != c.policy) {
+    return nullptr;
+  }
   c.tinv_s = r.f64();
   c.warmup_s = r.f64();
   c.jpi_samples = r.i32();
@@ -242,6 +259,8 @@ std::unique_ptr<DecodedSpec> decode_spec(const void* data, size_t size) {
   c.explore_step = r.i32();
   c.insertion_narrowing = r.u8() != 0;
   c.revalidation = r.u8() != 0;
+  c.mpc_design_points = r.i32();
+  c.mpc_verify_margin = r.f64();
 
   if (!r.ok() || r.remaining() != 0) return nullptr;
   return out;

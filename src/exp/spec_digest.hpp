@@ -22,7 +22,11 @@ namespace cuttlefish::exp {
 /// bytes of an unchanged RunSpec. A bump changes every digest, cleanly
 /// orphaning all previously cached results. tests/exp_cache_test.cpp pins
 /// golden digests so an accidental layout change fails loudly too.
-inline constexpr uint32_t kSpecFormatVersion = 1;
+///
+/// v2: the controller kind is encoded explicitly (canonical policy-name
+/// strings alongside the enum bytes, plus the MPC knobs), so results can
+/// never alias across policies even if PolicyKind is ever renumbered.
+inline constexpr uint32_t kSpecFormatVersion = 2;
 
 struct SpecDigest {
   uint64_t hi = 0;

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -93,10 +94,10 @@ RunSpec canonical_spec(const sim::MachineConfig& machine) {
 // the hash — bump kSpecFormatVersion so existing stores are orphaned
 // cleanly, then re-pin.
 TEST(exp_cache, GoldenSpecDigestIsPinned) {
-  ASSERT_EQ(kSpecFormatVersion, 1u);
+  ASSERT_EQ(kSpecFormatVersion, 2u);
   const sim::MachineConfig machine = sim::haswell_2650v3();
   const RunSpec spec = canonical_spec(machine);
-  EXPECT_EQ(digest_spec(spec).hex(), "fce1f874499e1f84f46736b6799f8168");
+  EXPECT_EQ(digest_spec(spec).hex(), "da1c3c97da9a65d05457b7585caa2cfd");
 }
 
 TEST(exp_cache, GoldenBytesDigestIsPinned) {
@@ -128,6 +129,16 @@ TEST(exp_cache, DigestIsSensitiveToEveryInputClass) {
   RunSpec knob = base;
   knob.options.controller.tinv_s = 0.025;
   EXPECT_NE(digest_spec(knob), d0);
+
+  // The v2 blob carries the MPC plant knobs for every policy so an MPC
+  // sweep can never alias a Default sweep that shares the other knobs.
+  RunSpec mpc_points = base;
+  mpc_points.options.controller.mpc_design_points = 5;
+  EXPECT_NE(digest_spec(mpc_points), d0);
+
+  RunSpec mpc_margin = base;
+  mpc_margin.options.controller.mpc_verify_margin = 0.05;
+  EXPECT_NE(digest_spec(mpc_margin), d0);
 
   RunSpec model = base;
   model.model = &workloads::find_benchmark("Heat-irt");
@@ -369,9 +380,18 @@ TEST(exp_cache, StatsAndGcDropOldestShardsFirst) {
   TempStore store("gc");
   ResultCache cache(store.path());
 
-  // Two batches -> two shards, inserted in a known order.
+  // Two batches -> two shards, inserted in a known order. Both land
+  // within the filesystem's mtime granularity, which would leave the
+  // "oldest" ordering to the digest-named path tiebreak — age the first
+  // shard explicitly so the test pins the mtime ordering, not the names.
   const SweepGrid first = make_grid(machine, 1, 900);
   run_sweep(first, nullptr, &cache, nullptr);
+  {
+    const auto first_shards = store.shards();
+    ASSERT_EQ(first_shards.size(), 1u);
+    fs::last_write_time(first_shards[0], fs::last_write_time(first_shards[0]) -
+                                             std::chrono::seconds(10));
+  }
   const SweepGrid second = make_grid(machine, 1, 7777);
   run_sweep(second, nullptr, &cache, nullptr);
 

@@ -102,7 +102,7 @@ TEST(DaemonWatchdog, PersistentOverrunsRephaseThenSafeStop) {
   core::Daemon daemon(faulty, cfg, /*pin_cpu=*/-1);
   core::DecisionTrace trace(1 << 12);
   daemon.run_on_controller(
-      [&](core::Controller& c) { c.set_trace(&trace); });
+      [&](core::IController& c) { c.set_trace(&trace); });
   realtime.start();
   daemon.start();
 
@@ -151,14 +151,14 @@ TEST(DaemonWatchdog, RepeatedTickExceptionsSafeStopTheController) {
   // The parked daemon keeps running and serving commands: ticks continue
   // (idle, monitor-mode) and run_on_controller still round-trips.
   uint64_t ticks_at_stop = 0;
-  daemon.run_on_controller([&](core::Controller& c) {
+  daemon.run_on_controller([&](core::IController& c) {
     ticks_at_stop = c.stats().ticks;
   });
   uint64_t ticks_later = 0;
   ASSERT_TRUE(wait_for(
       [&] {
         daemon.run_on_controller(
-            [&](core::Controller& c) { ticks_later = c.stats().ticks; });
+            [&](core::IController& c) { ticks_later = c.stats().ticks; });
         return ticks_later > ticks_at_stop;
       },
       /*timeout_s=*/10.0));

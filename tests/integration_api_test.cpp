@@ -42,7 +42,7 @@ TEST(Api, StartStopAgainstRealtimeSimPlatform) {
   while (!platform.workload_done()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
-  const core::Controller* ctl = cuttlefish::session_controller();
+  const core::IController* ctl = cuttlefish::session_controller();
   ASSERT_NE(ctl, nullptr);
   EXPECT_GE(ctl->list().size(), 1u);
   EXPECT_GT(ctl->stats().ticks, 10u);
@@ -75,7 +75,7 @@ TEST(Api, StartDegradesGracefullyWithoutAnyBackend) {
   ASSERT_TRUE(cuttlefish::start(options));
   EXPECT_TRUE(cuttlefish::active());
   EXPECT_EQ(cuttlefish::session_backend(), "none");
-  const core::Controller* ctl = cuttlefish::session_controller();
+  const core::IController* ctl = cuttlefish::session_controller();
   ASSERT_NE(ctl, nullptr);
   EXPECT_TRUE(ctl->capabilities().empty());
   EXPECT_EQ(ctl->effective_policy(), core::PolicyKind::kMonitor);
@@ -129,7 +129,7 @@ TEST(Api, DaemonDiscoversFrequenciesInAcceleratedTime) {
   while (!platform.workload_done()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
-  const core::Controller* ctl = cuttlefish::session_controller();
+  const core::IController* ctl = cuttlefish::session_controller();
   ASSERT_NE(ctl, nullptr);
   const core::TipiNode* node = ctl->list().find(6);  // SOR's slab
   ASSERT_NE(node, nullptr);

@@ -94,7 +94,7 @@ TEST(Daemon, EnvPolicyOverrideReachesController) {
   options.controller = fast_config();
   options.daemon_cpu = -1;
   ASSERT_TRUE(cuttlefish::start(platform, options));
-  const core::Controller* ctl = cuttlefish::session_controller();
+  const core::IController* ctl = cuttlefish::session_controller();
   ASSERT_NE(ctl, nullptr);
   EXPECT_EQ(ctl->config().policy, core::PolicyKind::kCoreOnly);
   cuttlefish::stop();
