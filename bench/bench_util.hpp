@@ -18,6 +18,10 @@
 //                  controller kind (benches that opt in, e.g.
 //                  ablation_controller; unknown names are rejected with
 //                  the registered list)
+//   --cache-dir D  serve sweep cells from (and persist misses to) the
+//                  content-addressed result cache at D (benches that opt
+//                  in: the figure/table regenerators). Cached results are
+//                  byte-exact, so tables are bit-identical at any hit rate.
 //   --json-out F   write a machine-readable JSON summary to F
 
 #include <cinttypes>
@@ -37,7 +41,9 @@
 #include "exp/calibrate.hpp"
 #include "exp/driver.hpp"
 #include "exp/metrics.hpp"
+#include "exp/result_cache.hpp"
 #include "exp/sweep.hpp"
+#include "runtime/scheduler.hpp"
 #include "sim/machine_config.hpp"
 #include "workloads/suite.hpp"
 
@@ -50,6 +56,7 @@ struct BenchArgs {
   int shard_index = 0;     // --shard i/N; 0/1 = unsharded
   int shard_count = 1;
   std::string json_out;    // empty = no JSON summary
+  std::string cache_dir;   // empty = uncached sweeps
   // --policy NAME, validated against the controller-factory registry.
   // nullopt = bench compares every kind it knows about.
   std::optional<core::PolicyKind> policy;
@@ -65,7 +72,7 @@ inline uint64_t seed_base(const BenchArgs& args, uint64_t fallback) {
   std::fprintf(stderr,
                "usage: %s [N | --runs N] [--seeds B (nonzero)] "
                "[--workers N] [--shard i/N] [--policy NAME] "
-               "[--json-out FILE]\n",
+               "[--cache-dir DIR] [--json-out FILE]\n",
                prog);
   std::exit(2);
 }
@@ -140,11 +147,13 @@ inline void parse_shard(const char* prog, const char* text, int* index,
 /// Benches without seeded replicates (exhaustive/analytic sweeps) pass
 /// has_reps = false, which rejects --runs/--seeds loudly instead of
 /// accepting a flag that would silently do nothing; likewise has_shards
-/// marks the benches that implement the --shard partition protocol and
-/// has_policy the benches that can restrict to one controller kind.
+/// marks the benches that implement the --shard partition protocol,
+/// has_policy the benches that can restrict to one controller kind, and
+/// has_cache the benches whose sweeps run through the result cache when
+/// --cache-dir is given.
 inline BenchArgs parse_args(int argc, char** argv, int default_runs,
                             bool has_reps = true, bool has_shards = false,
-                            bool has_policy = false) {
+                            bool has_policy = false, bool has_cache = false) {
   BenchArgs args;
   args.runs = default_runs;
   for (int i = 1; i < argc; ++i) {
@@ -202,6 +211,17 @@ inline BenchArgs parse_args(int argc, char** argv, int default_runs,
                    "' (registered: " + core::known_policy_names() + ")");
       }
       args.policy = *kind;
+    } else if (arg == "--cache-dir") {
+      const char* v = value();
+      if (!has_cache) {
+        reject(argv[0], arg,
+               "not supported — this bench does not run content-addressed "
+               "sweeps");
+      }
+      if (*v == '\0') {
+        reject(argv[0], arg, "expects a directory path");
+      }
+      args.cache_dir = v;
     } else if (arg == "--json-out") {
       args.json_out = value();
     } else if (i == 1 && arg[0] >= '0' && arg[0] <= '9') {
@@ -315,6 +335,30 @@ class JsonWriter {
   std::vector<std::pair<std::string, std::string>> fields_;
 };
 
+/// Run a sweep grid honouring --workers and --cache-dir: uncached benches
+/// keep the plain fan-out; with a cache dir, hits are served byte-exactly
+/// from disk, only the misses simulate, and the hit/miss split is printed
+/// so a CI log shows what the cache actually bought.
+inline std::vector<exp::RunResult> run_sweep_for(const exp::SweepGrid& grid,
+                                                 const BenchArgs& args) {
+  if (args.cache_dir.empty()) {
+    return exp::run_sweep(grid, args.workers);
+  }
+  exp::ResultCache cache(args.cache_dir);
+  exp::SweepRunStats stats;
+  std::vector<exp::RunResult> results;
+  if (args.workers <= 1) {
+    results = exp::run_sweep(grid, nullptr, &cache, &stats);
+  } else {
+    runtime::TaskScheduler scheduler(args.workers);
+    results = exp::run_sweep(grid, &scheduler, &cache, &stats);
+  }
+  std::printf("cache %s: %zu hits, %zu misses (%zu specs)\n",
+              args.cache_dir.c_str(), stats.cache_hits, stats.cache_misses,
+              grid.size());
+  return results;
+}
+
 inline void print_rule(int width = 100) {
   for (int i = 0; i < width; ++i) std::putchar('-');
   std::putchar('\n');
@@ -361,8 +405,7 @@ inline void run_policy_eval_figure(
                                        policy, opt, args.runs, seed0, base)});
     }
   }
-  const std::vector<exp::RunResult> results =
-      exp::run_sweep(grid, args.workers);
+  const std::vector<exp::RunResult> results = run_sweep_for(grid, args);
   const std::vector<exp::PointSummary> summary = exp::summarize(grid, results);
 
   CsvWriter csv(csv_path,

@@ -12,7 +12,10 @@
 using namespace cuttlefish;
 
 int main(int argc, char** argv) {
-  const auto args = benchharness::parse_args(argc, argv, 10);
+  const auto args = benchharness::parse_args(argc, argv, 10, /*has_reps=*/true,
+                                             /*has_shards=*/false,
+                                             /*has_policy=*/false,
+                                             /*has_cache=*/true);
   benchharness::run_policy_eval_figure(
       workloads::hclib_suite(), args, benchharness::seed_base(args, 2000),
       "Figure 11: HClib evaluation vs Default",

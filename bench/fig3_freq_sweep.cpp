@@ -50,7 +50,10 @@ std::map<int64_t, double> frequent_slab_jpi(const exp::RunResult& r) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto args = benchharness::parse_args(argc, argv, 1);
+  const auto args = benchharness::parse_args(argc, argv, 1, /*has_reps=*/true,
+                                             /*has_shards=*/false,
+                                             /*has_policy=*/false,
+                                             /*has_cache=*/true);
   const uint64_t seed = benchharness::seed_base(args, 42);
   const sim::MachineConfig machine = sim::haswell_2650v3();
   const std::vector<std::string> figure_benchmarks{
@@ -88,7 +91,7 @@ int main(int argc, char** argv) {
     }
   }
   const std::vector<exp::RunResult> results =
-      exp::run_sweep(grid, args.workers);
+      benchharness::run_sweep_for(grid, args);
 
   // Per-slab JPI of one point, averaged over the replicates in which the
   // slab was frequent (with one replicate this is that run's map).

@@ -44,7 +44,10 @@ const std::map<std::string, PaperRow> kPaper{
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto args = benchharness::parse_args(argc, argv, 3);
+  const auto args = benchharness::parse_args(argc, argv, 3, /*has_reps=*/true,
+                                             /*has_shards=*/false,
+                                             /*has_policy=*/false,
+                                             /*has_cache=*/true);
   const uint64_t seed0 = benchharness::seed_base(args, 100);
   const sim::MachineConfig machine = sim::haswell_2650v3();
   const TipiSlabber slabber;
@@ -59,7 +62,7 @@ int main(int argc, char** argv) {
         grid.add_default(model.name, model, opt, args.runs, seed0));
   }
   const std::vector<exp::RunResult> results =
-      exp::run_sweep(grid, args.workers);
+      benchharness::run_sweep_for(grid, args);
 
   std::vector<Row> rows;
   size_t model_idx = 0;

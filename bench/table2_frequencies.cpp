@@ -47,7 +47,10 @@ std::string ghz(int mhz) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto args = benchharness::parse_args(argc, argv, 5);
+  const auto args = benchharness::parse_args(argc, argv, 5, /*has_reps=*/true,
+                                             /*has_shards=*/false,
+                                             /*has_policy=*/false,
+                                             /*has_cache=*/true);
   const uint64_t seed0 = benchharness::seed_base(args, 3000);
   const sim::MachineConfig machine = sim::haswell_2650v3();
   const TipiSlabber slabber;
@@ -61,7 +64,7 @@ int main(int argc, char** argv) {
                                      seed0));
   }
   const std::vector<exp::RunResult> results =
-      exp::run_sweep(grid, args.workers);
+      benchharness::run_sweep_for(grid, args);
 
   CsvWriter csv("table2_frequencies.csv",
                 {"benchmark", "pct_cf_resolved", "pct_uf_resolved",

@@ -9,7 +9,10 @@
 using namespace cuttlefish;
 
 int main(int argc, char** argv) {
-  const auto args = benchharness::parse_args(argc, argv, 5);
+  const auto args = benchharness::parse_args(argc, argv, 5, /*has_reps=*/true,
+                                             /*has_shards=*/false,
+                                             /*has_policy=*/false,
+                                             /*has_cache=*/true);
   const uint64_t seed0 = benchharness::seed_base(args, 4000);
   const sim::MachineConfig machine = sim::haswell_2650v3();
   const std::vector<double> tinvs{0.010, 0.020, 0.040, 0.060};
@@ -34,7 +37,7 @@ int main(int argc, char** argv) {
     }
   }
   const std::vector<exp::RunResult> results =
-      exp::run_sweep(grid, args.workers);
+      benchharness::run_sweep_for(grid, args);
   const std::vector<exp::PointSummary> summary = exp::summarize(grid, results);
 
   CsvWriter csv("table3_tinv.csv",

@@ -20,6 +20,12 @@
 //   cuttlefishctl faults [benchmark]         fault-injection walkthrough:
 //                                            retry, quarantine, re-narrow,
 //                                            heal, warm restart
+//   cuttlefishctl arbiter init <file> --budget W [--policy P] [--slots N]
+//                                            create a coordination plane
+//   cuttlefishctl arbiter status <file>      plane header + live slot table
+//   cuttlefishctl arbiter demo [tenants] [budget_w]
+//                                            co-tenant comparison: backstop
+//                                            vs arbitrated under one budget
 //
 // policy: full (default) | core | uncore | monitor | mpc — any name
 // `cuttlefishctl policies` lists.
@@ -30,6 +36,8 @@
 #include <memory>
 #include <string>
 
+#include "arbiter/arbiter.hpp"
+#include "arbiter/shm_arbiter.hpp"
 #include "core/api.hpp"
 #include "core/controller_factory.hpp"
 #include "core/env_config.hpp"
@@ -37,6 +45,7 @@
 #include "core/session.hpp"
 #include "core/trace.hpp"
 #include "exp/calibrate.hpp"
+#include "exp/cotenant.hpp"
 #include "exp/driver.hpp"
 #include "exp/metrics.hpp"
 #include "exp/result_cache.hpp"
@@ -502,12 +511,210 @@ int cmd_faults(const char* bench) {
   return 0;
 }
 
+int cmd_arbiter_init(int argc, char** argv) {
+  // arbiter init <file> --budget W [--policy P] [--slots N]
+  const char* path = argv[3];
+  arbiter::ArbiterConfig cfg;
+  int slots = 16;
+  bool have_budget = false;
+  for (int i = 4; i < argc; i += 2) {
+    const std::string flag = argv[i];
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "arbiter init: %s expects a value\n",
+                   flag.c_str());
+      return 2;
+    }
+    const char* value = argv[i + 1];
+    if (flag == "--budget") {
+      char* end = nullptr;
+      cfg.budget_w = std::strtod(value, &end);
+      if (end == value || *end != '\0' || cfg.budget_w <= 0.0) {
+        std::fprintf(stderr,
+                     "arbiter init: --budget expects positive watts, got "
+                     "'%s'\n",
+                     value);
+        return 2;
+      }
+      have_budget = true;
+    } else if (flag == "--policy") {
+      const auto parsed = arbiter::share_policy_from_string(value);
+      if (!parsed) {
+        std::fprintf(stderr,
+                     "arbiter init: unknown policy '%s' (equal-share | "
+                     "demand-weighted)\n",
+                     value);
+        return 2;
+      }
+      cfg.policy = *parsed;
+    } else if (flag == "--slots") {
+      slots = std::atoi(value);
+      if (slots <= 0 || slots > 4096) {
+        std::fprintf(stderr,
+                     "arbiter init: --slots expects 1..4096, got '%s'\n",
+                     value);
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "arbiter init: unknown flag '%s'\n", flag.c_str());
+      return 2;
+    }
+  }
+  if (!have_budget) {
+    std::fprintf(stderr, "arbiter init: --budget W is required\n");
+    return 2;
+  }
+  std::string error;
+  const auto arb = arbiter::ShmArbiter::open(path, cfg, slots, &error);
+  if (arb == nullptr) {
+    std::fprintf(stderr, "arbiter init: %s\n", error.c_str());
+    return 1;
+  }
+  // An existing plane's header wins over our flags — echo what's in force.
+  const arbiter::ArbiterConfig live = arb->config();
+  std::printf("plane %s: budget %.1f W, policy %s, %d slots\n",
+              arb->path().c_str(), live.budget_w,
+              arbiter::to_string(live.policy), arb->nslots());
+  std::printf("sessions join with CUTTLEFISH_ARBITER=%s\n", path);
+  return 0;
+}
+
+int cmd_arbiter_status(const char* path) {
+  std::string error;
+  // Open without creating config of our own: an existing plane's header
+  // wins; if the file doesn't exist this creates an empty uncapped plane,
+  // so check first and say so instead.
+  if (FILE* f = std::fopen(path, "rb"); f != nullptr) {
+    std::fclose(f);
+  } else {
+    std::fprintf(stderr, "arbiter status: no plane at %s (create one with "
+                         "`cuttlefishctl arbiter init`)\n",
+                 path);
+    return 1;
+  }
+  const auto arb =
+      arbiter::ShmArbiter::open(path, arbiter::ArbiterConfig{}, 16, &error);
+  if (arb == nullptr) {
+    std::fprintf(stderr, "arbiter status: %s\n", error.c_str());
+    return 1;
+  }
+  const arbiter::ArbiterConfig cfg = arb->config();
+  std::printf("plane %s\n", arb->path().c_str());
+  if (cfg.budget_w > 0.0) {
+    std::printf("  budget: %.1f W   policy: %s   slots: %d\n", cfg.budget_w,
+                arbiter::to_string(cfg.policy), arb->nslots());
+  } else {
+    std::printf("  budget: uncapped   policy: %s   slots: %d\n",
+                arbiter::to_string(cfg.policy), arb->nslots());
+  }
+  const auto view = arb->view();
+  std::printf("  tenants: %zu\n", view.size());
+  if (!view.empty()) {
+    std::printf("  %4s %8s %10s %10s %10s %8s %10s %s\n", "slot", "pid",
+                "tick", "demand W", "jpi", "tipi", "grant W", "capped");
+    for (const arbiter::SlotView& s : view) {
+      std::printf("  %4d %8u %10llu %10.1f %10.2e %8.3f %10.1f %s\n",
+                  s.slot, s.pid, static_cast<unsigned long long>(s.tick),
+                  s.demand.watts, s.demand.jpi, s.demand.tipi,
+                  s.grant.watts, s.grant.capped ? "yes" : "no");
+    }
+  }
+  return 0;
+}
+
+// A pocket version of bench/micro_arbiter's co-tenant comparison: N
+// sessions on one simulated node, uncoordinated firmware backstop vs the
+// arbitrated plane, same budget.
+int cmd_arbiter_demo(const char* tenants_arg, const char* budget_arg) {
+  const int tenants = tenants_arg != nullptr ? std::atoi(tenants_arg) : 4;
+  if (tenants <= 0 || tenants > 64) {
+    std::fprintf(stderr, "arbiter demo: tenants must be 1..64\n");
+    return 2;
+  }
+  const sim::MachineConfig machine = sim::haswell_2650v3();
+  std::vector<sim::PhaseProgram> programs;
+  for (int i = 0; i < tenants; ++i) {
+    sim::PhaseProgram p;
+    const double base = 1.5e10 + 1.0e9 * i;
+    for (int rep = 0; rep < 10; ++rep) {
+      p.add(base, 1.0 + 0.05 * i, 0.02);
+      p.add(base * 0.8, 1.2, 0.20 + 0.02 * i);
+    }
+    programs.push_back(std::move(p));
+  }
+
+  exp::CotenantOptions opt;
+  opt.seed = 42;
+  opt.budget_w = 0.0;
+  const exp::CotenantResult ref = exp::run_cotenants(machine, programs, opt);
+  const double uncapped_w = ref.node_energy_j / ref.node_time_s;
+  double budget = 0.45 * uncapped_w;
+  if (budget_arg != nullptr) {
+    budget = std::atof(budget_arg);
+    if (budget <= 0.0) {
+      std::fprintf(stderr, "arbiter demo: budget must be positive watts\n");
+      return 2;
+    }
+  }
+
+  std::printf("%d co-scheduled sessions on the simulated Haswell; node "
+              "budget %.1f W (uncapped draw %.1f W)\n\n",
+              tenants, budget, uncapped_w);
+  const auto report = [&](const char* name, const exp::CotenantResult& r) {
+    std::printf("  %-24s makespan %7.2f s  energy %9.1f J  node EDP "
+                "%12.1f\n",
+                name, r.node_time_s, r.node_energy_j, r.node_edp());
+  };
+  report("uncapped reference", ref);
+
+  opt.budget_w = budget;
+  opt.arbitrated = false;
+  const exp::CotenantResult uncoord =
+      exp::run_cotenants(machine, programs, opt);
+  report("uncoordinated+backstop", uncoord);
+
+  opt.arbitrated = true;
+  const exp::CotenantResult arb = exp::run_cotenants(machine, programs, opt);
+  report("arbitrated (equal-share)", arb);
+
+  uint64_t grants = 0, revocations = 0;
+  for (const auto& t : arb.tenants) {
+    grants += t.grants;
+    revocations += t.revocations;
+  }
+  std::printf(
+      "\nbackstop intervened %llu times behind the controllers' backs;\n"
+      "the arbitrated plane instead issued %llu grant changes and %llu\n"
+      "revocations the sessions actuated themselves.\n"
+      "arbitrated/uncoordinated node EDP: %.3f\n",
+      static_cast<unsigned long long>(uncoord.backstop_interventions),
+      static_cast<unsigned long long>(grants),
+      static_cast<unsigned long long>(revocations),
+      arb.node_edp() / uncoord.node_edp());
+  return 0;
+}
+
+int cmd_arbiter(int argc, char** argv) {
+  const std::string sub = argc >= 3 ? argv[2] : "";
+  if (sub == "init" && argc >= 4) return cmd_arbiter_init(argc, argv);
+  if (sub == "status" && argc == 4) return cmd_arbiter_status(argv[3]);
+  if (sub == "demo" && argc <= 5) {
+    return cmd_arbiter_demo(argc >= 4 ? argv[3] : nullptr,
+                            argc >= 5 ? argv[4] : nullptr);
+  }
+  std::fprintf(stderr,
+               "usage: cuttlefishctl arbiter init <file> --budget W "
+               "[--policy equal-share|demand-weighted] [--slots N] | "
+               "arbiter status <file> | arbiter demo [tenants] [budget_w]\n");
+  return 2;
+}
+
 void usage() {
   std::fprintf(stderr,
                "usage: cuttlefishctl backends | probe | list | policies | "
                "demo <benchmark> [full|core|uncore|monitor|mpc] | trace "
                "<benchmark> [policy] [lines] | regions [profiles.json] | "
-               "cache stats|verify|gc <dir> | faults [benchmark]\n");
+               "cache stats|verify|gc <dir> | faults [benchmark] | "
+               "arbiter init|status|demo\n");
 }
 
 }  // namespace
@@ -533,6 +740,7 @@ int main(int argc, char** argv) {
     return cmd_regions(argc >= 3 ? argv[2] : nullptr);
   }
   if (cmd == "cache") return cmd_cache(argc, argv);
+  if (cmd == "arbiter") return cmd_arbiter(argc, argv);
   if (cmd == "faults") {
     return cmd_faults(argc >= 3 ? argv[2] : nullptr);
   }

@@ -1,0 +1,97 @@
+#include "arbiter/arbiter.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace cuttlefish::arbiter {
+
+const char* to_string(SharePolicy policy) {
+  switch (policy) {
+    case SharePolicy::kEqualShare: return "equal";
+    case SharePolicy::kDemandWeighted: return "demand";
+  }
+  return "?";
+}
+
+std::optional<SharePolicy> share_policy_from_string(const std::string& text) {
+  if (text == "equal" || text == "equal-share" || text == "fair") {
+    return SharePolicy::kEqualShare;
+  }
+  if (text == "demand" || text == "demand-weighted" ||
+      text == "proportional") {
+    return SharePolicy::kDemandWeighted;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// Max-min fair water-filling. Repeatedly grant every unsatisfied tenant
+/// an equal share of the remaining budget; tenants demanding less than
+/// that share are satisfied exactly and leave the pool, raising the share
+/// for the rest. Terminates in at most n rounds; order-equivariant
+/// because rounds depend only on the multiset of demands.
+std::vector<double> equal_share(double budget_w,
+                                const std::vector<double>& demands_w) {
+  std::vector<double> grants(demands_w.size(), 0.0);
+  std::vector<size_t> open;
+  open.reserve(demands_w.size());
+  for (size_t i = 0; i < demands_w.size(); ++i) {
+    if (demands_w[i] > 0.0) open.push_back(i);
+  }
+  double remaining = budget_w;
+  while (!open.empty() && remaining > 0.0) {
+    const double share = remaining / static_cast<double>(open.size());
+    bool satisfied_any = false;
+    for (size_t k = 0; k < open.size();) {
+      const size_t i = open[k];
+      if (demands_w[i] <= share) {
+        grants[i] = demands_w[i];
+        remaining -= demands_w[i];
+        open[k] = open.back();
+        open.pop_back();
+        satisfied_any = true;
+      } else {
+        ++k;
+      }
+    }
+    if (!satisfied_any) {
+      // Everyone left wants more than the fair share: split evenly.
+      for (const size_t i : open) grants[i] = share;
+      remaining = 0.0;
+      break;
+    }
+  }
+  return grants;
+}
+
+std::vector<double> demand_weighted(double budget_w,
+                                    const std::vector<double>& demands_w) {
+  const double total =
+      std::accumulate(demands_w.begin(), demands_w.end(), 0.0);
+  std::vector<double> grants(demands_w.size(), 0.0);
+  if (total <= 0.0) return grants;
+  const double scale = budget_w / total;
+  for (size_t i = 0; i < demands_w.size(); ++i) {
+    grants[i] = demands_w[i] * scale;
+  }
+  return grants;
+}
+
+}  // namespace
+
+std::vector<double> allocate(SharePolicy policy, double budget_w,
+                             const std::vector<double>& demands_w) {
+  const double total =
+      std::accumulate(demands_w.begin(), demands_w.end(), 0.0);
+  // Uncapped plane, or enough budget for everyone: grants echo demands.
+  if (budget_w <= 0.0 || total <= budget_w) return demands_w;
+  switch (policy) {
+    case SharePolicy::kEqualShare: return equal_share(budget_w, demands_w);
+    case SharePolicy::kDemandWeighted:
+      return demand_weighted(budget_w, demands_w);
+  }
+  return demands_w;
+}
+
+}  // namespace cuttlefish::arbiter

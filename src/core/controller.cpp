@@ -1,7 +1,10 @@
 #include "core/controller.hpp"
 
+#include <cmath>
+
 #include "common/assert.hpp"
 #include "common/log.hpp"
+#include "hal/arbitrated.hpp"
 
 namespace cuttlefish::core {
 
@@ -33,7 +36,29 @@ Controller::Controller(hal::PlatformInterface& platform, ControllerConfig cfg)
       uf_health_(cfg.resilience) {
   CF_ASSERT(cfg.tinv_s > 0.0, "Tinv must be positive");
   CF_ASSERT(cfg.jpi_samples > 0, "jpi_samples must be positive");
+  // One RTTI probe at construction, not per tick: grant-event plumbing
+  // only exists when the backend is actually arbitrated.
+  if (caps_.has(hal::Capability::kArbitrated)) {
+    arbitrated_ = dynamic_cast<hal::ArbitratedPlatform*>(&platform);
+  }
   apply_capabilities();
+}
+
+/// Move queued arbiter grant changes into the decision trace. The
+/// wrapper's queue is bounded by ticks since the last drain, so this is
+/// O(grant movements), usually zero.
+void Controller::drain_grant_changes() {
+  if (arbitrated_ == nullptr || trace_ == nullptr) return;
+  hal::ArbitratedPlatform::GrantChange change;
+  while (arbitrated_->poll_grant_change(&change)) {
+    const double mw = change.watts * 1000.0;
+    const uint32_t aux =
+        mw <= 0.0 ? 0u : static_cast<uint32_t>(std::lround(mw));
+    trace_->record({stats_.ticks,
+                    change.revoked ? TraceEvent::kBudgetRevoked
+                                   : TraceEvent::kBudgetGranted,
+                    -1, Domain::kCore, kNoLevel, kNoLevel, kNoLevel, aux});
+  }
 }
 
 void Controller::note_degradation(Domain domain, hal::CapabilitySet lost) {
@@ -590,6 +615,9 @@ void Controller::tick() {
     return;
   }
   sensor_health_.record_success(stats_.ticks);
+  // The batched read above published this interval's demand; any grant
+  // movement the arbiter answered with belongs to this tick's audit line.
+  drain_grant_changes();
   const hal::SensorTotals totals = sampled.sample.totals();
   const uint64_t d_instr = totals.instructions - last_.instructions;
   const uint64_t d_tor = totals.tor_inserts - last_.tor_inserts;

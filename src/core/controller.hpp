@@ -15,6 +15,10 @@
 #include "hal/health.hpp"
 #include "hal/platform.hpp"
 
+namespace cuttlefish::hal {
+class ArbitratedPlatform;
+}  // namespace cuttlefish::hal
+
 namespace cuttlefish::core {
 
 /// The Cuttlefish runtime policy (Algorithm 1) as a tick-driven engine —
@@ -158,6 +162,7 @@ class Controller : public IController {
 
  private:
   void apply_capabilities();
+  void drain_grant_changes();
   void note_degradation(Domain domain, hal::CapabilitySet lost);
   void refresh_effective();
   PolicyKind runtime_narrowed_policy(bool jpi_ok) const;
@@ -178,6 +183,10 @@ class Controller : public IController {
                      const ExploreResult& result);
 
   hal::PlatformInterface* platform_;
+  /// Non-null when the platform is an ArbitratedPlatform (discovered once
+  /// at construction): its queued grant movements are drained into the
+  /// decision trace each tick as budget-granted/budget-revoked records.
+  hal::ArbitratedPlatform* arbitrated_ = nullptr;
   ControllerConfig cfg_;
   hal::CapabilitySet caps_;
   PolicyKind effective_;

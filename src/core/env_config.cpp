@@ -53,6 +53,11 @@ std::optional<bool> parse_bool(const std::string& text) {
   return std::nullopt;
 }
 
+std::optional<arbiter::SharePolicy> parse_share_policy(
+    const std::string& text) {
+  return arbiter::share_policy_from_string(text);
+}
+
 ControllerConfig apply_env_overrides(ControllerConfig base) {
   override_from<PolicyKind>("CUTTLEFISH_POLICY", parse_policy,
                             [&](PolicyKind p) { base.policy = p; });
@@ -78,6 +83,32 @@ ControllerConfig apply_env_overrides(ControllerConfig base) {
                       [&](bool b) { base.insertion_narrowing = b; });
   override_from<bool>("CUTTLEFISH_REVALIDATION", parse_bool,
                       [&](bool b) { base.revalidation = b; });
+  return base;
+}
+
+ArbiterEnvConfig apply_arbiter_env_overrides(ArbiterEnvConfig base) {
+  // The plane path is a filename, not a parsed value: any non-empty
+  // string is taken verbatim (open() produces the real diagnostics).
+  if (const auto path = env("CUTTLEFISH_ARBITER")) base.plane_path = *path;
+  override_from<double>("CUTTLEFISH_ARBITER_BUDGET_W",
+                        parse_positive_double,
+                        [&](double w) { base.budget_w = w; });
+  override_from<arbiter::SharePolicy>("CUTTLEFISH_ARBITER_POLICY",
+                                      parse_share_policy,
+                                      [&](arbiter::SharePolicy p) {
+                                        base.policy = p;
+                                      });
+  override_from<double>(
+      "CUTTLEFISH_ARBITER_SLOTS",
+      [](const std::string& t) -> std::optional<double> {
+        const auto v = parse_positive_double(t);
+        // Whole, and within the plane's slot-table bounds.
+        if (!v || *v != static_cast<int>(*v) || *v > 4096.0) {
+          return std::nullopt;
+        }
+        return v;
+      },
+      [&](double n) { base.slots = static_cast<int>(n); });
   return base;
 }
 

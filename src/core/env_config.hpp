@@ -3,6 +3,7 @@
 #include <optional>
 #include <string>
 
+#include "arbiter/arbiter.hpp"
 #include "core/config.hpp"
 
 namespace cuttlefish::core {
@@ -29,9 +30,37 @@ namespace cuttlefish::core {
 /// kept — a bad environment must never break the host application.
 ControllerConfig apply_env_overrides(ControllerConfig base);
 
+/// Node-local power-arbiter attachment, resolved from the environment
+/// (docs/ARBITER.md). A session whose environment names a coordination
+/// plane joins it at start():
+///
+///   CUTTLEFISH_ARBITER           path of the shared-memory plane file;
+///                                empty/unset: no arbitration
+///   CUTTLEFISH_ARBITER_BUDGET_W  node power budget in watts (> 0);
+///                                used only when this session creates the
+///                                plane (an existing file's header wins)
+///   CUTTLEFISH_ARBITER_POLICY    equal | demand (share policy; same
+///                                creator-only rule as the budget)
+///   CUTTLEFISH_ARBITER_SLOTS    max co-tenant slots (1..4096, default 16;
+///                                creator-only, like the budget)
+struct ArbiterEnvConfig {
+  std::string plane_path;  // empty: arbitration disabled
+  double budget_w = 0.0;   // <= 0: uncapped (registration/telemetry only)
+  arbiter::SharePolicy policy = arbiter::SharePolicy::kEqualShare;
+  int slots = 16;
+
+  bool enabled() const { return !plane_path.empty(); }
+};
+
+/// Read the CUTTLEFISH_ARBITER* variables over `base`. Malformed values
+/// warn and keep the previous value, like apply_env_overrides().
+ArbiterEnvConfig apply_arbiter_env_overrides(ArbiterEnvConfig base = {});
+
 /// Parsing helpers (exposed for tests).
 std::optional<PolicyKind> parse_policy(const std::string& text);
 std::optional<double> parse_positive_double(const std::string& text);
 std::optional<bool> parse_bool(const std::string& text);
+std::optional<arbiter::SharePolicy> parse_share_policy(
+    const std::string& text);
 
 }  // namespace cuttlefish::core

@@ -11,6 +11,7 @@
 #include <thread>
 #include <utility>
 
+#include "arbiter/shm_arbiter.hpp"
 #include "common/log.hpp"
 #include "core/api.hpp"
 #include "core/controller_factory.hpp"
@@ -18,6 +19,7 @@
 #include "core/daemon.hpp"
 #include "core/env_config.hpp"
 #include "exp/realtime.hpp"
+#include "hal/arbitrated.hpp"
 #include "hal/registry.hpp"
 #include "sim/machine_config.hpp"
 
@@ -474,6 +476,14 @@ bool parse_domain(const JsonValue& value, core::DomainSnapshot& out) {
 
 struct Session::Impl {
   std::unique_ptr<hal::PlatformInterface> owned_platform;
+  /// Arbitration stack (docs/ARBITER.md), present only when an arbiter
+  /// was supplied or CUTTLEFISH_ARBITER named a plane. Teardown order
+  /// matters: the controller stack goes first (its final
+  /// restore-to-maximum writes still flow through the wrapper), then the
+  /// wrapper (detaching the slot), then the owned arbiter (unmapping the
+  /// plane).
+  std::unique_ptr<arbiter::IArbiter> owned_arbiter;
+  std::unique_ptr<hal::ArbitratedPlatform> arbitrated;
   hal::PlatformInterface* platform = nullptr;
   std::string backend_name;
   std::unique_ptr<core::Daemon> daemon;    // wall-clock mode
@@ -533,6 +543,36 @@ struct Session::Impl {
     // policy flags without a rebuild.
     const core::ControllerConfig cfg =
         core::apply_env_overrides(options.controller);
+    // Arbitration: an explicit Options::arbiter wins; otherwise
+    // CUTTLEFISH_ARBITER may name a shared plane to join. Either way the
+    // controller sees the wrapper, not the raw backend. Failure to open
+    // the plane degrades to an unarbitrated session — coordination must
+    // never stop the host application from starting.
+    arbiter::IArbiter* arb = options.arbiter;
+    if (arb == nullptr) {
+      const core::ArbiterEnvConfig env_arb =
+          core::apply_arbiter_env_overrides();
+      if (env_arb.enabled()) {
+        std::string error;
+        arbiter::ArbiterConfig plane_cfg;
+        plane_cfg.budget_w = env_arb.budget_w;
+        plane_cfg.policy = env_arb.policy;
+        owned_arbiter = arbiter::ShmArbiter::open(
+            env_arb.plane_path, plane_cfg, env_arb.slots, &error);
+        if (owned_arbiter == nullptr) {
+          CF_LOG_WARN("session: arbiter plane unavailable (%s); "
+                      "running unarbitrated",
+                      error.c_str());
+        }
+        arb = owned_arbiter.get();
+      }
+    }
+    if (arb != nullptr) {
+      arbitrated =
+          std::make_unique<hal::ArbitratedPlatform>(pf, *arb, cfg.tinv_s);
+      platform = arbitrated.get();
+    }
+    hal::PlatformInterface& controlled = *platform;
     int pin = options.daemon_cpu;
     const unsigned hw = std::thread::hardware_concurrency();
     if (pin >= 0 && hw > 0 && pin >= static_cast<int>(hw)) {
@@ -543,13 +583,13 @@ struct Session::Impl {
       pin = -1;
     }
     if (options.manual_tick) {
-      manual = core::make_controller(pf, cfg);
+      manual = core::make_controller(controlled, cfg);
       if (trace != nullptr) manual->set_trace(trace);
       if (options.telemetry != nullptr) {
         manual->set_telemetry(options.telemetry);
       }
     } else {
-      daemon = std::make_unique<core::Daemon>(pf, cfg, pin);
+      daemon = std::make_unique<core::Daemon>(controlled, cfg, pin);
       if (trace != nullptr || options.telemetry != nullptr) {
         // The daemon thread is not running yet, so this attaches
         // directly — before begin() replays any degradation records.
@@ -645,6 +685,8 @@ void Session::stop() {
   }
   impl_->manual.reset();
   impl_->manual_armed = false;
+  impl_->arbitrated.reset();     // detaches the arbiter slot
+  impl_->owned_arbiter.reset();  // unmaps the plane
   impl_->owned_platform.reset();
   impl_->platform = nullptr;
   impl_->backend_name.clear();

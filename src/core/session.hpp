@@ -28,6 +28,10 @@ namespace hal {
 class PlatformInterface;
 }  // namespace hal
 
+namespace arbiter {
+class IArbiter;
+}  // namespace arbiter
+
 /// Knobs a user may override; defaults are the paper's configuration.
 struct Options {
   core::ControllerConfig controller;
@@ -49,6 +53,15 @@ struct Options {
   /// sink is written from the daemon thread; read it only after stop()
   /// or from code ordered against the daemon (e.g. a region exit).
   std::vector<core::TickTelemetry>* telemetry = nullptr;
+  /// Optional node-local power arbiter (docs/ARBITER.md). When set, the
+  /// platform is wrapped in hal::ArbitratedPlatform: the session
+  /// publishes its per-interval power demand and its core-frequency
+  /// writes are clamped to the granted share of the node budget. Not
+  /// owned; must outlive the session. Null falls back to the environment:
+  /// CUTTLEFISH_ARBITER names a shared-memory plane file to join (with
+  /// CUTTLEFISH_ARBITER_BUDGET_W / _POLICY / _SLOTS consulted if this
+  /// session creates it); unset runs unarbitrated.
+  arbiter::IArbiter* arbiter = nullptr;
   /// Embedded mode: no daemon thread is spawned; the host runtime calls
   /// Session::tick() once per Tinv interval itself (the first call
   /// baselines the sensors, like the daemon's begin()). This is how

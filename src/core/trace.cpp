@@ -22,6 +22,8 @@ const char* to_string(TraceEvent event) {
     case TraceEvent::kCapabilityRestored: return "capability-restored";
     case TraceEvent::kTickOverrun: return "tick-overrun";
     case TraceEvent::kSafeStop: return "safe-stop";
+    case TraceEvent::kBudgetGranted: return "budget-granted";
+    case TraceEvent::kBudgetRevoked: return "budget-revoked";
   }
   return "?";
 }
@@ -70,6 +72,12 @@ std::string DecisionTrace::to_text(const FreqLadder& cf_ladder,
     }
     if (r.event == TraceEvent::kSafeStop) {
       os << '\n';
+      continue;
+    }
+    if (r.event == TraceEvent::kBudgetGranted ||
+        r.event == TraceEvent::kBudgetRevoked) {
+      os << "  grant " << (r.aux / 1000) << '.' << (r.aux % 1000 / 100)
+         << " W\n";
       continue;
     }
     if (r.slab >= 0) os << "  slab " << r.slab;

@@ -38,6 +38,14 @@ enum class TraceEvent {
   kCapabilityRestored,
   kTickOverrun,
   kSafeStop,
+  /// Node-local power arbitration (docs/ARBITER.md): the session's
+  /// granted share of the node budget moved. kBudgetGranted when the
+  /// share grew (or the cap stopped binding), kBudgetRevoked when it
+  /// shrank (or the cap started binding). aux carries the new grant in
+  /// milliwatts. Appended at the end: trace event values are stable —
+  /// they are compared against pinned golden traces.
+  kBudgetGranted,
+  kBudgetRevoked,
 };
 
 const char* to_string(TraceEvent event);

@@ -1,0 +1,196 @@
+#include "exp/cotenant.hpp"
+
+#include <memory>
+#include <optional>
+
+#include "arbiter/local_arbiter.hpp"
+#include "common/assert.hpp"
+#include "core/controller_factory.hpp"
+#include "hal/arbitrated.hpp"
+#include "sim/sim_machine.hpp"
+#include "sim/sim_platform.hpp"
+
+namespace cuttlefish::exp {
+
+namespace {
+
+/// One co-scheduled session: its own machine, platform stack and
+/// controller. Heap-held so addresses stay stable across the vector.
+struct Tenant {
+  Tenant(const sim::MachineConfig& cfg, const sim::PhaseProgram& program,
+         uint64_t seed)
+      : machine(cfg, program, seed), platform(machine) {}
+
+  sim::SimMachine machine;
+  sim::SimPlatform platform;
+  std::optional<hal::ArbitratedPlatform> arbitrated;
+  std::unique_ptr<core::IController> controller;
+  bool done = false;
+  double last_energy_j = 0.0;
+  double power_w = 0.0;  // this quantum's interval power
+  Level cap = kNoLevel;  // uncoordinated firmware cap (core domain)
+  TenantResult result;
+};
+
+}  // namespace
+
+CotenantResult run_cotenants(const sim::MachineConfig& machine_cfg,
+                             const std::vector<sim::PhaseProgram>& programs,
+                             const CotenantOptions& options) {
+  CF_ASSERT(!programs.empty(), "co-tenant run needs at least one program");
+  const double tinv = options.controller.tinv_s;
+  const bool capped = options.budget_w > 0.0;
+  const bool arbitrated = capped && options.arbitrated;
+  const bool backstopped = capped && !options.arbitrated;
+
+  // One shared in-process plane for every arbitrated tenant — the
+  // deterministic stand-in for the ShmArbiter plane real co-located
+  // processes would map.
+  arbiter::ArbiterConfig acfg;
+  acfg.budget_w = options.budget_w;
+  acfg.policy = options.share_policy;
+  arbiter::LocalArbiter arb(acfg,
+                            static_cast<int>(programs.size()));
+
+  std::vector<std::unique_ptr<Tenant>> tenants;
+  tenants.reserve(programs.size());
+  for (size_t i = 0; i < programs.size(); ++i) {
+    auto t = std::make_unique<Tenant>(machine_cfg, programs[i],
+                                      options.seed + i);
+    hal::PlatformInterface* platform = &t->platform;
+    if (arbitrated) {
+      t->arbitrated.emplace(t->platform, arb, tinv);
+      platform = &*t->arbitrated;
+    }
+    core::ControllerConfig cfg = options.controller;
+    cfg.policy = options.policy;
+    t->controller = core::make_controller(*platform, cfg);
+    t->cap = t->machine.config().core_ladder.max_level();
+    tenants.push_back(std::move(t));
+  }
+  const FreqLadder& ladder = machine_cfg.core_ladder;
+
+  CotenantResult out;
+  out.tenants.resize(tenants.size());
+
+  const auto finish = [&](Tenant& t, size_t i) {
+    t.done = true;
+    t.result.time_s = t.machine.now();
+    t.result.energy_j = t.machine.energy_joules();
+    t.result.instructions = t.machine.instructions_retired();
+    if (t.arbitrated) {
+      // Release the slot so the survivors' very next publish rebalances
+      // over the remaining demand — a finished tenant pins no budget.
+      arb.detach(t.arbitrated->slot());
+    }
+    out.tenants[i] = t.result;
+  };
+
+  const auto drain_grants = [](Tenant& t) {
+    if (!t.arbitrated) return;
+    hal::ArbitratedPlatform::GrantChange change;
+    while (t.arbitrated->poll_grant_change(&change)) {
+      if (change.revoked) {
+        ++t.result.revocations;
+      } else {
+        ++t.result.grants;
+      }
+    }
+  };
+
+  // §4.1 warm-up in lockstep: every machine runs at its construction-time
+  // maxima; controllers sleep. (The firmware backstop is live even here —
+  // real RAPL does not wait for anyone's warm-up — but with every tenant
+  // at max it simply clamps from the first over-budget quantum.)
+  bool any_alive = true;
+  const auto interval_powers = [&] {
+    double node_w = 0.0;
+    for (auto& t : tenants) {
+      if (t->done) continue;
+      const double e = t->machine.energy_joules();
+      t->power_w = (e - t->last_energy_j) / tinv;
+      t->last_energy_j = e;
+      node_w += t->power_w;
+    }
+    if (node_w > out.peak_node_power_w) out.peak_node_power_w = node_w;
+    return node_w;
+  };
+  const auto backstop = [&](double node_w) {
+    if (!backstopped) return;
+    if (node_w > options.budget_w) {
+      // Step the hottest tenant down one level.
+      Tenant* hottest = nullptr;
+      for (auto& t : tenants) {
+        if (t->done) continue;
+        if (hottest == nullptr || t->power_w > hottest->power_w) {
+          hottest = t.get();
+        }
+      }
+      if (hottest != nullptr && hottest->cap > ladder.min_level()) {
+        hottest->cap -= 1;
+        ++out.backstop_interventions;
+      }
+    } else if (node_w < options.backstop_release * options.budget_w) {
+      for (auto& t : tenants) {
+        if (!t->done && t->cap < ladder.max_level()) t->cap += 1;
+      }
+    }
+    // Enforce: clamp any machine running above its cap. The controller
+    // is never told — its next write fights the clamp right back.
+    for (auto& t : tenants) {
+      if (t->done) continue;
+      if (t->machine.core_frequency() > ladder.at(t->cap)) {
+        t->machine.set_core_frequency(ladder.at(t->cap));
+        ++out.backstop_interventions;
+      }
+    }
+  };
+
+  for (double t0 = 0.0; t0 + tinv <= options.controller.warmup_s + 1e-12;
+       t0 += tinv) {
+    any_alive = false;
+    for (size_t i = 0; i < tenants.size(); ++i) {
+      Tenant& t = *tenants[i];
+      if (t.done) continue;
+      t.machine.advance(tinv);
+      if (t.machine.workload_done()) finish(t, i);
+      if (!t.done) any_alive = true;
+    }
+    backstop(interval_powers());
+    if (!any_alive) break;
+  }
+
+  for (auto& t : tenants) {
+    if (!t->done) t->controller->begin();
+  }
+
+  while (any_alive) {
+    any_alive = false;
+    for (size_t i = 0; i < tenants.size(); ++i) {
+      Tenant& t = *tenants[i];
+      if (t.done) continue;
+      t.machine.advance(tinv);
+      const bool completed = t.machine.workload_done();
+      // Matching run_policy: every advance is followed by exactly one
+      // tick — the final partial quantum's sensor data is accounted too.
+      t.controller->tick();
+      drain_grants(t);
+      if (completed) {
+        finish(t, i);
+      } else {
+        any_alive = true;
+      }
+    }
+    backstop(interval_powers());
+  }
+
+  for (const auto& t : tenants) {
+    if (t->result.time_s > out.node_time_s) {
+      out.node_time_s = t->result.time_s;
+    }
+    out.node_energy_j += t->result.energy_j;
+  }
+  return out;
+}
+
+}  // namespace cuttlefish::exp

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arbiter/arbiter.hpp"
+#include "core/controller.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/phase_workload.hpp"
+
+namespace cuttlefish::exp {
+
+/// Co-scheduled-tenants scenario (docs/ARBITER.md): N independent
+/// Cuttlefish sessions — each its own SimMachine, platform and controller
+/// — advance in virtual lockstep on one node under a shared power budget.
+/// Two coordination modes:
+///
+///  * arbitrated: every session's platform is wrapped in
+///    hal::ArbitratedPlatform over one shared LocalArbiter. Sessions
+///    publish demand, receive shares, and clamp themselves; a finished
+///    tenant detaches and its share redistributes.
+///  * uncoordinated: sessions run raw, and a deterministic RAPL-style
+///    firmware backstop enforces the budget behind their backs — when the
+///    summed interval power exceeds the budget it steps the hottest
+///    tenant's core frequency down one ladder level, releasing (one level
+///    per tick, all tenants) only once node power falls below
+///    `backstop_release` of the budget. Controllers never see the clamp,
+///    so their JPI tables learn energy measured at a frequency they did
+///    not set — the mislearning (plus the PLL relock dead time of the
+///    fight between controller writes and firmware clamps) the arbiter
+///    exists to avoid.
+struct CotenantOptions {
+  /// Node power budget in watts; <= 0 runs uncapped (reference mode:
+  /// no arbitration and no backstop regardless of `arbitrated`).
+  double budget_w = 0.0;
+  bool arbitrated = false;
+  arbiter::SharePolicy share_policy = arbiter::SharePolicy::kEqualShare;
+  /// Backstop hysteresis: caps release only below this budget fraction.
+  double backstop_release = 0.9;
+  core::PolicyKind policy = core::PolicyKind::kFull;
+  core::ControllerConfig controller;  // tinv, warm-up, ... per session
+  uint64_t seed = 1;                  // tenant i runs with seed + i
+};
+
+struct TenantResult {
+  double time_s = 0.0;    // virtual time the tenant's workload finished
+  double energy_j = 0.0;
+  uint64_t instructions = 0;
+  uint64_t grants = 0;       // arbitrated: budget-granted events drained
+  uint64_t revocations = 0;  // arbitrated: budget-revoked events drained
+
+  double edp() const { return time_s * energy_j; }
+};
+
+struct CotenantResult {
+  std::vector<TenantResult> tenants;
+  double node_time_s = 0.0;    // makespan: max tenant finish time
+  double node_energy_j = 0.0;  // sum of tenant energies
+  /// Peak over all quanta of the summed per-interval tenant power.
+  double peak_node_power_w = 0.0;
+  /// Uncoordinated mode: firmware cap steps (down) + re-enforcements.
+  uint64_t backstop_interventions = 0;
+
+  double node_edp() const { return node_time_s * node_energy_j; }
+};
+
+/// Run `programs.size()` co-scheduled tenants to completion. Fully
+/// deterministic: virtual time, fixed seeds, manual ticks.
+CotenantResult run_cotenants(const sim::MachineConfig& machine_cfg,
+                             const std::vector<sim::PhaseProgram>& programs,
+                             const CotenantOptions& options);
+
+}  // namespace cuttlefish::exp

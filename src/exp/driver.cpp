@@ -3,8 +3,10 @@
 #include <memory>
 #include <optional>
 
+#include "arbiter/local_arbiter.hpp"
 #include "common/assert.hpp"
 #include "core/controller_factory.hpp"
+#include "hal/arbitrated.hpp"
 #include "hal/fault_injection.hpp"
 #include "sim/firmware_governor.hpp"
 #include "sim/sim_machine.hpp"
@@ -110,6 +112,31 @@ RunResult run_policy(const sim::MachineConfig& machine_cfg,
   if (options.faults != nullptr) {
     faulty.emplace(base, *options.faults);
     platform = &*faulty;
+  }
+  // Arbitration wraps outermost (docs/ARBITER.md): the controller's
+  // writes are clamped to the granted share before any fault injection or
+  // the simulator see them. A LocalArbiter with `tenants` slots, the
+  // others idle, reproduces a single session's view of a shared budget
+  // deterministically.
+  std::unique_ptr<arbiter::LocalArbiter> arb;
+  std::optional<hal::ArbitratedPlatform> arbitrated;
+  if (options.arbiter.enabled) {
+    arbiter::ArbiterConfig acfg;
+    acfg.budget_w = options.arbiter.budget_w;
+    acfg.policy = options.arbiter.policy;
+    const int tenants = options.arbiter.tenants < 1
+                            ? 1
+                            : options.arbiter.tenants;
+    arb = std::make_unique<arbiter::LocalArbiter>(acfg, tenants);
+    // Occupy the neighbours' slots first so this run's session lands on
+    // slot `tenant_index` — idle peers hold a registered, zero-demand
+    // lease, exactly what a co-tenant looks like between its ticks.
+    int index = options.arbiter.tenant_index;
+    if (index < 0 || index >= tenants) index = 0;
+    for (int i = 0; i < index; ++i) (void)arb->attach();
+    arbitrated.emplace(*platform, *arb, options.controller.tinv_s);
+    for (int i = index + 1; i < tenants; ++i) (void)arb->attach();
+    platform = &*arbitrated;
   }
   core::ControllerConfig ctl_cfg = options.controller;
   ctl_cfg.policy = policy;

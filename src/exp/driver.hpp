@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "arbiter/arbiter.hpp"
 #include "core/controller.hpp"
 #include "sim/machine_config.hpp"
 #include "sim/phase_workload.hpp"
@@ -42,6 +43,23 @@ struct RunResult {
   double avg_power_w() const { return energy_j / time_s; }
 };
 
+/// Node-local power arbitration for policy runs (docs/ARBITER.md).
+/// Disabled by default; when enabled, the simulated session is wrapped in
+/// hal::ArbitratedPlatform over an in-process LocalArbiter with
+/// `tenants` registered slots, of which this run occupies `tenant_index`
+/// and the others sit idle (zero demand) — i.e. a single-tenant cap
+/// against a configured budget. Part of the spec digest: arbitration
+/// changes result bytes.
+struct ArbiterSpec {
+  bool enabled = false;
+  double budget_w = 0.0;  // <= 0: uncapped
+  arbiter::SharePolicy policy = arbiter::SharePolicy::kEqualShare;
+  int tenants = 1;        // registered slots
+  int tenant_index = 0;   // which slot this run's session occupies
+
+  bool operator==(const ArbiterSpec&) const = default;
+};
+
 struct RunOptions {
   uint64_t seed = 1;
   bool capture_timeline = false;
@@ -54,6 +72,8 @@ struct RunOptions {
   /// with a schedule are never served from or written to the sweep result
   /// cache — fault behaviour is not part of a spec's identity.
   const hal::FaultSchedule* faults = nullptr;
+  /// Node-local power-budget arbitration (policy runs only).
+  ArbiterSpec arbiter;
 };
 
 /// The paper's Default baseline: performance governor (CF pinned at max)

@@ -505,6 +505,29 @@ std::optional<std::vector<RunResult>> merge_shard_tables(
   }
   const uint64_t grid_size = tables.front().grid_size;
   const int shard_count = tables.front().shard_count;
+  // Duplicate tables are diagnosed up front, by shard index, so a CI
+  // merge that globbed the same file twice (or two processes that ran the
+  // same shard) hears exactly which indices collided rather than a
+  // per-row "covered twice" at some arbitrary row.
+  {
+    std::vector<int> seen(static_cast<size_t>(std::max(shard_count, 1)), 0);
+    std::string duplicated;
+    for (const ShardTable& table : tables) {
+      if (table.shard_index < 0 || table.shard_index >= shard_count) {
+        continue;  // reported with full context below
+      }
+      if (++seen[static_cast<size_t>(table.shard_index)] == 2) {
+        if (!duplicated.empty()) duplicated += ", ";
+        duplicated += std::to_string(table.shard_index) + "/" +
+                      std::to_string(shard_count);
+      }
+    }
+    if (!duplicated.empty()) {
+      *error = "duplicated shard tables: shard " + duplicated +
+               " appears more than once in the merge list";
+      return std::nullopt;
+    }
+  }
   std::vector<RunResult> results(grid_size);
   std::vector<uint8_t> covered(grid_size, 0);
   for (const ShardTable& table : tables) {
@@ -544,12 +567,29 @@ std::optional<std::vector<RunResult>> merge_shard_tables(
       results[index] = result;
     }
   }
+  // An imperfect partition is named precisely: every uncovered row maps
+  // back to its owning shard (index % N), so the error lists exactly the
+  // --shard i/N invocations still missing instead of the first bad row.
+  uint64_t missing_rows = 0;
+  std::vector<uint8_t> shard_missing(
+      static_cast<size_t>(std::max(shard_count, 1)), 0);
   for (uint64_t i = 0; i < grid_size; ++i) {
     if (!covered[i]) {
-      *error = "row " + std::to_string(i) +
-               " missing — not every shard table is present";
-      return std::nullopt;
+      ++missing_rows;
+      shard_missing[i % static_cast<uint64_t>(shard_count)] = 1;
     }
+  }
+  if (missing_rows > 0) {
+    std::string shards;
+    for (int s = 0; s < shard_count; ++s) {
+      if (!shard_missing[static_cast<size_t>(s)]) continue;
+      if (!shards.empty()) shards += ", ";
+      shards += std::to_string(s) + "/" + std::to_string(shard_count);
+    }
+    *error = std::to_string(missing_rows) + " of " +
+             std::to_string(grid_size) +
+             " rows uncovered; missing shard tables: " + shards;
+    return std::nullopt;
   }
   return results;
 }

@@ -180,6 +180,16 @@ std::string encode_spec(const RunSpec& spec) {
   w.u8(c.revalidation ? 1 : 0);
   w.i32(c.mpc_design_points);
   w.f64(c.mpc_verify_margin);
+
+  // Arbitration (v3). The share policy's canonical name rides along with
+  // the enum byte for the same renumbering honesty as the policy kind.
+  const ArbiterSpec& a = spec.options.arbiter;
+  w.u8(a.enabled ? 1 : 0);
+  w.f64(a.budget_w);
+  w.u8(static_cast<uint8_t>(a.policy));
+  w.str(arbiter::to_string(a.policy));
+  w.i32(a.tenants);
+  w.i32(a.tenant_index);
   return w.take();
 }
 
@@ -261,6 +271,15 @@ std::unique_ptr<DecodedSpec> decode_spec(const void* data, size_t size) {
   c.revalidation = r.u8() != 0;
   c.mpc_design_points = r.i32();
   c.mpc_verify_margin = r.f64();
+
+  ArbiterSpec& a = spec.options.arbiter;
+  a.enabled = r.u8() != 0;
+  a.budget_w = r.f64();
+  a.policy = static_cast<arbiter::SharePolicy>(r.u8());
+  const auto named_share = arbiter::share_policy_from_string(r.str());
+  if (!r.ok() || !named_share || *named_share != a.policy) return nullptr;
+  a.tenants = r.i32();
+  a.tenant_index = r.i32();
 
   if (!r.ok() || r.remaining() != 0) return nullptr;
   return out;

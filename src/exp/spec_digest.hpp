@@ -26,7 +26,11 @@ namespace cuttlefish::exp {
 /// v2: the controller kind is encoded explicitly (canonical policy-name
 /// strings alongside the enum bytes, plus the MPC knobs), so results can
 /// never alias across policies even if PolicyKind is ever renumbered.
-inline constexpr uint32_t kSpecFormatVersion = 2;
+///
+/// v3: the arbiter spec (enabled, budget, share policy, tenant count and
+/// index — docs/ARBITER.md) joins the encoding: an arbitrated run's caps
+/// change its result bytes, so arbitration is part of the identity.
+inline constexpr uint32_t kSpecFormatVersion = 3;
 
 struct SpecDigest {
   uint64_t hi = 0;

@@ -9,6 +9,7 @@ const char* to_string(Capability capability) {
     case Capability::kTorSensor: return "tor";
     case Capability::kCoreDvfs: return "core-dvfs";
     case Capability::kUncoreUfs: return "uncore-ufs";
+    case Capability::kArbitrated: return "arbitrated";
   }
   return "?";
 }
@@ -17,7 +18,8 @@ std::string CapabilitySet::to_string() const {
   if (empty()) return "none";
   static constexpr Capability kAll[] = {
       Capability::kEnergySensor, Capability::kInstructionSensor,
-      Capability::kTorSensor, Capability::kCoreDvfs, Capability::kUncoreUfs};
+      Capability::kTorSensor, Capability::kCoreDvfs, Capability::kUncoreUfs,
+      Capability::kArbitrated};
   std::string out;
   for (Capability c : kAll) {
     if (!has(c)) continue;

@@ -16,6 +16,12 @@ enum class Capability : uint32_t {
   kTorSensor = 1u << 2,          // TOR_INSERT misses — the TIPI numerator
   kCoreDvfs = 1u << 3,           // per-core DVFS (IA32_PERF_CTL / cpufreq)
   kUncoreUfs = 1u << 4,          // uncore ratio limits (MSR 0x620)
+  /// Actuator writes are brokered through a node-local power arbiter
+  /// (hal::ArbitratedPlatform over an arbiter::IArbiter — see
+  /// docs/ARBITER.md). Deliberately NOT part of CapabilitySet::all():
+  /// no raw backend provides it, and the controller's capability
+  /// narrowing ignores it — only the grant-event plumbing keys off it.
+  kArbitrated = 1u << 5,
 };
 
 const char* to_string(Capability capability);
@@ -27,6 +33,9 @@ class CapabilitySet {
   constexpr explicit CapabilitySet(uint32_t bits) : bits_(bits) {}
 
   static constexpr CapabilitySet none() { return CapabilitySet{}; }
+  /// The five raw hardware bits. kArbitrated is a wrapper property, not
+  /// hardware, and is deliberately excluded — full backends (and the
+  /// simulator) keep advertising exactly the same set as before.
   static constexpr CapabilitySet all() {
     return CapabilitySet{(1u << 5) - 1};
   }

@@ -1,0 +1,133 @@
+// The pure allocation function behind the coordination plane. These
+// properties are the plane's correctness contract (docs/ARBITER.md):
+// every tenant runs the same allocate() over the same snapshot, so the
+// function must be deterministic, order-equivariant, budget-conserving,
+// and never grant above demand.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "arbiter/arbiter.hpp"
+
+namespace cuttlefish::arbiter {
+namespace {
+
+double sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(AllocateTest, UncappedBudgetEchoesDemands) {
+  const std::vector<double> demands{40.0, 0.0, 95.5};
+  for (const auto policy :
+       {SharePolicy::kEqualShare, SharePolicy::kDemandWeighted}) {
+    EXPECT_EQ(allocate(policy, 0.0, demands), demands);
+    EXPECT_EQ(allocate(policy, -5.0, demands), demands);
+  }
+}
+
+TEST(AllocateTest, SufficientBudgetEchoesDemands) {
+  const std::vector<double> demands{40.0, 30.0, 25.0};  // sum 95
+  for (const auto policy :
+       {SharePolicy::kEqualShare, SharePolicy::kDemandWeighted}) {
+    EXPECT_EQ(allocate(policy, 95.0, demands), demands);
+    EXPECT_EQ(allocate(policy, 200.0, demands), demands);
+  }
+}
+
+TEST(AllocateTest, OversubscribedConservesBudget) {
+  const std::vector<double> demands{80.0, 60.0, 45.0, 0.0};
+  for (const auto policy :
+       {SharePolicy::kEqualShare, SharePolicy::kDemandWeighted}) {
+    const std::vector<double> grants = allocate(policy, 100.0, demands);
+    ASSERT_EQ(grants.size(), demands.size());
+    EXPECT_NEAR(sum(grants), 100.0, 1e-9);
+    for (size_t i = 0; i < grants.size(); ++i) {
+      EXPECT_LE(grants[i], demands[i] + 1e-12);
+      EXPECT_GE(grants[i], 0.0);
+    }
+    // A tenant demanding nothing is granted nothing.
+    EXPECT_EQ(grants[3], 0.0);
+  }
+}
+
+TEST(AllocateTest, EqualShareIsMaxMinFair) {
+  // Water-filling: the light tenant (20 W < fair share) keeps its full
+  // demand; the two heavy tenants split the surplus evenly.
+  const std::vector<double> demands{20.0, 80.0, 80.0};
+  const std::vector<double> grants =
+      allocate(SharePolicy::kEqualShare, 100.0, demands);
+  EXPECT_NEAR(grants[0], 20.0, 1e-9);
+  EXPECT_NEAR(grants[1], 40.0, 1e-9);
+  EXPECT_NEAR(grants[2], 40.0, 1e-9);
+}
+
+TEST(AllocateTest, EqualShareNeverTaxesTheLightTenant) {
+  // Cascading satisfaction: 10 < 100/4 = 25 keeps 10; then 28 < 90/3 = 30
+  // keeps 28; the rest split 62.
+  const std::vector<double> demands{10.0, 28.0, 90.0, 90.0};
+  const std::vector<double> grants =
+      allocate(SharePolicy::kEqualShare, 100.0, demands);
+  EXPECT_NEAR(grants[0], 10.0, 1e-9);
+  EXPECT_NEAR(grants[1], 28.0, 1e-9);
+  EXPECT_NEAR(grants[2], 31.0, 1e-9);
+  EXPECT_NEAR(grants[3], 31.0, 1e-9);
+}
+
+TEST(AllocateTest, DemandWeightedScalesProportionally) {
+  const std::vector<double> demands{80.0, 40.0, 40.0};  // sum 160
+  const std::vector<double> grants =
+      allocate(SharePolicy::kDemandWeighted, 80.0, demands);
+  EXPECT_NEAR(grants[0], 40.0, 1e-9);
+  EXPECT_NEAR(grants[1], 20.0, 1e-9);
+  EXPECT_NEAR(grants[2], 20.0, 1e-9);
+}
+
+TEST(AllocateTest, OrderEquivariant) {
+  // Permuting the demands permutes the grants identically — the property
+  // that lets every tenant compute its own grant from a slot-ordered
+  // snapshot without any agreement protocol.
+  std::vector<double> demands{55.0, 10.0, 80.0, 33.0, 0.0, 71.0};
+  std::vector<size_t> perm(demands.size());
+  std::iota(perm.begin(), perm.end(), 0);
+  for (const auto policy :
+       {SharePolicy::kEqualShare, SharePolicy::kDemandWeighted}) {
+    const std::vector<double> base = allocate(policy, 120.0, demands);
+    std::vector<size_t> p = perm;
+    do {
+      std::vector<double> permuted(demands.size());
+      for (size_t i = 0; i < p.size(); ++i) permuted[i] = demands[p[i]];
+      const std::vector<double> grants = allocate(policy, 120.0, permuted);
+      for (size_t i = 0; i < p.size(); ++i) {
+        EXPECT_NEAR(grants[i], base[p[i]], 1e-9);
+      }
+      // 720 permutations per policy is cheap, but sampling 24 of them by
+      // skipping keeps the whole tier under a second.
+      for (int skip = 0; skip < 29 && std::next_permutation(p.begin(), p.end());
+           ++skip) {
+      }
+    } while (std::next_permutation(p.begin(), p.end()));
+  }
+}
+
+TEST(AllocateTest, PolicyNamesRoundTrip) {
+  for (const auto policy :
+       {SharePolicy::kEqualShare, SharePolicy::kDemandWeighted}) {
+    const auto parsed = share_policy_from_string(to_string(policy));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, policy);
+  }
+  EXPECT_EQ(share_policy_from_string("equal-share"),
+            SharePolicy::kEqualShare);
+  EXPECT_EQ(share_policy_from_string("demand-weighted"),
+            SharePolicy::kDemandWeighted);
+  EXPECT_EQ(share_policy_from_string("proportional"),
+            SharePolicy::kDemandWeighted);
+  EXPECT_FALSE(share_policy_from_string("").has_value());
+  EXPECT_FALSE(share_policy_from_string("equalshare").has_value());
+}
+
+}  // namespace
+}  // namespace cuttlefish::arbiter

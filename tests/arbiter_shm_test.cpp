@@ -1,0 +1,265 @@
+// The shared-memory plane across real process boundaries: header
+// validation, first-writer-wins configuration, multi-process lockstep
+// grants (coordinated by pipes, so the interleaving is deterministic),
+// and crash reclamation of a SIGKILL'd tenant's lease.
+//
+// Children never run gtest assertions — they _exit with a distinct code
+// per failed expectation (and _exit, not exit, so the parent's inherited
+// ShmArbiter destructor cannot release the parent's slots). A killed
+// child is waitpid()ed before the parent expects reclamation: a zombie
+// still "exists" to kill(pid, 0), so budget frees only after the reap.
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstddef>
+#include <cstdio>
+#include <string>
+
+#include "arbiter/shm_arbiter.hpp"
+
+namespace cuttlefish::arbiter {
+namespace {
+
+class ShmArbiterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/cf-arbiter-shm-XXXXXX";
+    ASSERT_NE(mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+    path_ = dir_ + "/plane";
+  }
+  void TearDown() override {
+    std::remove(path_.c_str());
+    rmdir(dir_.c_str());
+  }
+
+  ArbiterConfig config(double budget) {
+    ArbiterConfig cfg;
+    cfg.budget_w = budget;
+    cfg.policy = SharePolicy::kEqualShare;
+    return cfg;
+  }
+
+  std::string dir_;
+  std::string path_;
+};
+
+TEST_F(ShmArbiterTest, RejectsGarbageFile) {
+  FILE* f = std::fopen(path_.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  // Header-sized, so it fails on the magic check, not the length check.
+  for (int i = 0; i < 4; ++i) {
+    const char junk[] = "this is not a coordination plane";
+    std::fwrite(junk, 1, sizeof(junk), f);
+  }
+  std::fclose(f);
+
+  std::string error;
+  EXPECT_EQ(ShmArbiter::open(path_, config(100.0), 8, &error), nullptr);
+  EXPECT_NE(error.find("magic"), std::string::npos) << error;
+}
+
+TEST_F(ShmArbiterTest, RejectsTruncatedFile) {
+  FILE* f = std::fopen(path_.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite("CF", 1, 2, f);
+  std::fclose(f);
+
+  std::string error;
+  EXPECT_EQ(ShmArbiter::open(path_, config(100.0), 8, &error), nullptr);
+  EXPECT_NE(error.find("truncated"), std::string::npos) << error;
+}
+
+TEST_F(ShmArbiterTest, RejectsWrongVersion) {
+  {
+    std::string error;
+    ASSERT_NE(ShmArbiter::open(path_, config(100.0), 8, &error), nullptr);
+  }
+  // Bump the version field in place; a later opener must refuse.
+  FILE* f = std::fopen(path_.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  const uint32_t bad_version = kPlaneVersion + 7;
+  std::fseek(f, offsetof(PlaneHeader, version), SEEK_SET);
+  std::fwrite(&bad_version, sizeof(bad_version), 1, f);
+  std::fclose(f);
+
+  std::string error;
+  EXPECT_EQ(ShmArbiter::open(path_, config(100.0), 8, &error), nullptr);
+  EXPECT_NE(error.find("version"), std::string::npos) << error;
+}
+
+TEST_F(ShmArbiterTest, FirstWriterConfigWins) {
+  std::string error;
+  const auto creator = ShmArbiter::open(path_, config(100.0), 8, &error);
+  ASSERT_NE(creator, nullptr) << error;
+
+  ArbiterConfig other;
+  other.budget_w = 999.0;
+  other.policy = SharePolicy::kDemandWeighted;
+  const auto joiner = ShmArbiter::open(path_, other, 4, &error);
+  ASSERT_NE(joiner, nullptr) << error;
+  EXPECT_EQ(joiner->config().budget_w, 100.0);
+  EXPECT_EQ(joiner->config().policy, SharePolicy::kEqualShare);
+  EXPECT_EQ(joiner->nslots(), 8);
+}
+
+TEST_F(ShmArbiterTest, TwoInstancesShareOnePlane) {
+  std::string error;
+  const auto a = ShmArbiter::open(path_, config(100.0), 8, &error);
+  const auto b = ShmArbiter::open(path_, config(100.0), 8, &error);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+
+  const int sa = a->attach();
+  const int sb = b->attach();
+  ASSERT_GE(sa, 0);
+  ASSERT_GE(sb, 0);
+  EXPECT_NE(sa, sb);  // same table: the second attach sees the first lease
+  EXPECT_EQ(a->active_tenants(), 2u);
+
+  Demand d;
+  d.watts = 80.0;
+  (void)a->publish(sa, d, 1);
+  d.watts = 60.0;
+  const Grant gb = b->publish(sb, d, 1);
+  // allocate(equal, 100, {80, 60}): both above the fair share -> 50/50.
+  EXPECT_NEAR(gb.watts, 50.0, 1e-9);
+  EXPECT_TRUE(gb.capped);
+}
+
+// Deterministic two-process lockstep, token-passed over pipes:
+//   child:  attach, publish 60 -> expect 50 W capped; token to parent
+//   parent: publish 80        -> expect 50 W capped; token to child
+//   child:  detach, exit 0
+//   parent: reap, publish 80  -> expect 80 W uncapped (slot freed)
+TEST_F(ShmArbiterTest, ForkedTenantsComputeIdenticalGrants) {
+  std::string error;
+  const auto arb = ShmArbiter::open(path_, config(100.0), 4, &error);
+  ASSERT_NE(arb, nullptr) << error;
+  const int slot = arb->attach();
+  ASSERT_GE(slot, 0);
+  Demand d;
+  d.watts = 80.0;
+  const Grant alone = arb->publish(slot, d, 1);
+  EXPECT_EQ(alone.watts, 80.0);
+  EXPECT_FALSE(alone.capped);
+
+  int c2p[2], p2c[2];
+  ASSERT_EQ(pipe(c2p), 0);
+  ASSERT_EQ(pipe(p2c), 0);
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    close(c2p[0]);
+    close(p2c[1]);
+    std::string child_error;
+    const auto mine = ShmArbiter::open(path_, config(0.0), 4, &child_error);
+    if (mine == nullptr) _exit(10);
+    if (mine->config().budget_w != 100.0) _exit(11);  // header wins
+    const int my_slot = mine->attach();
+    if (my_slot < 0 || my_slot == slot) _exit(12);
+    Demand mind;
+    mind.watts = 60.0;
+    const Grant g = mine->publish(my_slot, mind, 1);
+    // Same snapshot, same pure division the parent computes: 50/50.
+    if (g.watts < 49.999 || g.watts > 50.001 || !g.capped) _exit(13);
+    char token = 'c';
+    if (write(c2p[1], &token, 1) != 1) _exit(14);
+    if (read(p2c[0], &token, 1) != 1) _exit(15);
+    mine->detach(my_slot);
+    _exit(0);
+  }
+  close(c2p[1]);
+  close(p2c[0]);
+
+  char token = 0;
+  ASSERT_EQ(read(c2p[0], &token, 1), 1);
+  const Grant shared = arb->publish(slot, d, 2);
+  EXPECT_NEAR(shared.watts, 50.0, 1e-9);
+  EXPECT_TRUE(shared.capped);
+  EXPECT_EQ(arb->active_tenants(), 2u);
+
+  ASSERT_EQ(write(p2c[1], &token, 1), 1);
+  int status = 0;
+  ASSERT_EQ(waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  close(c2p[0]);
+  close(p2c[1]);
+
+  const Grant after = arb->publish(slot, d, 3);
+  EXPECT_EQ(after.watts, 80.0);
+  EXPECT_FALSE(after.capped);
+  EXPECT_EQ(arb->active_tenants(), 1u);
+}
+
+// Kill one tenant mid-lease: after the parent reaps the corpse, the very
+// next publish notices the dead pid (kill(pid, 0) -> ESRCH), reclaims the
+// slot, and the survivor's grant re-expands to its full demand.
+TEST_F(ShmArbiterTest, SigkilledTenantLeaseIsReclaimed) {
+  std::string error;
+  const auto arb = ShmArbiter::open(path_, config(100.0), 4, &error);
+  ASSERT_NE(arb, nullptr) << error;
+  const int slot = arb->attach();
+  ASSERT_GE(slot, 0);
+  Demand d;
+  d.watts = 80.0;
+  (void)arb->publish(slot, d, 1);
+
+  int c2p[2], p2c[2];
+  ASSERT_EQ(pipe(c2p), 0);
+  ASSERT_EQ(pipe(p2c), 0);
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    close(c2p[0]);
+    close(p2c[1]);
+    std::string child_error;
+    const auto mine = ShmArbiter::open(path_, config(0.0), 4, &child_error);
+    if (mine == nullptr) _exit(10);
+    const int my_slot = mine->attach();
+    if (my_slot < 0) _exit(11);
+    Demand mind;
+    mind.watts = 70.0;
+    (void)mine->publish(my_slot, mind, 1);
+    char token = 'c';
+    if (write(c2p[1], &token, 1) != 1) _exit(12);
+    // Block until killed: the parent's pipe end never writes.
+    (void)read(p2c[0], &token, 1);
+    _exit(13);  // must not get here
+  }
+  close(c2p[1]);
+  close(p2c[0]);
+
+  char token = 0;
+  ASSERT_EQ(read(c2p[0], &token, 1), 1);
+  // The dead-tenant share is pinned while the lease looks alive.
+  const Grant squeezed = arb->publish(slot, d, 2);
+  EXPECT_NEAR(squeezed.watts, 50.0, 1e-9);
+  EXPECT_EQ(arb->active_tenants(), 2u);
+
+  ASSERT_EQ(kill(child, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  close(c2p[0]);
+  close(p2c[1]);
+
+  // Reaped: the next snapshot reclaims the lease and the grant re-expands.
+  const Grant after = arb->publish(slot, d, 3);
+  EXPECT_EQ(after.watts, 80.0);
+  EXPECT_FALSE(after.capped);
+  EXPECT_EQ(arb->active_tenants(), 1u);
+
+  // The freed slot is attachable again.
+  const int reused = arb->attach();
+  EXPECT_GE(reused, 0);
+  EXPECT_NE(reused, slot);
+}
+
+}  // namespace
+}  // namespace cuttlefish::arbiter

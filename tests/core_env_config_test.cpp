@@ -93,5 +93,73 @@ TEST(EnvConfig, PositiveDoubleParser) {
   EXPECT_FALSE(parse_positive_double("").has_value());
 }
 
+// ---- CUTTLEFISH_ARBITER* ------------------------------------------------
+
+TEST(ArbiterEnvConfig, NoVariablesDisabled) {
+  const ArbiterEnvConfig cfg = apply_arbiter_env_overrides();
+  EXPECT_FALSE(cfg.enabled());
+  EXPECT_TRUE(cfg.plane_path.empty());
+  EXPECT_DOUBLE_EQ(cfg.budget_w, 0.0);
+  EXPECT_EQ(cfg.policy, arbiter::SharePolicy::kEqualShare);
+  EXPECT_EQ(cfg.slots, 16);
+}
+
+TEST(ArbiterEnvConfig, PlanePathEnables) {
+  EnvGuard g("CUTTLEFISH_ARBITER", "/dev/shm/cf-plane");
+  const ArbiterEnvConfig cfg = apply_arbiter_env_overrides();
+  EXPECT_TRUE(cfg.enabled());
+  EXPECT_EQ(cfg.plane_path, "/dev/shm/cf-plane");
+}
+
+TEST(ArbiterEnvConfig, AllVariablesParsed) {
+  EnvGuard g1("CUTTLEFISH_ARBITER", "/tmp/plane");
+  EnvGuard g2("CUTTLEFISH_ARBITER_BUDGET_W", "142.5");
+  EnvGuard g3("CUTTLEFISH_ARBITER_POLICY", "demand-weighted");
+  EnvGuard g4("CUTTLEFISH_ARBITER_SLOTS", "32");
+  const ArbiterEnvConfig cfg = apply_arbiter_env_overrides();
+  EXPECT_EQ(cfg.plane_path, "/tmp/plane");
+  EXPECT_DOUBLE_EQ(cfg.budget_w, 142.5);
+  EXPECT_EQ(cfg.policy, arbiter::SharePolicy::kDemandWeighted);
+  EXPECT_EQ(cfg.slots, 32);
+}
+
+TEST(ArbiterEnvConfig, MalformedBudgetIgnoredKeepsPrevious) {
+  ArbiterEnvConfig base;
+  base.budget_w = 99.0;
+  {
+    EnvGuard g("CUTTLEFISH_ARBITER_BUDGET_W", "plenty");
+    EXPECT_DOUBLE_EQ(apply_arbiter_env_overrides(base).budget_w, 99.0);
+  }
+  {
+    EnvGuard g("CUTTLEFISH_ARBITER_BUDGET_W", "-40");
+    EXPECT_DOUBLE_EQ(apply_arbiter_env_overrides(base).budget_w, 99.0);
+  }
+}
+
+TEST(ArbiterEnvConfig, MalformedPolicyIgnoredKeepsPrevious) {
+  EnvGuard g("CUTTLEFISH_ARBITER_POLICY", "greedy");
+  const ArbiterEnvConfig cfg = apply_arbiter_env_overrides();
+  EXPECT_EQ(cfg.policy, arbiter::SharePolicy::kEqualShare);
+}
+
+TEST(ArbiterEnvConfig, MalformedSlotsIgnoredKeepsPrevious) {
+  for (const char* bad : {"0", "-4", "4.5", "many", "5000"}) {
+    EnvGuard g("CUTTLEFISH_ARBITER_SLOTS", bad);
+    EXPECT_EQ(apply_arbiter_env_overrides().slots, 16) << bad;
+  }
+}
+
+TEST(ArbiterEnvConfig, SharePolicyParser) {
+  EXPECT_EQ(parse_share_policy("equal"), arbiter::SharePolicy::kEqualShare);
+  EXPECT_EQ(parse_share_policy("equal-share"),
+            arbiter::SharePolicy::kEqualShare);
+  EXPECT_EQ(parse_share_policy("demand"),
+            arbiter::SharePolicy::kDemandWeighted);
+  EXPECT_EQ(parse_share_policy("proportional"),
+            arbiter::SharePolicy::kDemandWeighted);
+  EXPECT_FALSE(parse_share_policy("turbo").has_value());
+  EXPECT_FALSE(parse_share_policy("").has_value());
+}
+
 }  // namespace
 }  // namespace cuttlefish::core

@@ -94,10 +94,12 @@ RunSpec canonical_spec(const sim::MachineConfig& machine) {
 // the hash — bump kSpecFormatVersion so existing stores are orphaned
 // cleanly, then re-pin.
 TEST(exp_cache, GoldenSpecDigestIsPinned) {
-  ASSERT_EQ(kSpecFormatVersion, 2u);
+  ASSERT_EQ(kSpecFormatVersion, 3u);
   const sim::MachineConfig machine = sim::haswell_2650v3();
   const RunSpec spec = canonical_spec(machine);
-  EXPECT_EQ(digest_spec(spec).hex(), "da1c3c97da9a65d05457b7585caa2cfd");
+  // v3 re-pin: the ArbiterSpec fields joined the canonical encoding
+  // (PR 9); v2 stores are orphaned by the version bump, not collided.
+  EXPECT_EQ(digest_spec(spec).hex(), "ea5dd56e9d8da285885eb95c0d7fb065");
 }
 
 TEST(exp_cache, GoldenBytesDigestIsPinned) {
@@ -139,6 +141,22 @@ TEST(exp_cache, DigestIsSensitiveToEveryInputClass) {
   RunSpec mpc_margin = base;
   mpc_margin.options.controller.mpc_verify_margin = 0.05;
   EXPECT_NE(digest_spec(mpc_margin), d0);
+
+  // v3: arbitration changes result bytes, so every ArbiterSpec field the
+  // run honours is part of the digest.
+  RunSpec arb = base;
+  arb.options.arbiter.enabled = true;
+  EXPECT_NE(digest_spec(arb), d0);
+  RunSpec arb_budget = arb;
+  arb_budget.options.arbiter.budget_w = 80.0;
+  EXPECT_NE(digest_spec(arb_budget), digest_spec(arb));
+  RunSpec arb_policy = arb;
+  arb_policy.options.arbiter.policy = arbiter::SharePolicy::kDemandWeighted;
+  EXPECT_NE(digest_spec(arb_policy), digest_spec(arb));
+  RunSpec arb_tenants = arb;
+  arb_tenants.options.arbiter.tenants = 4;
+  arb_tenants.options.arbiter.tenant_index = 1;
+  EXPECT_NE(digest_spec(arb_tenants), digest_spec(arb));
 
   RunSpec model = base;
   model.model = &workloads::find_benchmark("Heat-irt");
