@@ -23,6 +23,21 @@
 //                  in: the figure/table regenerators). Cached results are
 //                  byte-exact, so tables are bit-identical at any hit rate.
 //   --json-out F   write a machine-readable JSON summary to F
+//
+// Supervised-sweep flags (benches that opt in, e.g. micro_sweep; see
+// docs/SUPERVISOR.md):
+//   --supervised     run the grid under the process-level supervisor
+//                    (forked workers, journaled resume, poison-spec
+//                    quarantine)
+//   --journal DIR    journal directory for --supervised (resume = rerun
+//                    with the same flags and the same DIR)
+//   --crash-at SPEC  deterministic worker self-kill directive
+//                    <spec-index>:<abort|kill|hang|exit>[:times]
+//   --attempts K     worker launches before a spec is quarantined
+//   --spec-timeout S per-spec wall-clock budget in seconds (SIGKILL on
+//                    overrun)
+//   --sweep-timeout S whole-run wall-clock budget in seconds (the journal
+//                    survives; resume continues)
 
 #include <cinttypes>
 #include <cstdint>
@@ -60,6 +75,14 @@ struct BenchArgs {
   // --policy NAME, validated against the controller-factory registry.
   // nullopt = bench compares every kind it knows about.
   std::optional<core::PolicyKind> policy;
+  // Supervised-sweep flags (docs/SUPERVISOR.md); only parsed for benches
+  // that pass has_supervise.
+  bool supervised = false;
+  std::string journal_dir;     // empty = the bench's default journal dir
+  std::string crash_at;        // <spec>:<mode>[:times]; empty = no hook
+  int attempts = 3;            // K: worker launches before quarantine
+  double spec_timeout_s = 0;   // 0 = the supervisor's default budget
+  double sweep_timeout_s = 0;  // 0 = no whole-run budget
 };
 
 /// Seed base helper: the paper benches keep their historical bases (so
@@ -72,7 +95,9 @@ inline uint64_t seed_base(const BenchArgs& args, uint64_t fallback) {
   std::fprintf(stderr,
                "usage: %s [N | --runs N] [--seeds B (nonzero)] "
                "[--workers N] [--shard i/N] [--policy NAME] "
-               "[--cache-dir DIR] [--json-out FILE]\n",
+               "[--cache-dir DIR] [--json-out FILE] [--supervised] "
+               "[--journal DIR] [--crash-at I:MODE[:TIMES]] "
+               "[--attempts K] [--spec-timeout S] [--sweep-timeout S]\n",
                prog);
   std::exit(2);
 }
@@ -142,18 +167,34 @@ inline void parse_shard(const char* prog, const char* text, int* index,
   *count = static_cast<int>(n);
 }
 
+/// Strict positive-double parse for the wall-clock budget flags.
+inline double parse_positive_double(const char* prog,
+                                    const std::string& flag,
+                                    const char* text) {
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0' || !(v > 0.0)) {
+    reject(prog, flag,
+           std::string("expects a positive number of seconds, got '") +
+               text + "'");
+  }
+  return v;
+}
+
 /// Parse the common bench flags. argv[1] as a bare positive integer is
 /// still accepted as the run count (the historical calling convention).
 /// Benches without seeded replicates (exhaustive/analytic sweeps) pass
 /// has_reps = false, which rejects --runs/--seeds loudly instead of
 /// accepting a flag that would silently do nothing; likewise has_shards
 /// marks the benches that implement the --shard partition protocol,
-/// has_policy the benches that can restrict to one controller kind, and
+/// has_policy the benches that can restrict to one controller kind,
 /// has_cache the benches whose sweeps run through the result cache when
-/// --cache-dir is given.
+/// --cache-dir is given, and has_supervise the benches that can run under
+/// the process-level sweep supervisor.
 inline BenchArgs parse_args(int argc, char** argv, int default_runs,
                             bool has_reps = true, bool has_shards = false,
-                            bool has_policy = false, bool has_cache = false) {
+                            bool has_policy = false, bool has_cache = false,
+                            bool has_supervise = false) {
   BenchArgs args;
   args.runs = default_runs;
   for (int i = 1; i < argc; ++i) {
@@ -224,6 +265,31 @@ inline BenchArgs parse_args(int argc, char** argv, int default_runs,
       args.cache_dir = v;
     } else if (arg == "--json-out") {
       args.json_out = value();
+    } else if (arg == "--supervised" || arg == "--journal" ||
+               arg == "--crash-at" || arg == "--attempts" ||
+               arg == "--spec-timeout" || arg == "--sweep-timeout") {
+      if (!has_supervise) {
+        reject(argv[0], arg,
+               "not supported — this bench does not run supervised "
+               "sweeps");
+      }
+      if (arg == "--supervised") {
+        args.supervised = true;
+      } else if (arg == "--journal") {
+        const char* v = value();
+        if (*v == '\0') reject(argv[0], arg, "expects a directory path");
+        args.journal_dir = v;
+      } else if (arg == "--crash-at") {
+        // Validated against the full <spec>:<mode>[:times] grammar by the
+        // bench once the grid exists (the spec index is grid-relative).
+        args.crash_at = value();
+      } else if (arg == "--attempts") {
+        args.attempts = parse_positive_int(argv[0], arg, value());
+      } else if (arg == "--spec-timeout") {
+        args.spec_timeout_s = parse_positive_double(argv[0], arg, value());
+      } else {
+        args.sweep_timeout_s = parse_positive_double(argv[0], arg, value());
+      }
     } else if (i == 1 && arg[0] >= '0' && arg[0] <= '9') {
       reps_only();
       args.runs = parse_positive_int(argv[0], "run count", arg.c_str());

@@ -27,10 +27,22 @@
 // >= 20x faster than cold (and keeps the 2x-vs-baseline throughput gate).
 //
 // --shard i/N + --table-out FILE runs only the grid cells shard i owns
-// and writes them as a partial result table; --merge FILE... (repeated)
-// loads N such tables, reassembles the full result vector, and reports
+// and writes them as a partial result table; --merge FILE... (repeated,
+// glob patterns accepted; a pattern matching nothing is an error) loads N
+// such tables, reassembles the full result vector, and reports
 // merged_digest — byte-identical to a single-process serial_digest, which
 // CI asserts. Gates are same-host tools, not for shared CI boxes.
+//
+// --supervised runs the grid under the process-level sweep supervisor
+// (docs/SUPERVISOR.md): forked workers, journaled resume, poison-spec
+// quarantine. It then re-runs the grid serially in-process as the
+// identity oracle and exits nonzero unless every non-quarantined cell is
+// byte-identical and the quarantine set is exactly what --crash-at
+// predicts (empty without a crash directive). Killing a --supervised run
+// and re-invoking it with the same flags resumes from the journal; the CI
+// crash-smoke job asserts the resumed digest equals the serial one.
+
+#include <glob.h>
 
 #include <algorithm>
 #include <chrono>
@@ -45,6 +57,7 @@
 #include "bench_util.hpp"
 #include "exp/result_cache.hpp"
 #include "exp/spec_digest.hpp"
+#include "exp/supervisor.hpp"
 #include "hal/fault_injection.hpp"
 
 using namespace cuttlefish;
@@ -207,8 +220,10 @@ int fail_usage(const char* prog, const std::string& msg) {
   std::fprintf(stderr, "%s: %s\n", prog, msg.c_str());
   std::fprintf(stderr,
                "usage: %s [--baseline FILE] [--cache-dir DIR] "
-               "[--table-out FILE] [--merge FILE]... "
+               "[--table-out FILE] [--merge FILE|GLOB]... "
                "[--faults transient:SEED|persistent|chaos:SEED] "
+               "[--supervised [--journal DIR] [--crash-at I:MODE[:TIMES]] "
+               "[--attempts K] [--spec-timeout S] [--sweep-timeout S]] "
                "[bench flags]\n",
                prog);
   return 2;
@@ -287,6 +302,149 @@ int run_faults_mode(const sim::MachineConfig& machine,
   return 0;
 }
 
+/// Supervised mode: the grid under the process-level supervisor, then an
+/// uninterrupted in-process serial run as the identity oracle. Ordered so
+/// that a SIGKILL of this process mid-run (the CI crash-smoke job) lands
+/// while forked workers are running and the journal is growing — the
+/// resumed invocation re-runs only the unfinished specs and must still
+/// match the serial digest bit for bit.
+int run_supervised_mode(const exp::SweepGrid& grid,
+                        const benchharness::BenchArgs& args,
+                        const GridShape& shape, const char* prog) {
+  exp::SupervisorOptions opt;
+  opt.max_workers = args.workers;
+  opt.max_attempts = args.attempts;
+  if (args.spec_timeout_s > 0) opt.spec_timeout_s = args.spec_timeout_s;
+  if (args.sweep_timeout_s > 0) opt.total_timeout_s = args.sweep_timeout_s;
+  if (!args.crash_at.empty()) {
+    std::string error;
+    const auto crash = exp::parse_crash_spec(args.crash_at, &error);
+    if (!crash) return fail_usage(prog, "--crash-at " + error);
+    if (crash->spec_index >= static_cast<int64_t>(grid.size())) {
+      return fail_usage(prog, "--crash-at spec index " +
+                                  std::to_string(crash->spec_index) +
+                                  " outside the grid of " +
+                                  std::to_string(grid.size()) + " specs");
+    }
+    opt.crash = *crash;
+  }
+  const std::string journal_dir =
+      args.journal_dir.empty() ? "BENCH_sweep.journal" : args.journal_dir;
+
+  const double t0 = now_s();
+  exp::SweepSupervisor supervisor(grid, journal_dir, opt);
+  exp::SupervisorReport report;
+  const std::vector<exp::RunResult> supervised = supervisor.run(&report);
+  const double supervised_wall = now_s() - t0;
+  if (!report.error.empty()) {
+    std::fprintf(stderr, "micro_sweep: supervised sweep failed: %s\n",
+                 report.error.c_str());
+    return 2;
+  }
+  std::printf("  supervised: %7.3fs wall (%zu resumed from journal, %zu "
+              "executed, %zu retries, %zu quarantined)\n",
+              supervised_wall, report.resumed, report.executed,
+              report.retries, report.quarantined.size());
+  if (!report.completed) {
+    std::fprintf(stderr,
+                 "micro_sweep: supervised sweep incomplete (%zu specs "
+                 "unfinished); rerun with the same --journal %s to "
+                 "resume\n",
+                 report.unfinished.size(), journal_dir.c_str());
+    return 1;
+  }
+
+  // Uninterrupted single-process reference — the digest oracle.
+  const double t1 = now_s();
+  const std::vector<exp::RunResult> serial = exp::run_sweep(grid, nullptr);
+  const double serial_wall = now_s() - t1;
+  const std::string serial_hex = digest_hex(digest(grid, serial));
+  const std::string supervised_hex = digest_hex(digest(grid, supervised));
+  std::printf("  serial:     %7.3fs wall, digest %s\n", serial_wall,
+              serial_hex.c_str());
+
+  // Every cell a worker produced must be byte-identical to the serial
+  // run; quarantined cells are intentionally absent (left zeroed).
+  std::vector<uint8_t> quarantined(grid.size(), 0);
+  for (const exp::QuarantineRow& row : report.quarantined) {
+    if (row.spec_index < grid.size()) quarantined[row.spec_index] = 1;
+  }
+  size_t mismatched = 0;
+  for (size_t i = 0; i < grid.size(); ++i) {
+    if (quarantined[i]) continue;
+    if (exp::encode_result(supervised[i]) != exp::encode_result(serial[i])) {
+      ++mismatched;
+    }
+  }
+  const bool digest_identical = supervised_hex == serial_hex;
+
+  // The quarantine set is fully predicted by the crash directive: a hook
+  // that fires on every attempt poisons exactly its spec; a bounded one
+  // (or none) must quarantine nothing.
+  std::vector<uint64_t> expected;
+  if (opt.crash.enabled() && opt.crash.times < 0) {
+    expected.push_back(static_cast<uint64_t>(opt.crash.spec_index));
+  }
+  std::vector<uint64_t> got;
+  std::string got_json;
+  for (const exp::QuarantineRow& row : report.quarantined) {
+    got.push_back(row.spec_index);
+    if (!got_json.empty()) got_json += ", ";
+    got_json += std::to_string(row.spec_index);
+  }
+  std::sort(got.begin(), got.end());
+  const bool quarantine_as_expected = got == expected;
+
+  std::printf("  supervised digest %s: %s serial (%zu/%zu cells "
+              "identical, quarantine %s)\n",
+              supervised_hex.c_str(),
+              digest_identical ? "identical to" : "differs from",
+              grid.size() - mismatched - got.size(), grid.size(),
+              quarantine_as_expected ? "as expected" : "UNEXPECTED");
+
+  benchharness::JsonWriter json;
+  json.field("grid_points", static_cast<int64_t>(grid.points().size()));
+  json.field("co_simulations", static_cast<int64_t>(grid.size()));
+  json.field("seeds_per_point", args.runs);
+  json.field("seed_base", static_cast<int64_t>(shape.seed0));
+  json.field("smoke", shape.smoke);
+  json.field("journal", journal_dir);
+  json.field("resumed_specs", static_cast<int64_t>(report.resumed));
+  json.field("executed_specs", static_cast<int64_t>(report.executed));
+  json.field("retries", static_cast<int64_t>(report.retries));
+  json.raw("quarantined_indices", "[" + got_json + "]");
+  json.field("supervised_wall_s", supervised_wall, 4);
+  json.field("serial_wall_s", serial_wall, 4);
+  json.field("supervised_digest", supervised_hex);
+  json.field("serial_digest", serial_hex);
+  json.field("digest_identical", digest_identical);
+  json.field("cells_identical", mismatched == 0);
+  json.field("quarantine_as_expected", quarantine_as_expected);
+  json.write(args.json_out);
+
+  if (mismatched > 0) {
+    std::fprintf(stderr,
+                 "micro_sweep: %zu supervised cell(s) diverged from the "
+                 "serial run\n",
+                 mismatched);
+    return 1;
+  }
+  if (!quarantine_as_expected) {
+    std::fprintf(stderr,
+                 "micro_sweep: quarantine set [%s] does not match the "
+                 "--crash-at prediction\n",
+                 got_json.c_str());
+    return 1;
+  }
+  if (expected.empty() && !digest_identical) {
+    std::fprintf(stderr,
+                 "micro_sweep: supervised digest drifted from serial with "
+                 "nothing quarantined\n");
+    return 1;
+  }
+  return 0;
+}
+
 /// Shard mode: run only the owned subset, write the partial table, done.
 /// Deliberately no JSON/baseline machinery — the merged run owns those.
 int run_shard_mode(const exp::SweepGrid& grid, const benchharness::BenchArgs& args,
@@ -325,8 +483,34 @@ int run_merge_mode(const exp::SweepGrid& grid, const benchharness::BenchArgs& ar
                    const GridShape& shape,
                    const std::vector<std::string>& merge_paths,
                    const std::string& json_out) {
+  // Every --merge value may be a literal path or a glob pattern. A
+  // pattern that matches nothing is an error, not an empty contribution:
+  // a fleet recipe whose `--merge 'out/*.tbl'` glob finds no files must
+  // fail here rather than "succeed" after merging nothing.
+  std::vector<std::string> expanded;
+  for (const auto& pattern : merge_paths) {
+    ::glob_t g{};
+    const int rc = ::glob(pattern.c_str(), 0, nullptr, &g);
+    if (rc == GLOB_NOMATCH || (rc == 0 && g.gl_pathc == 0)) {
+      ::globfree(&g);
+      std::fprintf(stderr,
+                   "micro_sweep: --merge '%s' matched no shard files\n",
+                   pattern.c_str());
+      return 2;
+    }
+    if (rc != 0) {
+      ::globfree(&g);
+      std::fprintf(stderr, "micro_sweep: --merge cannot expand '%s'\n",
+                   pattern.c_str());
+      return 2;
+    }
+    for (size_t i = 0; i < g.gl_pathc; ++i) {
+      expanded.emplace_back(g.gl_pathv[i]);
+    }
+    ::globfree(&g);
+  }
   std::vector<exp::ShardTable> tables;
-  for (const auto& path : merge_paths) {
+  for (const auto& path : expanded) {
     exp::ShardTable table;
     std::string error;
     if (!exp::load_shard_table(path, &table, &error)) {
@@ -405,7 +589,10 @@ int main(int argc, char** argv) {
   }
   auto args = benchharness::parse_args(static_cast<int>(filtered.size()),
                                        filtered.data(), smoke ? 2 : 10,
-                                       /*has_reps=*/true, /*has_shards=*/true);
+                                       /*has_reps=*/true, /*has_shards=*/true,
+                                       /*has_policy=*/false,
+                                       /*has_cache=*/false,
+                                       /*has_supervise=*/true);
   if (args.json_out.empty()) args.json_out = "BENCH_sweep.json";
   const uint64_t seed0 = benchharness::seed_base(args, 1000);
   const sim::MachineConfig machine = sim::haswell_2650v3();
@@ -420,6 +607,20 @@ int main(int argc, char** argv) {
   }
   if (!table_out.empty() && args.shard_count <= 1) {
     return fail_usage(argv[0], "--table-out requires --shard i/N");
+  }
+  if (!args.supervised &&
+      (!args.journal_dir.empty() || !args.crash_at.empty() ||
+       args.spec_timeout_s > 0 || args.sweep_timeout_s > 0)) {
+    return fail_usage(argv[0],
+                      "--journal/--crash-at/--spec-timeout/--sweep-timeout "
+                      "require --supervised");
+  }
+  if (args.supervised &&
+      (args.shard_count > 1 || !merge_paths.empty() || !cache_dir.empty() ||
+       !baseline_path.empty() || !faults_spec.empty())) {
+    return fail_usage(argv[0],
+                      "--supervised runs standalone (no shard/merge/cache/"
+                      "baseline/faults)");
   }
 
   std::printf("micro_sweep: Fig. 10 grid, %zu points / %zu co-simulations "
@@ -437,6 +638,9 @@ int main(int argc, char** argv) {
     return run_faults_mode(machine, grid, args, seed0, argv[0], faults_spec);
   }
 
+  if (args.supervised) {
+    return run_supervised_mode(grid, args, shape, argv[0]);
+  }
   if (args.shard_count > 1) return run_shard_mode(grid, args, table_out);
   if (!merge_paths.empty()) {
     return run_merge_mode(grid, args, shape, merge_paths, args.json_out);

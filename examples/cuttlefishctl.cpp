@@ -26,6 +26,15 @@
 //   cuttlefishctl arbiter demo [tenants] [budget_w]
 //                                            co-tenant comparison: backstop
 //                                            vs arbitrated under one budget
+//   cuttlefishctl sweep run <dir> [--runs N] [--workers N] [--attempts K]
+//                           [--spec-timeout S] [--sweep-timeout S]
+//                           [--crash-at SPEC:MODE[:N]]
+//                                            crash-safe supervised sweep of
+//                                            the built-in demo grid,
+//                                            journaled into <dir>
+//   cuttlefishctl sweep resume <dir> [...]   finish an interrupted run
+//                                            (same flags as `run`)
+//   cuttlefishctl sweep status <dir>         journal + quarantine summary
 //
 // policy: full (default) | core | uncore | monitor | mpc — any name
 // `cuttlefishctl policies` lists.
@@ -33,6 +42,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <string>
 
@@ -50,6 +60,7 @@
 #include "exp/metrics.hpp"
 #include "exp/result_cache.hpp"
 #include "exp/spec_digest.hpp"
+#include "exp/supervisor.hpp"
 #include "exp/sweep.hpp"
 #include "hal/cpufreq.hpp"
 #include "hal/fault_injection.hpp"
@@ -708,13 +719,256 @@ int cmd_arbiter(int argc, char** argv) {
   return 2;
 }
 
+// ---- sweep run | resume | status --------------------------------------
+//
+// Operator front-end of the crash-safe sweep supervisor
+// (docs/SUPERVISOR.md). The grid is a fixed demo campaign — every suite
+// benchmark under Default and the full Cuttlefish policy, seeds fixed at
+// grid-expansion time — so `run` and `resume` invoked with the same
+// --runs build byte-identical grids and the journal's grid-digest check
+// holds across processes.
+
+exp::SweepGrid build_sweep_demo_grid(const sim::MachineConfig& machine,
+                                     int runs) {
+  exp::SweepGrid grid(machine);
+  for (const auto& model : workloads::openmp_suite()) {
+    const int base = grid.add_default(model.name + "/Default", model,
+                                      exp::RunOptions{}, runs, 1000);
+    grid.add_policy(model.name + "/Cuttlefish", model,
+                    core::PolicyKind::kFull, exp::RunOptions{}, runs, 1000,
+                    base);
+  }
+  return grid;
+}
+
+int cmd_sweep_run(int argc, char** argv, bool resume) {
+  const std::string dir = argv[3];
+  int runs = 1;
+  exp::SupervisorOptions opt;
+  opt.max_workers = 2;
+  std::string crash_at;
+  for (int i = 4; i < argc; i += 2) {
+    const std::string flag = argv[i];
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "sweep %s: %s expects a value\n",
+                   resume ? "resume" : "run", flag.c_str());
+      return 2;
+    }
+    const char* value = argv[i + 1];
+    char* end = nullptr;
+    if (flag == "--runs") {
+      runs = std::atoi(value);
+      if (runs <= 0 || runs > 64) {
+        std::fprintf(stderr, "sweep: --runs expects 1..64, got '%s'\n",
+                     value);
+        return 2;
+      }
+    } else if (flag == "--workers") {
+      opt.max_workers = std::atoi(value);
+      if (opt.max_workers <= 0 || opt.max_workers > 256) {
+        std::fprintf(stderr, "sweep: --workers expects 1..256, got '%s'\n",
+                     value);
+        return 2;
+      }
+    } else if (flag == "--attempts") {
+      opt.max_attempts = std::atoi(value);
+      if (opt.max_attempts <= 0) {
+        std::fprintf(stderr,
+                     "sweep: --attempts expects a positive integer, got "
+                     "'%s'\n",
+                     value);
+        return 2;
+      }
+    } else if (flag == "--spec-timeout") {
+      opt.spec_timeout_s = std::strtod(value, &end);
+      if (end == value || *end != '\0' || opt.spec_timeout_s <= 0.0) {
+        std::fprintf(stderr,
+                     "sweep: --spec-timeout expects positive seconds, got "
+                     "'%s'\n",
+                     value);
+        return 2;
+      }
+    } else if (flag == "--sweep-timeout") {
+      opt.total_timeout_s = std::strtod(value, &end);
+      if (end == value || *end != '\0' || opt.total_timeout_s <= 0.0) {
+        std::fprintf(stderr,
+                     "sweep: --sweep-timeout expects positive seconds, got "
+                     "'%s'\n",
+                     value);
+        return 2;
+      }
+    } else if (flag == "--crash-at") {
+      crash_at = value;
+    } else {
+      std::fprintf(stderr, "sweep: unknown flag '%s'\n", flag.c_str());
+      return 2;
+    }
+  }
+  if (!crash_at.empty()) {
+    std::string error;
+    const auto parsed = exp::parse_crash_spec(crash_at, &error);
+    if (!parsed) {
+      std::fprintf(stderr, "sweep: --crash-at %s\n", error.c_str());
+      return 2;
+    }
+    opt.crash = *parsed;
+  }
+
+  // `run` on an existing journal would silently continue someone else's
+  // campaign; `resume` without one has nothing to resume. Both are
+  // operator mistakes worth naming.
+  const bool have_journal = std::filesystem::exists(
+      std::filesystem::path(dir) / exp::kJournalFileName);
+  if (!resume && have_journal) {
+    std::fprintf(stderr,
+                 "sweep run: %s already holds a journal — use `cuttlefishctl "
+                 "sweep resume %s` to finish it, or point --runs at a fresh "
+                 "directory\n",
+                 dir.c_str(), dir.c_str());
+    return 2;
+  }
+  if (resume && !have_journal) {
+    std::fprintf(stderr,
+                 "sweep resume: no journal in %s (start one with "
+                 "`cuttlefishctl sweep run %s`)\n",
+                 dir.c_str(), dir.c_str());
+    return 2;
+  }
+
+  const sim::MachineConfig machine = sim::haswell_2650v3();
+  const exp::SweepGrid grid = build_sweep_demo_grid(machine, runs);
+  if (opt.crash.enabled() &&
+      opt.crash.spec_index >= static_cast<int64_t>(grid.size())) {
+    std::fprintf(stderr, "sweep: --crash-at spec %lld out of range (grid has "
+                         "%zu specs)\n",
+                 static_cast<long long>(opt.crash.spec_index), grid.size());
+    return 2;
+  }
+  std::printf("%s %zu-spec demo grid (%zu points, %d rep%s) under the "
+              "supervisor, journal %s\n",
+              resume ? "resuming" : "running", grid.size(),
+              grid.points().size(), runs, runs == 1 ? "" : "s", dir.c_str());
+
+  exp::SweepSupervisor supervisor(grid, dir, opt);
+  exp::SupervisorReport report;
+  const std::vector<exp::RunResult> results = supervisor.run(&report);
+  if (!report.error.empty()) {
+    std::fprintf(stderr, "sweep: %s\n", report.error.c_str());
+    return 1;
+  }
+
+  std::printf("  %zu resumed from journal, %zu executed, %zu retries\n",
+              report.resumed, report.executed, report.retries);
+  for (const exp::QuarantineRow& q : report.quarantined) {
+    std::printf("  quarantined spec %llu (%s) after %u attempts: %s\n",
+                static_cast<unsigned long long>(q.spec_index),
+                grid.points()[grid.specs()[q.spec_index].point].label.c_str(),
+                q.attempts,
+                q.timed_out
+                    ? "per-spec timeout"
+                    : (q.term_signal != 0
+                           ? ("signal " + std::to_string(q.term_signal))
+                                 .c_str()
+                           : ("exit status " + std::to_string(q.exit_status))
+                                 .c_str()));
+  }
+  if (!report.completed) {
+    std::fprintf(stderr,
+                 "sweep: incomplete (%zu specs unfinished) — journal kept; "
+                 "rerun with `cuttlefishctl sweep resume %s`\n",
+                 report.unfinished.size(), dir.c_str());
+    return 1;
+  }
+
+  // Table digest over the workers' own result bytes: the number an
+  // interrupted-then-resumed campaign must reproduce exactly.
+  std::string all_bytes;
+  for (const exp::RunResult& r : results) all_bytes += exp::encode_result(r);
+  const exp::SpecDigest table_digest =
+      exp::digest_bytes(all_bytes.data(), all_bytes.size());
+  std::printf("  complete: table digest %s%s\n", table_digest.hex().c_str(),
+              report.quarantined.empty() ? "" : " (with quarantined cells "
+                                               "default-constructed)");
+
+  const auto summaries = exp::summarize(grid, results);
+  std::printf("  %-22s %10s %12s %14s\n", "point", "time(s)", "energy(J)",
+              "EDP savings %");
+  for (size_t p = 0; p < summaries.size(); ++p) {
+    const auto& s = summaries[p];
+    std::printf("  %-22s %10.2f %12.1f %14s\n",
+                grid.points()[p].label.c_str(), s.time_s.mean,
+                s.energy_j.mean,
+                s.has_baseline
+                    ? std::to_string(s.edp_savings_pct.mean).substr(0, 6)
+                          .c_str()
+                    : "-");
+  }
+  return 0;
+}
+
+int cmd_sweep_status(const char* dir) {
+  const exp::JournalStatus status = exp::read_journal_status(dir);
+  if (!status.journal_present) {
+    std::printf("no journal in %s (start one with `cuttlefishctl sweep run "
+                "%s`)\n",
+                dir, dir);
+    return 1;
+  }
+  if (!status.valid) {
+    std::printf("journal %s/%s: INVALID — %s\n", dir, exp::kJournalFileName,
+                status.error.c_str());
+    return 1;
+  }
+  std::printf("journal %s/%s\n", dir, exp::kJournalFileName);
+  std::printf("  grid:        %s (%llu specs)\n", status.grid.hex().c_str(),
+              static_cast<unsigned long long>(status.grid_size));
+  std::printf("  done:        %llu / %llu%s\n",
+              static_cast<unsigned long long>(status.done),
+              static_cast<unsigned long long>(status.grid_size),
+              status.done + status.quarantined.size() >= status.grid_size
+                  ? "  (complete)"
+                  : "  (resumable)");
+  std::printf("  retried:     %llu spec%s finished on attempt > 0\n",
+              static_cast<unsigned long long>(status.retried),
+              status.retried == 1 ? "" : "s");
+  if (status.dropped_bytes != 0) {
+    std::printf("  torn tail:   %llu bytes dropped by the scan (the specs "
+                "they covered re-run on resume)\n",
+                static_cast<unsigned long long>(status.dropped_bytes));
+  }
+  std::printf("  quarantined: %zu\n", status.quarantined.size());
+  for (const exp::QuarantineRow& q : status.quarantined) {
+    std::printf("    spec %llu: %u attempts, %s\n",
+                static_cast<unsigned long long>(q.spec_index), q.attempts,
+                q.timed_out ? "per-spec timeout"
+                : q.term_signal != 0
+                    ? ("signal " + std::to_string(q.term_signal)).c_str()
+                    : ("exit status " + std::to_string(q.exit_status))
+                          .c_str());
+  }
+  return 0;
+}
+
+int cmd_sweep(int argc, char** argv) {
+  const std::string sub = argc >= 3 ? argv[2] : "";
+  if (sub == "run" && argc >= 4) return cmd_sweep_run(argc, argv, false);
+  if (sub == "resume" && argc >= 4) return cmd_sweep_run(argc, argv, true);
+  if (sub == "status" && argc == 4) return cmd_sweep_status(argv[3]);
+  std::fprintf(stderr,
+               "usage: cuttlefishctl sweep run <dir> [--runs N] [--workers "
+               "N] [--attempts K] [--spec-timeout S] [--sweep-timeout S] "
+               "[--crash-at SPEC:MODE[:N]] | sweep resume <dir> [...] | "
+               "sweep status <dir>\n");
+  return 2;
+}
+
 void usage() {
   std::fprintf(stderr,
                "usage: cuttlefishctl backends | probe | list | policies | "
                "demo <benchmark> [full|core|uncore|monitor|mpc] | trace "
                "<benchmark> [policy] [lines] | regions [profiles.json] | "
                "cache stats|verify|gc <dir> | faults [benchmark] | "
-               "arbiter init|status|demo\n");
+               "arbiter init|status|demo | sweep run|resume|status <dir>\n");
 }
 
 }  // namespace
@@ -741,6 +995,7 @@ int main(int argc, char** argv) {
   }
   if (cmd == "cache") return cmd_cache(argc, argv);
   if (cmd == "arbiter") return cmd_arbiter(argc, argv);
+  if (cmd == "sweep") return cmd_sweep(argc, argv);
   if (cmd == "faults") {
     return cmd_faults(argc >= 3 ? argv[2] : nullptr);
   }

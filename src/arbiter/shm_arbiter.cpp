@@ -1,6 +1,8 @@
 #include "arbiter/shm_arbiter.hpp"
 
 #include <cerrno>
+#include <cmath>
+#include <cstddef>
 #include <cstring>
 
 #include <fcntl.h>
@@ -31,6 +33,18 @@ double bits_double(uint64_t bits) {
   double v;
   std::memcpy(&v, &bits, sizeof(v));
   return v;
+}
+
+/// FNV-1a over the header fields that precede the checksum slot. The
+/// header never changes after creation, so this is computed exactly twice
+/// per plane lifetime per process: once by the creator, once per opener.
+uint64_t header_checksum(const PlaneHeader& hdr) {
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(&hdr);
+  uint64_t h = 1469598103934665603ull;
+  for (size_t i = 0; i < offsetof(PlaneHeader, checksum); ++i) {
+    h = (h ^ p[i]) * 1099511628211ull;
+  }
+  return h;
 }
 
 /// Liveness of a lease owner. kill(pid, 0) probes existence without
@@ -91,6 +105,7 @@ std::unique_ptr<ShmArbiter> ShmArbiter::open(const std::string& path,
     hdr.nslots = static_cast<uint32_t>(slots);
     hdr.policy = static_cast<uint32_t>(config.policy);
     hdr.budget_w = config.budget_w;
+    hdr.checksum = header_checksum(hdr);
     if (pwrite(fd, &hdr, sizeof(hdr), 0) !=
         static_cast<ssize_t>(sizeof(hdr))) {
       const int err = errno;
@@ -119,13 +134,44 @@ std::unique_ptr<ShmArbiter> ShmArbiter::open(const std::string& path,
                   std::to_string(hdr.version) + ", expected " +
                   std::to_string(kPlaneVersion));
     }
-    bytes = sizeof(PlaneHeader) +
-            static_cast<size_t>(hdr.nslots) * sizeof(PlaneSlot);
-    if (hdr.nslots == 0 || hdr.nslots > 4096 ||
-        st.st_size < static_cast<off_t>(bytes)) {
+    // Field-by-field range validation, each rejection naming the field it
+    // tripped on — a truncated diagnosis ("corrupt plane") hides which of
+    // the operator's artifacts to delete. The checksum comes last: a
+    // range error is more specific than "some byte differs".
+    if (hdr.nslots == 0 || hdr.nslots > 4096) {
       flock(fd, LOCK_UN);
       ::close(fd);
-      return fail("plane file " + path + " has a corrupt slot table");
+      return fail("plane file " + path + " has an out-of-range nslots (" +
+                  std::to_string(hdr.nslots) + ", expected 1..4096)");
+    }
+    if (hdr.policy > static_cast<uint32_t>(SharePolicy::kDemandWeighted)) {
+      flock(fd, LOCK_UN);
+      ::close(fd);
+      return fail("plane file " + path + " has an out-of-range policy (" +
+                  std::to_string(hdr.policy) + ")");
+    }
+    if (!std::isfinite(hdr.budget_w) || hdr.budget_w < 0.0) {
+      flock(fd, LOCK_UN);
+      ::close(fd);
+      return fail("plane file " + path +
+                  " has an invalid budget_w (not a finite non-negative "
+                  "wattage)");
+    }
+    if (hdr.checksum != header_checksum(hdr)) {
+      flock(fd, LOCK_UN);
+      ::close(fd);
+      return fail("plane file " + path +
+                  " failed its header checksum (torn create or outside "
+                  "corruption)");
+    }
+    bytes = sizeof(PlaneHeader) +
+            static_cast<size_t>(hdr.nslots) * sizeof(PlaneSlot);
+    if (st.st_size < static_cast<off_t>(bytes)) {
+      flock(fd, LOCK_UN);
+      ::close(fd);
+      return fail("plane file " + path + " has a truncated slot table (" +
+                  std::to_string(st.st_size) + " bytes, header promises " +
+                  std::to_string(bytes) + ")");
     }
   }
   flock(fd, LOCK_UN);

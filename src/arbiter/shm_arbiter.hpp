@@ -39,12 +39,19 @@ struct PlaneHeader {
   uint32_t nslots;
   uint32_t policy;   // SharePolicy
   double budget_w;
-  uint64_t pad_[5];
+  /// Checksum over every field above, written once at creation. The
+  /// header is immutable after initialization, so any later disagreement
+  /// is a torn create or outside corruption — openers refuse the plane
+  /// (and a session degrades to running unarbitrated) rather than divide
+  /// a garbage budget.
+  uint64_t checksum;
+  uint64_t pad_[4];
 };
 static_assert(sizeof(PlaneHeader) == 64, "header is one slot-sized block");
 
 inline constexpr uint32_t kPlaneMagic = 0x43464150u;  // "CFAP"
-inline constexpr uint32_t kPlaneVersion = 1;
+/// v2: the checksum field above (a v1 plane fails the version check).
+inline constexpr uint32_t kPlaneVersion = 2;
 
 /// The cross-process arbiter: a file-backed mmap of the slot table above.
 /// File-backed (rather than shm_open) so tests and tools name planes with

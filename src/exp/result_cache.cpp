@@ -493,9 +493,23 @@ bool load_shard_table(const std::string& path, ShardTable* out,
     *error = path + " has trailing or missing bytes";
     return false;
   }
+  table.source = path;
   *out = std::move(table);
   return true;
 }
+
+namespace {
+
+/// "shard i/N (file.tbl)" when the table came from disk, "shard i/N"
+/// otherwise — merge diagnostics always lead with the artifact to act on.
+std::string table_label(const ShardTable& table) {
+  std::string label = "shard " + std::to_string(table.shard_index) + "/" +
+                      std::to_string(table.shard_count);
+  if (!table.source.empty()) label += " (" + table.source + ")";
+  return label;
+}
+
+}  // namespace
 
 std::optional<std::vector<RunResult>> merge_shard_tables(
     const std::vector<ShardTable>& tables, std::string* error) {
@@ -505,26 +519,38 @@ std::optional<std::vector<RunResult>> merge_shard_tables(
   }
   const uint64_t grid_size = tables.front().grid_size;
   const int shard_count = tables.front().shard_count;
-  // Duplicate tables are diagnosed up front, by shard index, so a CI
-  // merge that globbed the same file twice (or two processes that ran the
-  // same shard) hears exactly which indices collided rather than a
-  // per-row "covered twice" at some arbitrary row.
+  // Duplicate tables are diagnosed up front — by shard index AND by the
+  // files claiming it — so a CI merge that globbed the same file twice
+  // (or two processes that ran the same shard) hears exactly which
+  // artifacts collided rather than a per-row "covered twice" at some
+  // arbitrary row.
   {
-    std::vector<int> seen(static_cast<size_t>(std::max(shard_count, 1)), 0);
-    std::string duplicated;
+    std::vector<std::vector<const ShardTable*>> claims(
+        static_cast<size_t>(std::max(shard_count, 1)));
     for (const ShardTable& table : tables) {
       if (table.shard_index < 0 || table.shard_index >= shard_count) {
         continue;  // reported with full context below
       }
-      if (++seen[static_cast<size_t>(table.shard_index)] == 2) {
-        if (!duplicated.empty()) duplicated += ", ";
-        duplicated += std::to_string(table.shard_index) + "/" +
-                      std::to_string(shard_count);
+      claims[static_cast<size_t>(table.shard_index)].push_back(&table);
+    }
+    std::string duplicated;
+    for (int s = 0; s < shard_count; ++s) {
+      const auto& owners = claims[static_cast<size_t>(s)];
+      if (owners.size() < 2) continue;
+      if (!duplicated.empty()) duplicated += "; ";
+      duplicated +=
+          "shard " + std::to_string(s) + "/" + std::to_string(shard_count);
+      std::string files;
+      for (const ShardTable* t : owners) {
+        if (t->source.empty()) continue;
+        if (!files.empty()) files += ", ";
+        files += t->source;
       }
+      if (!files.empty()) duplicated += " (from " + files + ")";
     }
     if (!duplicated.empty()) {
-      *error = "duplicated shard tables: shard " + duplicated +
-               " appears more than once in the merge list";
+      *error = "duplicated shard tables: " + duplicated +
+               " — each shard may appear once in the merge list";
       return std::nullopt;
     }
   }
@@ -532,35 +558,34 @@ std::optional<std::vector<RunResult>> merge_shard_tables(
   std::vector<uint8_t> covered(grid_size, 0);
   for (const ShardTable& table : tables) {
     if (table.grid_size != grid_size || table.shard_count != shard_count) {
-      *error = "shard tables disagree on grid shape (" +
-               std::to_string(table.grid_size) + "/" +
-               std::to_string(table.shard_count) + " vs " +
+      *error = table_label(table) + " disagrees on grid shape (" +
+               std::to_string(table.grid_size) + " cells/" +
+               std::to_string(table.shard_count) + " shards vs " +
                std::to_string(grid_size) + "/" +
                std::to_string(shard_count) + ")";
       return std::nullopt;
     }
     if (table.shard_index < 0 || table.shard_index >= shard_count) {
-      *error = "shard index " + std::to_string(table.shard_index) +
-               " out of range for " + std::to_string(shard_count) +
-               " shards";
+      *error = table_label(table) + ": shard index out of range for " +
+               std::to_string(shard_count) + " shards";
       return std::nullopt;
     }
     for (const auto& [index, result] : table.rows) {
       if (index >= grid_size) {
         *error = "row index " + std::to_string(index) +
-                 " outside the grid of " + std::to_string(grid_size);
+                 " outside the grid of " + std::to_string(grid_size) +
+                 " in " + table_label(table);
         return std::nullopt;
       }
       if (static_cast<int>(index % static_cast<uint64_t>(shard_count)) !=
           table.shard_index) {
-        *error = "row " + std::to_string(index) +
-                 " does not belong to shard " +
-                 std::to_string(table.shard_index) + "/" +
-                 std::to_string(shard_count);
+        *error = "row " + std::to_string(index) + " does not belong to " +
+                 table_label(table);
         return std::nullopt;
       }
       if (covered[index]) {
-        *error = "row " + std::to_string(index) + " covered twice";
+        *error = "row " + std::to_string(index) + " covered twice (last by " +
+                 table_label(table) + ")";
         return std::nullopt;
       }
       covered[index] = 1;
@@ -586,9 +611,21 @@ std::optional<std::vector<RunResult>> merge_shard_tables(
       if (!shards.empty()) shards += ", ";
       shards += std::to_string(s) + "/" + std::to_string(shard_count);
     }
+    // Name what WAS merged alongside what is missing: the absent shard
+    // has no file to point at, but the loaded file list tells the
+    // operator which glob/artifact set came up short.
+    std::string merged_files;
+    for (const ShardTable& table : tables) {
+      if (table.source.empty()) continue;
+      if (!merged_files.empty()) merged_files += ", ";
+      merged_files += table.source;
+    }
     *error = std::to_string(missing_rows) + " of " +
              std::to_string(grid_size) +
              " rows uncovered; missing shard tables: " + shards;
+    if (!merged_files.empty()) {
+      *error += " (merged files: " + merged_files + ")";
+    }
     return std::nullopt;
   }
   return results;

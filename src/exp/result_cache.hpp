@@ -123,6 +123,11 @@ struct ShardTable {
   int shard_index = 0;
   int shard_count = 1;
   std::vector<std::pair<uint64_t, RunResult>> rows;
+  /// File this table was loaded from (set by load_shard_table; empty for
+  /// in-memory tables). Diagnostics only — never serialized: merge errors
+  /// name the offending *file*, not just the shard index, so a fleet
+  /// operator knows which artifact to re-fetch or delete.
+  std::string source;
 };
 
 /// Temp + rename, same record checksums as the cache shards. False (with

@@ -17,6 +17,7 @@
 
 #include <cstddef>
 #include <cstdio>
+#include <limits>
 #include <string>
 
 #include "arbiter/shm_arbiter.hpp"
@@ -90,6 +91,79 @@ TEST_F(ShmArbiterTest, RejectsWrongVersion) {
   std::string error;
   EXPECT_EQ(ShmArbiter::open(path_, config(100.0), 8, &error), nullptr);
   EXPECT_NE(error.find("version"), std::string::npos) << error;
+}
+
+/// Overwrite `len` header bytes in place at `offset` — the shape of
+/// outside corruption (a stray writer, bit rot), which never goes
+/// through the creator's checksummed pwrite.
+void poke(const std::string& path, long offset, const void* data,
+          size_t len) {
+  FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, offset, SEEK_SET);
+  std::fwrite(data, 1, len, f);
+  std::fclose(f);
+}
+
+TEST_F(ShmArbiterTest, RejectsOutOfRangeNslots) {
+  {
+    std::string error;
+    ASSERT_NE(ShmArbiter::open(path_, config(100.0), 8, &error), nullptr);
+  }
+  const uint32_t bad = 100000;
+  poke(path_, offsetof(PlaneHeader, nslots), &bad, sizeof(bad));
+  std::string error;
+  EXPECT_EQ(ShmArbiter::open(path_, config(100.0), 8, &error), nullptr);
+  EXPECT_NE(error.find("nslots"), std::string::npos) << error;
+
+  const uint32_t zero = 0;
+  poke(path_, offsetof(PlaneHeader, nslots), &zero, sizeof(zero));
+  EXPECT_EQ(ShmArbiter::open(path_, config(100.0), 8, &error), nullptr);
+  EXPECT_NE(error.find("nslots"), std::string::npos) << error;
+}
+
+TEST_F(ShmArbiterTest, RejectsOutOfRangePolicy) {
+  {
+    std::string error;
+    ASSERT_NE(ShmArbiter::open(path_, config(100.0), 8, &error), nullptr);
+  }
+  const uint32_t bad = 7;  // no such SharePolicy
+  poke(path_, offsetof(PlaneHeader, policy), &bad, sizeof(bad));
+  std::string error;
+  EXPECT_EQ(ShmArbiter::open(path_, config(100.0), 8, &error), nullptr);
+  EXPECT_NE(error.find("policy"), std::string::npos) << error;
+}
+
+TEST_F(ShmArbiterTest, RejectsNonFiniteBudget) {
+  {
+    std::string error;
+    ASSERT_NE(ShmArbiter::open(path_, config(100.0), 8, &error), nullptr);
+  }
+  const double bad = std::numeric_limits<double>::quiet_NaN();
+  poke(path_, offsetof(PlaneHeader, budget_w), &bad, sizeof(bad));
+  std::string error;
+  EXPECT_EQ(ShmArbiter::open(path_, config(100.0), 8, &error), nullptr);
+  EXPECT_NE(error.find("budget_w"), std::string::npos) << error;
+
+  const double negative = -25.0;
+  poke(path_, offsetof(PlaneHeader, budget_w), &negative,
+       sizeof(negative));
+  EXPECT_EQ(ShmArbiter::open(path_, config(100.0), 8, &error), nullptr);
+  EXPECT_NE(error.find("budget_w"), std::string::npos) << error;
+}
+
+TEST_F(ShmArbiterTest, ChecksumCatchesBitFlipsTheRangeChecksMiss) {
+  {
+    std::string error;
+    ASSERT_NE(ShmArbiter::open(path_, config(100.0), 8, &error), nullptr);
+  }
+  // 100.0 with a flipped low-mantissa byte is still a plausible finite
+  // wattage — every field-range check passes; only the checksum knows.
+  const double subtle = 100.0000000000001;
+  poke(path_, offsetof(PlaneHeader, budget_w), &subtle, sizeof(subtle));
+  std::string error;
+  EXPECT_EQ(ShmArbiter::open(path_, config(100.0), 8, &error), nullptr);
+  EXPECT_NE(error.find("checksum"), std::string::npos) << error;
 }
 
 TEST_F(ShmArbiterTest, FirstWriterConfigWins) {

@@ -1,6 +1,7 @@
 #include "exp/result_cache.hpp"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <chrono>
 #include <cstring>
@@ -576,6 +577,132 @@ TEST(exp_cache, CorruptShardTableFileIsRejected) {
   EXPECT_FALSE(load_shard_table(path, &back, &error));
   EXPECT_FALSE(load_shard_table((store.dir() / "absent.tbl").string(),
                                 &back, &error));
+}
+
+TEST(exp_cache, MergeDiagnosticsNameTheOffendingFiles) {
+  const sim::MachineConfig machine = sim::haswell_2650v3();
+  const SweepGrid grid = make_grid(machine, 1);
+  TempStore store("mergediag");
+  fs::create_directories(store.dir());
+
+  ShardTable t0, t1;
+  t0.grid_size = t1.grid_size = grid.size();
+  t0.shard_count = t1.shard_count = 2;
+  t0.shard_index = 0;
+  t1.shard_index = 1;
+  t0.rows = run_sweep_shard(grid, 0, 2);
+  t1.rows = run_sweep_shard(grid, 1, 2);
+
+  // The same shard saved twice under different names — the fleet-ops
+  // shape of a doubled artifact, where "shard 0 is duplicated" alone
+  // does not say which file to delete.
+  const std::string path_a = (store.dir() / "node-a.tbl").string();
+  const std::string path_b = (store.dir() / "node-b.tbl").string();
+  const std::string path_c = (store.dir() / "node-c.tbl").string();
+  ASSERT_TRUE(save_shard_table(path_a, t0));
+  ASSERT_TRUE(save_shard_table(path_b, t0));
+  ASSERT_TRUE(save_shard_table(path_c, t1));
+
+  std::vector<ShardTable> loaded(3);
+  std::string error;
+  ASSERT_TRUE(load_shard_table(path_a, &loaded[0], &error)) << error;
+  ASSERT_TRUE(load_shard_table(path_b, &loaded[1], &error)) << error;
+  ASSERT_TRUE(load_shard_table(path_c, &loaded[2], &error)) << error;
+  EXPECT_EQ(loaded[0].source, path_a);
+
+  EXPECT_FALSE(merge_shard_tables(loaded, &error).has_value());
+  EXPECT_NE(error.find("node-a.tbl"), std::string::npos) << error;
+  EXPECT_NE(error.find("node-b.tbl"), std::string::npos) << error;
+
+  // Missing shard: the error lists the files that *were* merged, so the
+  // absent artifact is identifiable by elimination.
+  EXPECT_FALSE(
+      merge_shard_tables({loaded[0]}, &error).has_value());
+  EXPECT_NE(error.find("node-a.tbl"), std::string::npos) << error;
+}
+
+TEST(exp_cache, CacheDirVanishingMidRunDegradesToSimulation) {
+  const sim::MachineConfig machine = sim::haswell_2650v3();
+  const SweepGrid grid = make_grid(machine, 2);
+  const auto serial = run_sweep(grid, nullptr);
+  TempStore store("vanish");
+  {
+    ResultCache warm(store.path());
+    run_sweep_shard(grid, 0, 2, nullptr, &warm, nullptr);
+  }
+  ResultCache cache(store.path());  // indexes the warm shard
+  ASSERT_GT(cache.size(), 0u);
+
+  // Mid-run sabotage: the directory disappears and its path is suddenly
+  // a regular file (ENOTDIR on every shard read and temp-file write) —
+  // this bites even under root, which chmod does not.
+  const fs::path moved = store.dir().string() + ".moved";
+  fs::rename(store.dir(), moved);
+  { std::ofstream block(store.path(), std::ios::binary); block << "x"; }
+
+  // Inserts fail (with a logged error), lookups demote to misses — and
+  // every row is still byte-identical to the serial sweep.
+  SweepRunStats stats;
+  const auto rows1 = run_sweep_shard(grid, 1, 2, nullptr, &cache, &stats);
+  for (const auto& [idx, r] : rows1) {
+    EXPECT_TRUE(same_result_bytes(r, serial[idx])) << "spec " << idx;
+  }
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.cache_misses, rows1.size());
+
+  // Even the previously cached shard-0 entries — indexed in memory but
+  // no longer readable — re-simulate to the right bytes.
+  SweepRunStats stats0;
+  const auto rows0 = run_sweep_shard(grid, 0, 2, nullptr, &cache, &stats0);
+  for (const auto& [idx, r] : rows0) {
+    EXPECT_TRUE(same_result_bytes(r, serial[idx])) << "spec " << idx;
+  }
+  EXPECT_EQ(stats0.cache_hits, 0u);
+  fs::remove_all(moved);
+}
+
+TEST(exp_cache, ReadOnlyCacheDirMidRunKeepsHitsAndSimulatesMisses) {
+  if (::geteuid() == 0) {
+    GTEST_SKIP() << "chmod is advisory for root; the vanishing-dir test "
+                    "covers this path";
+  }
+  const sim::MachineConfig machine = sim::haswell_2650v3();
+  const SweepGrid grid = make_grid(machine, 2);
+  const auto serial = run_sweep(grid, nullptr);
+  TempStore store("readonly");
+  {
+    ResultCache warm(store.path());
+    run_sweep_shard(grid, 0, 2, nullptr, &warm, nullptr);
+  }
+  ResultCache cache(store.path());
+  const size_t warm_entries = cache.size();
+  ASSERT_GT(warm_entries, 0u);
+
+  // The filesystem goes read-only under a live cache: reads still work,
+  // every write fails.
+  fs::permissions(store.dir(), fs::perms::owner_read | fs::perms::owner_exec |
+                                   fs::perms::group_read |
+                                   fs::perms::group_exec);
+
+  // Shard 0 re-run: served from the still-readable shard file.
+  SweepRunStats stats0;
+  const auto rows0 = run_sweep_shard(grid, 0, 2, nullptr, &cache, &stats0);
+  for (const auto& [idx, r] : rows0) {
+    EXPECT_TRUE(same_result_bytes(r, serial[idx])) << "spec " << idx;
+  }
+  EXPECT_EQ(stats0.cache_hits, rows0.size());
+
+  // Shard 1: misses simulate, the insert fails with a logged error, and
+  // the results are still byte-exact.
+  SweepRunStats stats1;
+  const auto rows1 = run_sweep_shard(grid, 1, 2, nullptr, &cache, &stats1);
+  for (const auto& [idx, r] : rows1) {
+    EXPECT_TRUE(same_result_bytes(r, serial[idx])) << "spec " << idx;
+  }
+  EXPECT_EQ(stats1.cache_hits, 0u);
+  EXPECT_EQ(cache.size(), warm_entries);  // nothing was persisted
+
+  fs::permissions(store.dir(), fs::perms::owner_all | fs::perms::group_all);
 }
 
 TEST(exp_cache, ShardOwnsPartitionsExactlyOnce) {
